@@ -1,0 +1,102 @@
+/**
+ * @file
+ * E8 — distiller ablation: contribution of each pass to the master's
+ * dynamic path reduction and to end speedup (geomean over the suite).
+ *
+ * Expected shape: branch pruning + DCE carry most of the reduction
+ * (they remove the assertion/debug fat and its feeding computation);
+ * the memory speculations (silent stores, value spec) add the rest;
+ * "none" (fork markers only) sits slightly above 100% dynamic ratio.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "sim/logging.hh"
+
+using namespace mssp;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    DistillerOptions opts;
+};
+
+std::vector<Variant>
+variants()
+{
+    DistillerOptions none;
+    none.enableBranchPrune = false;
+    none.enableConstFold = false;
+    none.enableDce = false;
+
+    DistillerOptions prune = none;
+    prune.enableBranchPrune = true;
+
+    DistillerOptions prune_dce = prune;
+    prune_dce.enableDce = true;
+
+    DistillerOptions safe = prune_dce;
+    safe.enableConstFold = true;
+
+    DistillerOptions stores = safe;
+    stores.enableSilentStoreElim = true;
+    stores.silentStoreThreshold = 0.995;
+
+    DistillerOptions full = DistillerOptions::paperPreset();
+
+    return {
+        {"none (forks only)", none},
+        {"+branch prune", prune},
+        {"+dce", prune_dce},
+        {"+const fold", safe},
+        {"+silent stores", stores},
+        {"+value spec (full)", full},
+    };
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    setQuiet(true);
+    Table table({"distiller variant", "dyn ratio", "speedup",
+                 "squash/1k tasks"});
+
+    for (const auto &variant : variants()) {
+        std::vector<double> ratios;
+        std::vector<double> speedups;
+        uint64_t squashes = 0;
+        uint64_t forked = 0;
+        for (const auto &wl : specAnalogues()) {
+            MsspConfig cfg;
+            WorkloadRun run = runWorkload(wl, cfg, variant.opts);
+            if (!run.ok) {
+                std::fprintf(stderr, "FAIL: %s on %s\n", variant.name,
+                             wl.name.c_str());
+                continue;
+            }
+            ratios.push_back(run.distillRatio);
+            speedups.push_back(run.speedup);
+            squashes += run.counters.squashEvents;
+            forked += run.counters.tasksForked;
+        }
+        double squash_rate = forked
+            ? 1000.0 * static_cast<double>(squashes) /
+                  static_cast<double>(forked)
+            : 0.0;
+        table.addRow({variant.name, fmtPct(geomean(ratios)),
+                      fmt2(geomean(speedups)), fmt2(squash_rate)});
+    }
+
+    std::fputs(table.render(
+        "E8: distiller pass ablation (geomean over 12 workloads, "
+        "8 slaves)").c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * E9 — approximation aggressiveness: speedup and squash rate vs the
+ * branch-prune bias threshold θ, with and without profile-value
+ * speculation (the risky form that can bake training data into the
+ * distilled binary).
+ *
+ * Expected shape: the accuracy/coverage tradeoff. θ = 1.0 (prune only
+ * never-observed directions) is safe; lowering θ first changes little
+ * (the extra pruned branches are mostly harmless), then causes
+ * squash storms at loop exits and speedup collapses toward (or below)
+ * 1. Profile-value speculation adds reduction but also adds
+ * mispredictions when train and ref data differ.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "sim/logging.hh"
+
+using namespace mssp;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::vector<double> thetas = {1.0, 0.9999, 0.999, 0.99,
+                                        0.95, 0.85, 0.7};
+    const std::vector<std::string> names = {"perlbmk", "vpr", "gcc",
+                                            "mcf", "bzip2"};
+
+    Table table({"theta", "vspec", "speedup(gm)", "dyn ratio",
+                 "squash/1k", "ok"});
+
+    for (bool risky_vspec : {false, true}) {
+        for (double theta : thetas) {
+            DistillerOptions dopts = DistillerOptions::paperPreset();
+            dopts.biasThreshold = theta;
+            dopts.valueSpecFromProfile = risky_vspec;
+            if (risky_vspec) {
+                // The risky arm also lowers the invariance bar, so
+                // merely-mostly-invariant loads get baked in.
+                dopts.valueSpecThreshold = 0.9;
+            }
+
+            std::vector<double> speedups, ratios;
+            uint64_t squashes = 0, forked = 0;
+            bool all_ok = true;
+            for (const auto &name : names) {
+                Workload wl = workloadByName(name);
+                MsspConfig cfg;
+                WorkloadRun run = runWorkload(wl, cfg, dopts);
+                all_ok &= run.ok;
+                speedups.push_back(run.speedup);
+                ratios.push_back(run.distillRatio);
+                squashes += run.counters.squashEvents;
+                forked += run.counters.tasksForked;
+            }
+            double squash_rate = forked
+                ? 1000.0 * static_cast<double>(squashes) /
+                      static_cast<double>(forked)
+                : 0.0;
+            table.addRow({strfmt("%.4f", theta),
+                          risky_vspec ? "profile" : "image",
+                          fmt2(geomean(speedups)),
+                          fmtPct(geomean(ratios)), fmt2(squash_rate),
+                          all_ok ? "yes" : "NO"});
+        }
+    }
+
+    std::fputs(table.render(
+        "E9: approximation aggressiveness (geomean over perlbmk/vpr/"
+        "gcc; correctness must hold in every row)").c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * S1 (supplementary) — where slave cycles go: for each benchmark,
+ * the fraction of aggregate slave-processor cycles spent executing,
+ * stalled on architected-state reads, paused waiting for an end
+ * condition, or idle, plus the slave-L1 hit rate on read-throughs.
+ *
+ * Expected shape: execution dominates; pause cycles concentrate on
+ * the youngest task; idle cycles grow with slave count beyond the
+ * saturation knee (E6's story seen from the other side).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "eval/experiment.hh"
+#include "sim/logging.hh"
+
+using namespace mssp;
+
+int
+main()
+{
+    setQuiet(true);
+    Table table({"benchmark", "exec", "archStall", "paused", "idle",
+                 "L1 hit rate"});
+
+    for (const auto &wl : specAnalogues()) {
+        MsspConfig cfg;
+        WorkloadRun run = runWorkload(wl, cfg,
+                                      DistillerOptions::paperPreset());
+        const MsspCounters &c = run.counters;
+        double total = static_cast<double>(
+            run.msspCycles * cfg.numSlaves);
+        double exec = static_cast<double>(c.slaveInsts) / total;
+        double stall =
+            static_cast<double>(c.slaveArchStallCycles) / total;
+        double paused =
+            static_cast<double>(c.slavePauseCycles) / total;
+        double idle = static_cast<double>(c.slaveIdleCycles) / total;
+        double l1_rate =
+            (c.l1Hits + c.l1Misses)
+                ? static_cast<double>(c.l1Hits) /
+                      static_cast<double>(c.l1Hits + c.l1Misses)
+                : 0.0;
+        table.addRow({wl.name, fmtPct(exec), fmtPct(stall),
+                      fmtPct(paused), fmtPct(idle), fmtPct(l1_rate)});
+    }
+
+    std::fputs(table.render(
+        "S1: slave cycle breakdown (fractions of slaves x cycles; "
+        "8 slaves)").c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * E7 — sensitivity to communication latency: speedup vs fork/commit
+ * transfer latency (and, separately, vs the slave's read-through
+ * latency to architected state).
+ *
+ * Expected shape: graceful degradation — checkpoint transfer and
+ * commit are off the critical path while enough tasks are in flight,
+ * so doubling latency costs far less than a factor of two.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "sim/logging.hh"
+
+using namespace mssp;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::vector<Cycle> latencies = {2, 4, 8, 16, 32, 64};
+    const std::vector<std::string> names = {"perlbmk", "mcf",
+                                            "parser"};
+
+    std::vector<PreparedWorkload> prepared;
+    for (const auto &name : names) {
+        Workload wl = workloadByName(name);
+        prepared.push_back(prepare(wl.refSource, wl.trainSource,
+                                   DistillerOptions::paperPreset()));
+    }
+
+    {
+        std::vector<std::string> headers = {"fork/commit lat"};
+        for (const auto &n : names)
+            headers.push_back(n);
+        Table table(headers);
+        for (Cycle lat : latencies) {
+            std::vector<std::string> row = {std::to_string(lat)};
+            for (size_t i = 0; i < names.size(); ++i) {
+                MsspConfig cfg;
+                cfg.forkLatency = lat;
+                cfg.commitLatency = lat;
+                WorkloadRun run = runPrepared(names[i], prepared[i],
+                                              cfg);
+                row.push_back(run.ok ? fmt2(run.speedup) : "FAIL");
+            }
+            table.addRow(row);
+        }
+        std::fputs(table.render(
+            "E7a: speedup vs fork/commit latency (cycles)").c_str(),
+            stdout);
+    }
+
+    {
+        std::vector<std::string> headers = {"L2 read lat"};
+        for (const auto &n : names)
+            headers.push_back(n);
+        Table table(headers);
+        for (Cycle lat : {0ull, 1ull, 2ull, 4ull, 8ull, 16ull}) {
+            std::vector<std::string> row = {std::to_string(lat)};
+            for (size_t i = 0; i < names.size(); ++i) {
+                MsspConfig cfg;
+                cfg.archReadLatency = lat;
+                WorkloadRun run = runPrepared(names[i], prepared[i],
+                                              cfg);
+                row.push_back(run.ok ? fmt2(run.speedup) : "FAIL");
+            }
+            table.addRow(row);
+        }
+        std::fputs(table.render(
+            "E7b: speedup vs slave read-through latency "
+            "(cycles)").c_str(), stdout);
+    }
+    return 0;
+}

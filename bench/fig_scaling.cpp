@@ -1,0 +1,57 @@
+/**
+ * @file
+ * E6 — sensitivity to processor count: speedup vs number of slaves.
+ *
+ * Expected shape: speedup rises with slave count and then saturates
+ * at the master-limited bound (original path / distilled path); the
+ * knee falls at 2-4 slaves for our distillation strengths, higher for
+ * strongly distilled workloads (perlbmk).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "sim/logging.hh"
+
+using namespace mssp;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::vector<unsigned> slave_counts = {1, 2, 3, 4, 6, 8, 12,
+                                                16};
+    const std::vector<std::string> names = {"perlbmk", "mcf",
+                                            "parser", "bzip2"};
+
+    std::vector<std::string> headers = {"slaves"};
+    for (const auto &n : names)
+        headers.push_back(n);
+    Table table(headers);
+
+    // Prepare once per workload; sweep the machine.
+    std::vector<PreparedWorkload> prepared;
+    for (const auto &name : names) {
+        Workload wl = workloadByName(name);
+        prepared.push_back(prepare(wl.refSource, wl.trainSource,
+                                   DistillerOptions::paperPreset()));
+    }
+
+    for (unsigned slaves : slave_counts) {
+        std::vector<std::string> row = {std::to_string(slaves)};
+        for (size_t i = 0; i < names.size(); ++i) {
+            MsspConfig cfg;
+            cfg.numSlaves = slaves;
+            cfg.maxInFlightTasks = std::max(2 * slaves, 8u);
+            WorkloadRun run = runPrepared(names[i], prepared[i], cfg);
+            row.push_back(run.ok ? fmt2(run.speedup) : "FAIL");
+        }
+        table.addRow(row);
+    }
+
+    std::fputs(table.render(
+        "E6: speedup vs number of slave processors").c_str(), stdout);
+    return 0;
+}

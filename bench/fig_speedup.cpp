@@ -1,0 +1,65 @@
+/**
+ * @file
+ * E2 — "MSSP speedup over single-processor baseline" (the paper's
+ * headline figure). One series per slave count (2/4/8), one row per
+ * SPECint analogue, plus the geometric mean.
+ *
+ * Expected shape (EXPERIMENTS.md): geomean speedup meaningfully above
+ * 1 at 8 slaves, best workloads well above, low-distillability
+ * workloads (eon-like) near 1.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "sim/logging.hh"
+
+using namespace mssp;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::vector<unsigned> slave_counts = {2, 4, 8};
+    auto workloads = specAnalogues();
+
+    Table table({"benchmark", "insts", "distill",
+                 "2 slaves", "4 slaves", "8 slaves", "ok"});
+    std::vector<std::vector<double>> speedups(slave_counts.size());
+
+    for (const auto &wl : workloads) {
+        PreparedWorkload prepared = prepare(
+            wl.refSource, wl.trainSource,
+            DistillerOptions::paperPreset());
+        std::vector<std::string> row{wl.name, "", "", "", "", "", ""};
+        bool all_ok = true;
+        for (size_t i = 0; i < slave_counts.size(); ++i) {
+            MsspConfig cfg;
+            cfg.numSlaves = slave_counts[i];
+            cfg.maxInFlightTasks = 2 * slave_counts[i];
+            WorkloadRun run = runPrepared(wl.name, prepared, cfg);
+            all_ok &= run.ok;
+            speedups[i].push_back(run.speedup);
+            row[3 + i] = fmt2(run.speedup);
+            if (i == 0) {
+                row[1] = std::to_string(run.seqInsts);
+                row[2] = fmtPct(run.distillRatio);
+            }
+        }
+        row[6] = all_ok ? "yes" : "NO";
+        table.addRow(row);
+    }
+
+    std::vector<std::string> gm_row{"geomean", "", "", "", "", "", ""};
+    for (size_t i = 0; i < slave_counts.size(); ++i)
+        gm_row[3 + i] = fmt2(geomean(speedups[i]));
+    table.addRow(gm_row);
+
+    std::fputs(table.render("E2: MSSP speedup over 1-cpu baseline "
+                            "(distill = master/original dynamic "
+                            "path)").c_str(),
+               stdout);
+    return 0;
+}

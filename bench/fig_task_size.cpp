@@ -1,0 +1,54 @@
+/**
+ * @file
+ * E5 — sensitivity to task size: speedup vs the distiller's target
+ * task length, for three representative workloads.
+ *
+ * Expected shape: an interior optimum. Small tasks are dominated by
+ * fork/commit overheads; very large tasks lose overlap, stress the
+ * runaway cap, and make squashes expensive.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "sim/logging.hh"
+
+using namespace mssp;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::vector<uint64_t> targets = {10, 25, 50, 100, 150, 300,
+                                           600, 1200};
+    const std::vector<std::string> names = {"perlbmk", "mcf",
+                                            "parser"};
+
+    std::vector<std::string> headers = {"target"};
+    for (const auto &n : names) {
+        headers.push_back(n);
+        headers.push_back(n + " task");
+    }
+    Table table(headers);
+
+    for (uint64_t target : targets) {
+        std::vector<std::string> row = {std::to_string(target)};
+        for (const auto &name : names) {
+            Workload wl = workloadByName(name);
+            DistillerOptions dopts = DistillerOptions::paperPreset();
+            dopts.forkSelect.targetTaskSize = target;
+            MsspConfig cfg;
+            WorkloadRun run = runWorkload(wl, cfg, dopts);
+            row.push_back(run.ok ? fmt2(run.speedup) : "FAIL");
+            row.push_back(fmt2(run.meanTaskSize));
+        }
+        table.addRow(row);
+    }
+
+    std::fputs(table.render(
+        "E5: speedup vs target task size (8 slaves; 'task' = "
+        "measured mean committed task length)").c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * M1 — simulator throughput microbenchmarks (google-benchmark): the
+ * SEQ interpreter, the profiler, the distiller and the full MSSP
+ * machine, in simulated instructions (or distillations) per second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/mssp_api.hh"
+#include "sim/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace mssp;
+
+const Workload &
+benchWorkload()
+{
+    static Workload wl = workloadByName("parser", 0.3);
+    return wl;
+}
+
+void
+BM_SeqInterpreter(benchmark::State &state)
+{
+    setQuiet(true);
+    Program prog = assemble(benchWorkload().refSource);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        SeqMachine m(prog);
+        m.run(100000000);
+        insts += m.instCount();
+        benchmark::DoNotOptimize(m.state().pc());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_SeqInterpreter);
+
+void
+BM_Profiler(benchmark::State &state)
+{
+    setQuiet(true);
+    Program prog = assemble(benchWorkload().trainSource);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        ProfileData prof = profileProgram(prog, 100000000);
+        insts += prof.totalInsts;
+        benchmark::DoNotOptimize(prof.totalInsts);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_Profiler);
+
+void
+BM_Distiller(benchmark::State &state)
+{
+    setQuiet(true);
+    Program prog = assemble(benchWorkload().refSource);
+    ProfileData prof = profileProgram(
+        assemble(benchWorkload().trainSource), 100000000);
+    for (auto _ : state) {
+        DistilledProgram d = distill(
+            prog, prof, DistillerOptions::paperPreset());
+        benchmark::DoNotOptimize(d.taskMap.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Distiller);
+
+void
+BM_MsspMachine(benchmark::State &state)
+{
+    setQuiet(true);
+    PreparedWorkload p = prepare(benchWorkload().refSource,
+                                 benchWorkload().trainSource,
+                                 DistillerOptions::paperPreset());
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        MsspMachine machine(p.orig, p.dist, MsspConfig{});
+        MsspResult r = machine.run(100000000ull);
+        insts += r.committedInsts;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_MsspMachine);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    setQuiet(true);
+    const std::string &src = benchWorkload().refSource;
+    for (auto _ : state) {
+        Program p = assemble(src);
+        benchmark::DoNotOptimize(p.sizeWords());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Assembler);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * T1 — the simulated machine configuration table (the paper's
+ * "simulation parameters" table), plus the distiller defaults.
+ */
+
+#include <cstdio>
+
+#include "distill/distiller.hh"
+#include "mssp/config.hh"
+
+using namespace mssp;
+
+int
+main()
+{
+    MsspConfig cfg;
+    std::printf("== T1: simulated MSSP machine configuration ==\n");
+    std::printf("%s", cfg.toString().c_str());
+
+    DistillerOptions dopts = DistillerOptions::paperPreset();
+    std::printf("\n== distiller (paper preset) ==\n");
+    std::printf("  %-22s %-10.3f %s\n", "biasThreshold",
+                dopts.biasThreshold,
+                "prune never-observed directions only at 1.0");
+    std::printf("  %-22s %-10llu %s\n", "minBranchSamples",
+                static_cast<unsigned long long>(dopts.minBranchSamples),
+                "profile support required to prune");
+    std::printf("  %-22s %-10s %s\n", "valueSpec",
+                dopts.enableValueSpec ? "on" : "off",
+                "link-time constant loads");
+    std::printf("  %-22s %-10s %s\n", "silentStoreElim",
+                dopts.enableSilentStoreElim ? "on" : "off",
+                "drop >=99.5%-silent stores");
+    std::printf("  %-22s %-10llu %s\n", "targetTaskSize",
+                static_cast<unsigned long long>(
+                    dopts.forkSelect.targetTaskSize),
+                "expected task length (insts)");
+    return 0;
+}

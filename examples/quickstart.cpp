@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Quickstart: assemble a small program, distill it, run it under MSSP
+ * and verify against the sequential oracle.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/mssp_api.hh"
+
+using namespace mssp;
+
+int
+main()
+{
+    // A toy workload: checksum an array; a rare branch fires when an
+    // element is divisible by 64, and a per-iteration bounds check
+    // never fires (distillation fodder).
+    const char *program = R"(
+        la s2, data
+        li s0, 0            ; i
+        li s3, 0            ; checksum
+    loop:
+        li t5, 4096
+        bltu s0, t5, ok     ; bounds assertion: never fails
+        out zero, 99
+    ok:
+        add t0, s2, s0
+        lw t1, 0(t0)
+        add s3, s3, t1
+        andi t2, t1, 63
+        bnez t2, next       ; rare path below
+        addi s3, s3, 7
+    next:
+        addi s0, s0, 1
+        li t3, 600
+        blt s0, t3, loop
+        out s3, 1
+        halt
+    .org 0x8000
+    data: .word 3, 17, 64, 9, 128, 41, 77, 5
+        .space 592
+    )";
+
+    // 1. Assemble.
+    Program prog = assemble(program);
+    std::printf("assembled %zu words, entry 0x%x\n",
+                prog.sizeWords(), prog.entry());
+
+    // 2. Profile + distill (training on the same input here; real
+    //    workloads use a separate training input, see src/workloads).
+    PreparedWorkload prepared =
+        prepare(program, "", DistillerOptions::paperPreset());
+    std::printf("\n-- distiller report --\n%s",
+                prepared.dist.report.toString().c_str());
+
+    // 3. Run the sequential reference (the oracle and the baseline).
+    SeqMachine seq(prog);
+    seq.run(10000000);
+    std::printf("\nSEQ: %llu instructions, %zu outputs\n",
+                static_cast<unsigned long long>(seq.instCount()),
+                seq.outputs().size());
+
+    // 4. Run MSSP.
+    MsspConfig cfg;
+    cfg.numSlaves = 4;
+    MsspMachine machine(prepared.orig, prepared.dist, cfg);
+    MsspResult result = machine.run(10000000);
+
+    std::printf("MSSP: %llu cycles, %llu committed insts, "
+                "%zu outputs\n",
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(result.committedInsts),
+                result.outputs.size());
+
+    // 5. Verify equivalence and report speedup.
+    bool equivalent = result.halted &&
+                      result.outputs == seq.outputs() &&
+                      result.committedInsts == seq.instCount();
+    std::printf("\noutput equivalent to SEQ: %s\n",
+                equivalent ? "YES" : "NO");
+
+    BaselineResult base = runBaseline(prog, cfg.slaveIpc, 10000000);
+    std::printf("speedup over 1-cpu baseline: %.2f\n",
+                static_cast<double>(base.cycles) /
+                    static_cast<double>(result.cycles));
+
+    std::printf("\n-- machine statistics --\n");
+    machine.dumpStats(std::cout);
+    return equivalent ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Scaling study: for one workload, sweep slave count x fork latency
+ * and print a speedup matrix — a compact view of how MSSP hides
+ * inter-core communication as long as the master stays ahead.
+ *
+ * Usage: scaling_study [workload]          (default: perlbmk)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/mssp_api.hh"
+#include "eval/experiment.hh"
+#include "workloads/workloads.hh"
+
+using namespace mssp;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::string name = argc > 1 ? argv[1] : "perlbmk";
+    Workload wl = workloadByName(name);
+    PreparedWorkload prepared = prepare(
+        wl.refSource, wl.trainSource, DistillerOptions::paperPreset());
+
+    const std::vector<unsigned> slave_counts = {1, 2, 4, 8};
+    const std::vector<Cycle> latencies = {2, 8, 32, 128};
+
+    std::printf("== %s: speedup over 1-cpu baseline ==\n",
+                name.c_str());
+    std::printf("%-12s", "slaves\\lat");
+    for (Cycle lat : latencies)
+        std::printf("%8llu", static_cast<unsigned long long>(lat));
+    std::printf("\n");
+
+    for (unsigned slaves : slave_counts) {
+        std::printf("%-12u", slaves);
+        for (Cycle lat : latencies) {
+            MsspConfig cfg;
+            cfg.numSlaves = slaves;
+            cfg.maxInFlightTasks = std::max(2 * slaves, 8u);
+            cfg.forkLatency = lat;
+            cfg.commitLatency = lat;
+            WorkloadRun run = runPrepared(name, prepared, cfg);
+            if (run.ok)
+                std::printf("%8.2f", run.speedup);
+            else
+                std::printf("%8s", "FAIL");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nModerate latencies are fully hidden by in-flight "
+                "tasks (the paper's decoupling\nargument). The last "
+                "column shows the other regime: once per-task "
+                "verify/commit\noccupancy exceeds the task length, "
+                "the commit unit itself becomes the\nbottleneck and "
+                "speedup collapses to taskSize/commitLatency "
+                "regardless of width.\n");
+    return 0;
+}

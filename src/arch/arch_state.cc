@@ -1,0 +1,14 @@
+#include "arch/arch_state.hh"
+
+namespace mssp
+{
+
+void
+ArchState::loadProgram(const Program &prog)
+{
+    for (const auto &[addr, value] : prog.image())
+        mem_.write(addr, value);
+    pc_ = prog.entry();
+}
+
+} // namespace mssp

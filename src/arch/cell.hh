@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Storage-cell identifiers.
+ *
+ * The formal MSSP model treats machine state as a partial map from
+ * storage cells to values. A cell is a register, a memory word, or the
+ * program counter. CellId packs the kind and index into a single
+ * 64-bit key for use in hash maps.
+ */
+
+#ifndef MSSP_ARCH_CELL_HH
+#define MSSP_ARCH_CELL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hh"
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+/** The kind of a storage cell. */
+enum class CellKind : uint8_t
+{
+    Reg = 0,   ///< general-purpose register (index 0..31)
+    Mem = 1,   ///< memory word (32-bit word address)
+    Pc = 2,    ///< the program counter
+};
+
+/** Packed cell identifier: [33:32] kind, [31:0] index. */
+using CellId = uint64_t;
+
+constexpr CellId
+makeRegCell(unsigned reg)
+{
+    return (uint64_t{0} << 32) | reg;
+}
+
+constexpr CellId
+makeMemCell(uint32_t addr)
+{
+    return (uint64_t{1} << 32) | addr;
+}
+
+constexpr CellId PcCell = (uint64_t{2} << 32);
+
+constexpr CellKind
+cellKind(CellId id)
+{
+    return static_cast<CellKind>(id >> 32);
+}
+
+constexpr uint32_t
+cellIndex(CellId id)
+{
+    return static_cast<uint32_t>(id);
+}
+
+/** Human-readable rendering, e.g. "r5(a2)", "mem[0x1000]", "pc". */
+inline std::string
+cellToString(CellId id)
+{
+    switch (cellKind(id)) {
+      case CellKind::Reg:
+        return strfmt("r%u(%s)", cellIndex(id), regName(cellIndex(id)));
+      case CellKind::Mem:
+        return strfmt("mem[0x%x]", cellIndex(id));
+      case CellKind::Pc:
+        return "pc";
+    }
+    return "?";
+}
+
+} // namespace mssp
+
+#endif // MSSP_ARCH_CELL_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Memory-mapped I/O: non-idempotent machine state.
+ *
+ * The companion formal paper closes by noting that MSSP must preclude
+ * speculation on state "such as memory-mapped I/O addresses, where we
+ * cannot rely on accesses being idempotent... demanding that we
+ * impose task boundaries and proceed, non-speculatively, as per SEQ."
+ * This module implements exactly that extension:
+ *
+ *  - Addresses at or above MmioBase are device space.
+ *  - Reads can be non-idempotent (the COUNTER register increments on
+ *    every read); writes are externally visible (they append to the
+ *    program's output stream).
+ *  - The sequential machine and the profiler access the device
+ *    directly. MSSP slaves *abort their task* immediately before any
+ *    device access (TaskEnd::MmioStop); the machine commits the
+ *    verified prefix and executes the device access sequentially
+ *    before re-engaging speculation. The master never touches the
+ *    device: its MMIO reads predict 0 and its MMIO writes are
+ *    dropped — wrong predictions are, as always, merely slow.
+ */
+
+#ifndef MSSP_ARCH_MMIO_HH
+#define MSSP_ARCH_MMIO_HH
+
+#include <cstdint>
+#include <map>
+
+#include "exec/context.hh"
+
+namespace mssp
+{
+
+/** Start of device space (word addresses). */
+constexpr uint32_t MmioBase = 0xffff0000u;
+
+/** The non-idempotent read counter register. */
+constexpr uint32_t MmioCounterAddr = MmioBase;
+/** A constant status register (idempotent read). */
+constexpr uint32_t MmioStatusAddr = MmioBase + 1;
+/** Value returned by the status register. */
+constexpr uint32_t MmioStatusValue = 0x600du;
+
+/** @return true when @p addr lies in device space. */
+constexpr bool
+isMmio(uint32_t addr)
+{
+    return addr >= MmioBase;
+}
+
+/** Deterministic device model shared by all machine types. */
+class MmioDevice
+{
+  public:
+    /**
+     * Device read. Reading the counter register returns the number of
+     * *previous* reads of it and increments — non-idempotent by
+     * construction. Other registers return the last written value
+     * (status returns its constant).
+     */
+    uint32_t
+    read(uint32_t addr)
+    {
+        if (addr == MmioCounterAddr)
+            return static_cast<uint32_t>(read_counter_++);
+        if (addr == MmioStatusAddr)
+            return MmioStatusValue;
+        auto it = regs_.find(addr);
+        return it == regs_.end() ? 0 : it->second;
+    }
+
+    /**
+     * Device write: latches the value and emits an observable output
+     * on port 0x8000 | (addr & 0x7fff).
+     */
+    void
+    write(uint32_t addr, uint32_t value, OutputStream &out)
+    {
+        regs_[addr] = value;
+        out.push_back({static_cast<uint16_t>(0x8000u | (addr & 0x7fffu)),
+                       value});
+    }
+
+    uint64_t readCount() const { return read_counter_; }
+
+    void
+    reset()
+    {
+        read_counter_ = 0;
+        regs_.clear();
+    }
+
+  private:
+    uint64_t read_counter_ = 0;
+    std::map<uint32_t, uint32_t> regs_;
+};
+
+} // namespace mssp
+
+#endif // MSSP_ARCH_MMIO_HH

@@ -1,0 +1,27 @@
+#include "arch/paged_mem.hh"
+
+#include <algorithm>
+
+namespace mssp
+{
+
+std::vector<std::pair<uint32_t, uint32_t>>
+PagedMem::nonzeroWords() const
+{
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    std::vector<uint32_t> page_nums;
+    page_nums.reserve(pages.size());
+    for (const auto &[num, page] : pages)
+        page_nums.push_back(num);
+    std::sort(page_nums.begin(), page_nums.end());
+    for (uint32_t num : page_nums) {
+        const auto &page = *pages.at(num);
+        for (uint32_t off = 0; off < PageWords; ++off) {
+            if (page[off] != 0)
+                out.emplace_back((num << PageBits) | off, page[off]);
+        }
+    }
+    return out;
+}
+
+} // namespace mssp

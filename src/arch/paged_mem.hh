@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sparse paged word memory.
+ *
+ * The architected memory is a 2^32-word address space backed lazily by
+ * 4K-word pages. Reads of unmapped words return zero; writes allocate.
+ */
+
+#ifndef MSSP_ARCH_PAGED_MEM_HH
+#define MSSP_ARCH_PAGED_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace mssp
+{
+
+/** Lazily allocated word-addressed memory. */
+class PagedMem
+{
+  public:
+    PagedMem() = default;
+    PagedMem(PagedMem &&) = default;
+    PagedMem &operator=(PagedMem &&) = default;
+
+    /** Deep copy (snapshotting for oracles and replay tests). */
+    PagedMem(const PagedMem &other)
+    {
+        for (const auto &[num, page] : other.pages)
+            pages.emplace(num, std::make_unique<Page>(*page));
+    }
+
+    PagedMem &
+    operator=(const PagedMem &other)
+    {
+        if (this != &other) {
+            pages.clear();
+            for (const auto &[num, page] : other.pages)
+                pages.emplace(num, std::make_unique<Page>(*page));
+        }
+        return *this;
+    }
+
+    static constexpr unsigned PageBits = 12;
+    static constexpr uint32_t PageWords = 1u << PageBits;
+    static constexpr uint32_t OffsetMask = PageWords - 1;
+
+    /** Read the word at @p addr (0 if never written). */
+    uint32_t
+    read(uint32_t addr) const
+    {
+        auto it = pages.find(addr >> PageBits);
+        if (it == pages.end())
+            return 0;
+        return (*it->second)[addr & OffsetMask];
+    }
+
+    /** Write @p value at @p addr, allocating the page if needed. */
+    void
+    write(uint32_t addr, uint32_t value)
+    {
+        auto &page = pages[addr >> PageBits];
+        if (!page)
+            page = std::make_unique<Page>();
+        (*page)[addr & OffsetMask] = value;
+    }
+
+    /** Number of resident pages. */
+    size_t numPages() const { return pages.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages.clear(); }
+
+    /**
+     * Enumerate all nonzero words (deterministic order), used by
+     * state-comparison tests.
+     */
+    std::vector<std::pair<uint32_t, uint32_t>> nonzeroWords() const;
+
+  private:
+    using Page = std::array<uint32_t, PageWords>;
+    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages;
+};
+
+} // namespace mssp
+
+#endif // MSSP_ARCH_PAGED_MEM_HH

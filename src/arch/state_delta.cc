@@ -1,0 +1,26 @@
+#include "arch/state_delta.hh"
+
+#include <algorithm>
+
+namespace mssp
+{
+
+std::vector<std::pair<CellId, uint32_t>>
+StateDelta::sorted() const
+{
+    std::vector<std::pair<CellId, uint32_t>> out(map_.begin(),
+                                                 map_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+StateDelta::toString() const
+{
+    std::string s;
+    for (const auto &[cell, value] : sorted())
+        s += strfmt("  %s = 0x%x\n", cellToString(cell).c_str(), value);
+    return s;
+}
+
+} // namespace mssp

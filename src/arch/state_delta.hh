@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Sparse machine-state fragments.
+ *
+ * A StateDelta is a partial machine state: a finite map from storage
+ * cells to values. It implements the formal model's state algebra:
+ *
+ *  - superimposition S0 ← S1 ("overwrite S0 with S1"), which is
+ *    associative;
+ *  - consistency S1 ⊑ S2 ("every cell of S1 exists in S2 with the
+ *    same value");
+ *  - idempotency: S2 ⊑ S1 implies S1 ← S2 = S1.
+ *
+ * These laws are property-tested in tests/test_formal_properties.cpp.
+ * StateDeltas serve as task live-in sets, live-out sets and master
+ * checkpoints.
+ */
+
+#ifndef MSSP_ARCH_STATE_DELTA_HH
+#define MSSP_ARCH_STATE_DELTA_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/cell.hh"
+
+namespace mssp
+{
+
+/** A sparse, partial machine state (finite map cell -> value). */
+class StateDelta
+{
+  public:
+    using Map = std::unordered_map<CellId, uint32_t>;
+
+    StateDelta() = default;
+
+    /** Bind @p cell to @p value, overwriting any previous binding. */
+    void set(CellId cell, uint32_t value) { map_[cell] = value; }
+
+    /** Bind @p cell only if it has no binding yet (live-in capture). */
+    void
+    setIfAbsent(CellId cell, uint32_t value)
+    {
+        map_.emplace(cell, value);
+    }
+
+    /** @return the bound value, if any. */
+    std::optional<uint32_t>
+    get(CellId cell) const
+    {
+        auto it = map_.find(cell);
+        if (it == map_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    bool contains(CellId cell) const { return map_.count(cell) != 0; }
+
+    /** Remove a binding if present. */
+    void erase(CellId cell) { map_.erase(cell); }
+
+    size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+    void clear() { map_.clear(); }
+
+    Map::const_iterator begin() const { return map_.begin(); }
+    Map::const_iterator end() const { return map_.end(); }
+
+    /**
+     * Superimpose @p other onto this state: this ← other.
+     * Cells of @p other overwrite; cells only in this survive.
+     */
+    void
+    superimpose(const StateDelta &other)
+    {
+        for (const auto &[cell, value] : other.map_)
+            map_[cell] = value;
+    }
+
+    /** Functional form of superimposition: returns a ← b. */
+    static StateDelta
+    superimposed(const StateDelta &a, const StateDelta &b)
+    {
+        StateDelta out = a;
+        out.superimpose(b);
+        return out;
+    }
+
+    /**
+     * Consistency test (the formal model's ⊑): true iff every binding
+     * of this state exists, with equal value, in @p other.
+     */
+    bool
+    consistentWith(const StateDelta &other) const
+    {
+        for (const auto &[cell, value] : map_) {
+            auto it = other.map_.find(cell);
+            if (it == other.map_.end() || it->second != value)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    operator==(const StateDelta &other) const
+    {
+        return map_ == other.map_;
+    }
+
+    /** Deterministically ordered (cell, value) list, for tests/dumps. */
+    std::vector<std::pair<CellId, uint32_t>> sorted() const;
+
+    /** Multi-line human-readable dump. */
+    std::string toString() const;
+
+    void reserve(size_t n) { map_.reserve(n); }
+
+  private:
+    Map map_;
+};
+
+} // namespace mssp
+
+#endif // MSSP_ARCH_STATE_DELTA_HH

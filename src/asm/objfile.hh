@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Object-file serialization.
+ *
+ * A simple line-oriented text format ("mssp-object v1") that stores a
+ * Program (image + entry + symbols), and an extended form
+ * ("mssp-distilled v1") that additionally stores a DistilledProgram's
+ * task map, per-site fork intervals, entry map, address map and
+ * report. Used by the CLI tools (tools/) so the assemble / distill /
+ * run steps can be separate processes, like a real toolchain.
+ */
+
+#ifndef MSSP_ASM_OBJFILE_HH
+#define MSSP_ASM_OBJFILE_HH
+
+#include <string>
+
+#include "asm/program.hh"
+#include "distill/distiller.hh"
+
+namespace mssp
+{
+
+/** Serialize a Program. */
+std::string saveProgram(const Program &prog);
+
+/** Parse a Program; fatal() with a line number on malformed input. */
+Program loadProgram(const std::string &text);
+
+/** Serialize a DistilledProgram. */
+std::string saveDistilled(const DistilledProgram &dist);
+
+/** Parse a DistilledProgram; fatal() on malformed input. */
+DistilledProgram loadDistilled(const std::string &text);
+
+} // namespace mssp
+
+#endif // MSSP_ASM_OBJFILE_HH

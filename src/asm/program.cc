@@ -1,0 +1,20 @@
+#include "asm/program.hh"
+
+#include "isa/disasm.hh"
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+std::string
+Program::disassembleRange(uint32_t start, uint32_t count) const
+{
+    std::string out;
+    for (uint32_t pc = start; pc < start + count; ++pc) {
+        out += strfmt("0x%06x:  %s\n", pc,
+                      disassembleWord(word(pc), pc).c_str());
+    }
+    return out;
+}
+
+} // namespace mssp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Binary program container.
+ *
+ * A Program is an initial memory image (sparse words covering both
+ * encoded instructions and initialized data), an entry PC and a symbol
+ * table. It is produced by the Assembler or by the Distiller and
+ * loaded into an ArchState (or fetched directly, in the master's
+ * case).
+ */
+
+#ifndef MSSP_ASM_PROGRAM_HH
+#define MSSP_ASM_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mssp
+{
+
+/** Default base address for code emitted by the assembler. */
+constexpr uint32_t DefaultCodeBase = 0x1000;
+
+/** Base address at which the distiller lays out distilled code. */
+constexpr uint32_t DistilledCodeBase = 0x400000;
+
+/** An executable image: sparse initial memory, entry point, symbols. */
+class Program
+{
+  public:
+    /** Word at @p addr in the initial image (0 when absent). */
+    uint32_t
+    word(uint32_t addr) const
+    {
+        auto it = image_.find(addr);
+        return it == image_.end() ? 0 : it->second;
+    }
+
+    bool hasWord(uint32_t addr) const { return image_.count(addr); }
+
+    void setWord(uint32_t addr, uint32_t value) { image_[addr] = value; }
+
+    const std::map<uint32_t, uint32_t> &image() const { return image_; }
+
+    uint32_t entry() const { return entry_; }
+    void setEntry(uint32_t pc) { entry_ = pc; }
+
+    /** Define a symbol (assembler label). */
+    void
+    defineSymbol(const std::string &name, uint32_t value)
+    {
+        symbols_[name] = value;
+    }
+
+    /** Look up a symbol; returns false if undefined. */
+    bool
+    lookupSymbol(const std::string &name, uint32_t &value) const
+    {
+        auto it = symbols_.find(name);
+        if (it == symbols_.end())
+            return false;
+        value = it->second;
+        return true;
+    }
+
+    const std::map<std::string, uint32_t> &symbols() const
+    {
+        return symbols_;
+    }
+
+    /** Number of words in the initial image. */
+    size_t sizeWords() const { return image_.size(); }
+
+    /**
+     * Disassembly of [start, start+count) as multi-line text (for
+     * debugging and the distillation_tour example).
+     */
+    std::string disassembleRange(uint32_t start, uint32_t count) const;
+
+  private:
+    std::map<uint32_t, uint32_t> image_;
+    std::map<std::string, uint32_t> symbols_;
+    uint32_t entry_ = DefaultCodeBase;
+};
+
+} // namespace mssp
+
+#endif // MSSP_ASM_PROGRAM_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Umbrella header: the MSSP library's public API.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *   #include "core/mssp_api.hh"
+ *
+ *   auto prepared = mssp::prepare(asm_source);      // profile+distill
+ *   mssp::MsspConfig cfg;
+ *   mssp::MsspMachine machine(prepared.orig, prepared.dist, cfg);
+ *   auto result = machine.run(100'000'000);
+ */
+
+#ifndef MSSP_CORE_MSSP_API_HH
+#define MSSP_CORE_MSSP_API_HH
+
+#include "arch/arch_state.hh"
+#include "arch/state_delta.hh"
+#include "asm/assembler.hh"
+#include "asm/program.hh"
+#include "cfg/cfg.hh"
+#include "core/pipeline.hh"
+#include "distill/distiller.hh"
+#include "exec/seq_machine.hh"
+#include "isa/disasm.hh"
+#include "isa/isa.hh"
+#include "mssp/baseline.hh"
+#include "mssp/config.hh"
+#include "mssp/machine.hh"
+#include "profile/fork_select.hh"
+#include "profile/profiler.hh"
+#include "stats/stats.hh"
+
+#endif // MSSP_CORE_MSSP_API_HH

@@ -1,0 +1,31 @@
+#include "core/pipeline.hh"
+
+#include "asm/assembler.hh"
+#include "profile/profiler.hh"
+
+namespace mssp
+{
+
+PreparedWorkload
+prepare(const Program &ref, const Program &train,
+        const DistillerOptions &opts, uint64_t profile_max_insts)
+{
+    PreparedWorkload out;
+    out.orig = ref;
+    out.profile = profileProgram(train, profile_max_insts);
+    out.dist = distill(out.orig, out.profile, opts);
+    return out;
+}
+
+PreparedWorkload
+prepare(const std::string &ref_source,
+        const std::string &train_source, const DistillerOptions &opts,
+        uint64_t profile_max_insts)
+{
+    Program ref = assemble(ref_source);
+    Program train = train_source.empty() ? ref
+                                         : assemble(train_source);
+    return prepare(ref, train, opts, profile_max_insts);
+}
+
+} // namespace mssp

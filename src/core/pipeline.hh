@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Convenience pipeline: assemble -> profile -> distill.
+ */
+
+#ifndef MSSP_CORE_PIPELINE_HH
+#define MSSP_CORE_PIPELINE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "asm/program.hh"
+#include "distill/distiller.hh"
+#include "profile/profile_data.hh"
+
+namespace mssp
+{
+
+/** The artifacts the MSSP machine needs for one workload. */
+struct PreparedWorkload
+{
+    Program orig;
+    ProfileData profile;
+    DistilledProgram dist;
+};
+
+/**
+ * Assemble @p ref_source, profile @p train_source (or ref when train
+ * is empty), and distill.
+ *
+ * The training program must be link-compatible with the reference
+ * program: same code addresses, different data (the usual SPEC
+ * train/ref arrangement). Our workload generators guarantee this by
+ * emitting identical code with different embedded data.
+ */
+PreparedWorkload prepare(const std::string &ref_source,
+                         const std::string &train_source = "",
+                         const DistillerOptions &opts = {},
+                         uint64_t profile_max_insts = 50000000);
+
+/** Prepare from already-assembled programs. */
+PreparedWorkload prepare(const Program &ref, const Program &train,
+                         const DistillerOptions &opts = {},
+                         uint64_t profile_max_insts = 50000000);
+
+} // namespace mssp
+
+#endif // MSSP_CORE_PIPELINE_HH

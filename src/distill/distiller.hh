@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The program distiller.
+ *
+ * Produces the *distilled program* the MSSP master executes: a
+ * profile-guided, speculatively optimized translation of the original
+ * binary. Passes in pipeline order:
+ *
+ *   1. branch pruning        (approximate: hard-wires biased branches)
+ *   2. unreachable-code elimination
+ *   3. constant folding       (semantics-preserving, block-local)
+ *   4. dead-code elimination  (semantics-preserving, global liveness)
+ *   5. silent-store elimination (approximate, optional)
+ *   6. load-value speculation   (approximate, optional)
+ *   7. fork insertion + layout/relink
+ *
+ * "Approximate" passes may change program behaviour — MSSP's
+ * verify/commit unit makes that safe, and the adversarial test suite
+ * (tests/test_refinement.cpp) checks that even a *corrupted* distilled
+ * program cannot affect program output.
+ */
+
+#ifndef MSSP_DISTILL_DISTILLER_HH
+#define MSSP_DISTILL_DISTILLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "distill/ir.hh"
+#include "profile/fork_select.hh"
+#include "profile/profile_data.hh"
+
+namespace mssp
+{
+
+/** Distiller tuning knobs (E8/E9 ablate these). */
+struct DistillerOptions
+{
+    /** Branch-prune bias threshold θ. A branch direction is pruned
+     *  when it was *never* observed in training, or when its rareness
+     *  clears θ (taken-bias >= θ hard-wires taken; <= 1-θ hard-wires
+     *  not-taken). The default θ = 1.0 prunes never-observed
+     *  directions only — lower values are more aggressive and are
+     *  what experiment E9 sweeps. */
+    double biasThreshold = 1.0;
+    /** Branches sampled fewer times than this are never pruned. */
+    uint64_t minBranchSamples = 16;
+
+    bool enableBranchPrune = true;
+    bool enableConstFold = true;
+    bool enableDce = true;
+
+    bool enableSilentStoreElim = false;
+    double silentStoreThreshold = 0.999;
+
+    /**
+     * Load-value speculation. The safe form replaces a load whose
+     * *address* is invariant and was never stored to in training with
+     * the value from the program image being distilled (link-time
+     * constant propagation — immune to train/ref data differences).
+     */
+    bool enableValueSpec = false;
+    double valueSpecThreshold = 0.999;
+
+    /** Risky form: additionally replace loads whose *profiled value*
+     *  is invariant with the training value — this can bake training
+     *  data into the distilled binary (experiment E9 sweeps it). */
+    bool valueSpecFromProfile = false;
+
+    /** Loads/stores sampled fewer times than this are left alone. */
+    uint64_t minMemSamples = 32;
+
+    ForkSelectOptions forkSelect;
+
+    /** When nonempty, use exactly these original PCs as fork sites
+     *  (plus the entry) instead of running selection. */
+    std::vector<uint32_t> explicitForkSites;
+
+    /**
+     * The configuration the evaluation uses (the paper's distiller):
+     * all passes on, including the speculative memory optimizations
+     * (silent-store elimination and load-value speculation).
+     */
+    static DistillerOptions
+    paperPreset()
+    {
+        DistillerOptions opts;
+        opts.enableSilentStoreElim = true;
+        opts.silentStoreThreshold = 0.995;
+        opts.enableValueSpec = true;
+        opts.valueSpecThreshold = 0.999;
+        return opts;
+    }
+};
+
+/** What the distiller did (one row of the E1/E8 tables). */
+struct DistillReport
+{
+    size_t origStaticInsts = 0;
+    size_t distilledStaticInsts = 0;
+    uint64_t branchesToJump = 0;     ///< pruned to unconditional
+    uint64_t branchesToFall = 0;     ///< pruned to fallthrough
+    uint64_t blocksRemoved = 0;
+    uint64_t constFolded = 0;
+    uint64_t dceRemoved = 0;
+    uint64_t storesElided = 0;
+    uint64_t loadsValueSpeced = 0;
+    size_t forkSites = 0;
+
+    std::string toString() const;
+};
+
+/** The distiller's output. */
+struct DistilledProgram
+{
+    /** Distilled code image; entry() is the distilled entry point.
+     *  Code lives at DistilledCodeBase and shares the data address
+     *  space with the original program. */
+    Program prog;
+
+    /** taskMap[i] = original-program PC of fork site i. */
+    std::vector<uint32_t> taskMap;
+
+    /** taskIntervals[i] = fork every k-th visit of site i (per-site
+     *  task merging so expected task size is uniform across program
+     *  phases). */
+    std::vector<uint32_t> taskIntervals;
+
+    /** Original fork-site PC -> distilled PC of that block's FORK
+     *  (master restart points; includes the program entry). */
+    std::map<uint32_t, uint32_t> entryMap;
+
+    /**
+     * Indirect-branch translation map: original block-leader PC ->
+     * distilled PC, for every surviving block. The master uses it to
+     * translate jalr targets that hold *original* code addresses —
+     * e.g. a return address seeded from architected state after a
+     * restart inside a function, or one reloaded from a committed
+     * stack slot. (Standard dynamic-binary-translation machinery.)
+     */
+    std::map<uint32_t, uint32_t> addrMap;
+
+    DistillReport report;
+
+    /** Distilled PC for restarting the master at original @p pc
+     *  (UINT32_MAX when @p pc is not a restart point). */
+    uint32_t
+    distilledPcFor(uint32_t orig_pc) const
+    {
+        auto it = entryMap.find(orig_pc);
+        return it == entryMap.end() ? UINT32_MAX : it->second;
+    }
+};
+
+/**
+ * Distill @p orig using @p profile.
+ *
+ * @param orig    the original program (entry at orig.entry())
+ * @param profile training-run profile
+ * @param opts    tuning knobs
+ */
+DistilledProgram distill(const Program &orig,
+                         const ProfileData &profile,
+                         const DistillerOptions &opts);
+
+// Individual passes, exposed for unit testing and ablation ------------
+
+/** Pass 1: hard-wire heavily biased branches. */
+void passBranchPrune(DistillIr &ir, const ProfileData &profile,
+                     const DistillerOptions &opts,
+                     DistillReport &report);
+
+/** Pass 2: kill blocks unreachable from the entry. */
+void passUnreachableElim(DistillIr &ir, DistillReport &report);
+
+/** Pass 3: block-local constant propagation and folding. */
+void passConstFold(DistillIr &ir, DistillReport &report);
+
+/** Pass 4: remove dead pure instructions (global liveness). */
+void passDce(DistillIr &ir, DistillReport &report);
+
+/** Pass 5: drop stores that are almost always silent. */
+void passSilentStoreElim(DistillIr &ir, const ProfileData &profile,
+                         const DistillerOptions &opts,
+                         DistillReport &report);
+
+/** Pass 6: replace invariant loads with constants (see
+ *  DistillerOptions::enableValueSpec). @p orig supplies the image for
+ *  the safe (link-time) form. */
+void passValueSpec(DistillIr &ir, const ProfileData &profile,
+                   const DistillerOptions &opts, const Program &orig,
+                   DistillReport &report);
+
+/** Pass 7a: mark fork sites (entry is always included).
+ *  @p intervals is parallel to @p sites (empty = all ones). */
+void passMarkForkSites(DistillIr &ir,
+                       const std::vector<uint32_t> &sites,
+                       const std::vector<uint32_t> &intervals,
+                       DistillReport &report);
+
+/** Pass 7b: lay out the IR as a binary and build the maps. */
+DistilledProgram layout(const DistillIr &ir, DistillReport report);
+
+} // namespace mssp
+
+#endif // MSSP_DISTILL_DISTILLER_HH

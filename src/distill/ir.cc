@@ -1,0 +1,199 @@
+#include "distill/ir.hh"
+
+#include "profile/profile_data.hh"
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+DistillIr
+DistillIr::build(const Cfg &cfg, const ProfileData *profile)
+{
+    DistillIr ir;
+
+    // Assign ids in address order.
+    for (const auto &[start, bb] : cfg.blocks()) {
+        int id = static_cast<int>(ir.blocks_.size());
+        ir.by_orig_pc_[start] = id;
+        IrBlock blk;
+        blk.id = id;
+        blk.origStart = start;
+        if (profile)
+            blk.execCount = profile->countAt(start);
+        ir.blocks_.push_back(std::move(blk));
+    }
+
+    auto id_of = [&](uint32_t pc) {
+        auto it = ir.by_orig_pc_.find(pc);
+        return it == ir.by_orig_pc_.end() ? -1 : it->second;
+    };
+
+    for (const auto &[start, bb] : cfg.blocks()) {
+        IrBlock &blk = ir.blocks_[static_cast<size_t>(
+            ir.by_orig_pc_.at(start))];
+        blk.term = bb.term;
+        blk.isCall = bb.isCall;
+
+        // The CFG keeps the terminator instruction (if it is one) as
+        // the last element of insts; split it off.
+        size_t n_body = bb.insts.size();
+        bool has_term_inst =
+            bb.term == TermKind::CondBranch ||
+            bb.term == TermKind::Jump ||
+            bb.term == TermKind::IndirectJump ||
+            bb.term == TermKind::Halt ||
+            (bb.term == TermKind::Fault && !bb.insts.empty() &&
+             bb.insts.back().op == Opcode::Illegal);
+        if (has_term_inst) {
+            MSSP_ASSERT(n_body > 0);
+            --n_body;
+            blk.termInst = bb.insts[n_body];
+            blk.termOrigPc = bb.pcOf(n_body);
+        }
+        for (size_t i = 0; i < n_body; ++i)
+            blk.body.push_back(IrInst::normal(bb.insts[i], bb.pcOf(i)));
+
+        switch (bb.term) {
+          case TermKind::FallThrough:
+            blk.fallthrough = id_of(bb.fallthrough);
+            if (blk.fallthrough < 0)
+                blk.term = TermKind::Fault;
+            break;
+          case TermKind::CondBranch:
+            blk.takenTarget = id_of(bb.takenTarget);
+            blk.fallthrough = id_of(bb.fallthrough);
+            if (blk.takenTarget < 0 || blk.fallthrough < 0)
+                blk.term = TermKind::Fault;
+            break;
+          case TermKind::Jump:
+            blk.takenTarget = id_of(bb.takenTarget);
+            blk.fallthrough = id_of(bb.fallthrough);  // call return pt
+            if (blk.takenTarget < 0)
+                blk.term = TermKind::Fault;
+            break;
+          default:
+            break;
+        }
+    }
+
+    ir.entry_block_ = ir.blockOfOrigPc(cfg.entry());
+    MSSP_ASSERT(ir.entry_block_ >= 0);
+    return ir;
+}
+
+size_t
+DistillIr::numAliveInsts() const
+{
+    size_t n = 0;
+    for (const auto &blk : blocks_) {
+        if (!blk.alive)
+            continue;
+        n += blk.body.size();
+        if (blk.term == TermKind::CondBranch ||
+            blk.term == TermKind::Jump ||
+            blk.term == TermKind::IndirectJump ||
+            blk.term == TermKind::Halt) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::string
+DistillIr::toString() const
+{
+    static const char *term_names[] = {
+        "fallthrough", "condbranch", "jump", "indirect", "halt",
+        "fault",
+    };
+    std::string out;
+    for (const auto &blk : blocks_) {
+        if (!blk.alive)
+            continue;
+        out += strfmt("B%d (orig 0x%x, count %llu)%s%s: %zu insts, "
+                      "term=%s taken=B%d fall=B%d\n",
+                      blk.id, blk.origStart,
+                      static_cast<unsigned long long>(blk.execCount),
+                      blk.forkSite ? " [fork]" : "",
+                      blk.isCall ? " [call]" : "",
+                      blk.body.size(),
+                      term_names[static_cast<int>(blk.term)],
+                      blk.takenTarget, blk.fallthrough);
+    }
+    return out;
+}
+
+void
+irInstDefUse(const IrInst &iinst, RegMask &def, RegMask &use)
+{
+    if (iinst.kind == IrInst::Kind::LoadImm) {
+        use = 0;
+        def = iinst.rd ? (1u << iinst.rd) : 0;
+        return;
+    }
+    instDefUse(iinst.inst, def, use);
+}
+
+std::vector<BlockLiveness>
+computeIrLiveness(const DistillIr &ir)
+{
+    constexpr RegMask AllRegs = 0xfffffffeu;
+    std::vector<BlockLiveness> live(ir.blocks().size());
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = ir.blocks().rbegin(); it != ir.blocks().rend();
+             ++it) {
+            const IrBlock &blk = *it;
+            if (!blk.alive)
+                continue;
+            BlockLiveness &bl = live[static_cast<size_t>(blk.id)];
+
+            RegMask out = 0;
+            switch (blk.term) {
+              case TermKind::IndirectJump:
+              case TermKind::Fault:
+                out = AllRegs;
+                break;
+              case TermKind::Halt:
+                out = 0;
+                break;
+              default:
+                for (int s : blk.succIds()) {
+                    const IrBlock &sb = ir.block(s);
+                    out |= sb.alive
+                               ? live[static_cast<size_t>(s)].liveIn
+                               : AllRegs;
+                }
+                break;
+            }
+
+            RegMask in = out;
+            // Terminator uses (branch operands, jalr base).
+            if (blk.term == TermKind::CondBranch ||
+                blk.term == TermKind::IndirectJump) {
+                RegMask def, use;
+                instDefUse(blk.termInst, def, use);
+                in = (in & ~def) | use;
+            } else if (blk.term == TermKind::Jump &&
+                       blk.termInst.rd != 0) {
+                in &= ~(1u << blk.termInst.rd);   // link register def
+            }
+            for (auto inst_it = blk.body.rbegin();
+                 inst_it != blk.body.rend(); ++inst_it) {
+                RegMask def, use;
+                irInstDefUse(*inst_it, def, use);
+                in = (in & ~def) | use;
+            }
+            if (in != bl.liveIn || out != bl.liveOut) {
+                bl.liveIn = in;
+                bl.liveOut = out;
+                changed = true;
+            }
+        }
+    }
+    return live;
+}
+
+} // namespace mssp

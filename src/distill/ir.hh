@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The distiller's intermediate representation.
+ *
+ * Distillation is a binary-to-binary translation: the original CFG is
+ * lifted into an IR of blocks with symbolic successors, transformed by
+ * profile-guided passes (some semantics-preserving, some deliberately
+ * approximate — that is the point of MSSP), and laid out as a new
+ * binary at DistilledCodeBase with a task map and an entry map.
+ */
+
+#ifndef MSSP_DISTILL_IR_HH
+#define MSSP_DISTILL_IR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.hh"
+#include "isa/isa.hh"
+
+namespace mssp
+{
+
+/** A body instruction in the IR. */
+struct IrInst
+{
+    enum class Kind : uint8_t
+    {
+        Normal,    ///< a real instruction (inst field)
+        LoadImm,   ///< rd = immValue (expands to 1-2 words at layout)
+    };
+
+    Kind kind = Kind::Normal;
+    Instruction inst;          ///< valid for Normal
+    uint8_t rd = 0;            ///< valid for LoadImm
+    uint32_t immValue = 0;     ///< valid for LoadImm
+    uint32_t origPc = UINT32_MAX;  ///< original PC, if any
+
+    static IrInst
+    normal(const Instruction &inst, uint32_t orig_pc)
+    {
+        IrInst i;
+        i.inst = inst;
+        i.origPc = orig_pc;
+        return i;
+    }
+
+    static IrInst
+    loadImm(uint8_t rd, uint32_t value, uint32_t orig_pc)
+    {
+        IrInst i;
+        i.kind = Kind::LoadImm;
+        i.rd = rd;
+        i.immValue = value;
+        i.origPc = orig_pc;
+        return i;
+    }
+
+    /** Destination register (0 when none). */
+    uint8_t
+    destReg() const
+    {
+        if (kind == Kind::LoadImm)
+            return rd;
+        return writesReg(inst) ? inst.rd : 0;
+    }
+
+    /** Number of encoded words at layout time. */
+    uint32_t
+    sizeWords() const
+    {
+        if (kind != Kind::LoadImm)
+            return 1;
+        auto v = static_cast<int32_t>(immValue);
+        if (v >= -32768 && v <= 32767)
+            return 1;
+        if ((immValue & 0xffffu) == 0)
+            return 1;
+        return 2;
+    }
+};
+
+/** An IR basic block. */
+struct IrBlock
+{
+    int id = -1;
+    uint32_t origStart = 0;
+    std::vector<IrInst> body;       ///< straight-line, non-control
+
+    TermKind term = TermKind::FallThrough;
+    Instruction termInst;           ///< branch/jal/jalr/halt instruction
+    uint32_t termOrigPc = UINT32_MAX;
+    int takenTarget = -1;           ///< block id (CondBranch/Jump)
+    int fallthrough = -1;           ///< block id
+    bool isCall = false;            ///< jal with rd != 0
+
+    bool forkSite = false;
+    int taskMapIndex = -1;
+    uint32_t forkSiteInterval = 1;
+
+    uint64_t execCount = 0;         ///< profile visits of origStart
+    bool alive = true;
+
+    /** Successor block ids for dataflow (calls include the callee). */
+    std::vector<int>
+    succIds() const
+    {
+        std::vector<int> out;
+        switch (term) {
+          case TermKind::FallThrough:
+            if (fallthrough >= 0)
+                out.push_back(fallthrough);
+            break;
+          case TermKind::CondBranch:
+            if (takenTarget >= 0)
+                out.push_back(takenTarget);
+            if (fallthrough >= 0 && fallthrough != takenTarget)
+                out.push_back(fallthrough);
+            break;
+          case TermKind::Jump:
+            if (takenTarget >= 0)
+                out.push_back(takenTarget);
+            // Call-return edge (see Cfg::build).
+            if (isCall && fallthrough >= 0)
+                out.push_back(fallthrough);
+            break;
+          default:
+            break;
+        }
+        return out;
+    }
+};
+
+/** The whole-program IR. */
+class DistillIr
+{
+  public:
+    /** Lift a CFG (plus profile block counts) into IR form. */
+    static DistillIr build(const Cfg &cfg,
+                           const class ProfileData *profile);
+
+    std::vector<IrBlock> &blocks() { return blocks_; }
+    const std::vector<IrBlock> &blocks() const { return blocks_; }
+
+    IrBlock &block(int id) { return blocks_[static_cast<size_t>(id)]; }
+    const IrBlock &
+    block(int id) const
+    {
+        return blocks_[static_cast<size_t>(id)];
+    }
+
+    int entryBlock() const { return entry_block_; }
+
+    /** Block id whose origStart == @p pc, or -1. */
+    int
+    blockOfOrigPc(uint32_t pc) const
+    {
+        auto it = by_orig_pc_.find(pc);
+        return it == by_orig_pc_.end() ? -1 : it->second;
+    }
+
+    /** Count of alive body+terminator instructions. */
+    size_t numAliveInsts() const;
+
+    std::string toString() const;
+
+  private:
+    std::vector<IrBlock> blocks_;
+    std::map<uint32_t, int> by_orig_pc_;
+    int entry_block_ = -1;
+};
+
+/** IR-level global register liveness (same rules as the CFG pass). */
+std::vector<BlockLiveness> computeIrLiveness(const DistillIr &ir);
+
+/** def/use of an IrInst. */
+void irInstDefUse(const IrInst &inst, RegMask &def, RegMask &use);
+
+} // namespace mssp
+
+#endif // MSSP_DISTILL_IR_HH

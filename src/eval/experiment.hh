@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The evaluation harness shared by all bench binaries (one binary per
+ * table/figure, DESIGN.md §4). Runs a workload through the full
+ * pipeline (profile -> distill -> MSSP vs baseline), verifies output
+ * equivalence, and returns every metric the figures plot.
+ */
+
+#ifndef MSSP_EVAL_EXPERIMENT_HH
+#define MSSP_EVAL_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "mssp/config.hh"
+#include "mssp/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+/** Everything measured for one (workload, configuration) point. */
+struct WorkloadRun
+{
+    std::string name;
+    bool ok = false;            ///< halted + output-equivalent to SEQ
+
+    uint64_t seqInsts = 0;      ///< original dynamic instructions
+    uint64_t baselineCycles = 0;
+    uint64_t msspCycles = 0;
+    double speedup = 0.0;       ///< baselineCycles / msspCycles
+
+    uint64_t masterInsts = 0;
+    /** Master dynamic path / original dynamic path (E1; lower is a
+     *  stronger distillation). */
+    double distillRatio = 0.0;
+
+    double meanTaskSize = 0.0;
+    MsspCounters counters;
+    DistillReport report;
+};
+
+/**
+ * Run one workload end to end.
+ *
+ * @param wl    the workload (ref + train sources)
+ * @param cfg   machine configuration
+ * @param dopts distiller options
+ * @param max_cycles MSSP cycle cap (a run that hits it reports !ok)
+ */
+WorkloadRun runWorkload(const Workload &wl, const MsspConfig &cfg,
+                        const DistillerOptions &dopts = {},
+                        uint64_t max_cycles = 400000000ull);
+
+/** Same, reusing an already-prepared pipeline (for sweeps). */
+WorkloadRun runPrepared(const std::string &name,
+                        const PreparedWorkload &prepared,
+                        const MsspConfig &cfg,
+                        uint64_t max_cycles = 400000000ull);
+
+// -- Table formatting -----------------------------------------------------
+
+/** A printable table with aligned columns. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a title banner, aligned columns and a rule. */
+    std::string render(const std::string &title) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Geometric mean of a vector (0 if empty). */
+double geomean(const std::vector<double> &values);
+
+/** "%.2f" helper. */
+std::string fmt2(double v);
+
+/** "%.1f%%" helper. */
+std::string fmtPct(double v);
+
+} // namespace mssp
+
+#endif // MSSP_EVAL_EXPERIMENT_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Abstract execution context.
+ *
+ * The instruction executor is written against this interface so that
+ * the same semantics (the formal model's deterministic `next`
+ * function) drive every machine in the system: the SEQ reference, MSSP
+ * slaves (speculative, live-in recording), the MSSP master (distilled
+ * program, write-delta tracking) and non-speculative recovery.
+ */
+
+#ifndef MSSP_EXEC_CONTEXT_HH
+#define MSSP_EXEC_CONTEXT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mssp
+{
+
+/** One program output: the ordered (port, value) stream is the
+ *  primary observable for equivalence checking. */
+struct Output
+{
+    uint16_t port;
+    uint32_t value;
+
+    bool operator==(const Output &) const = default;
+};
+
+using OutputStream = std::vector<Output>;
+
+/** Storage and side-effect interface the executor runs against. */
+class ExecContext
+{
+  public:
+    virtual ~ExecContext() = default;
+
+    /** Read a register. The executor guarantees r != 0. */
+    virtual uint32_t readReg(unsigned r) = 0;
+
+    /** Write a register. The executor guarantees r != 0. */
+    virtual void writeReg(unsigned r, uint32_t v) = 0;
+
+    /** Read a data word. */
+    virtual uint32_t readMem(uint32_t addr) = 0;
+
+    /** Write a data word. */
+    virtual void writeMem(uint32_t addr, uint32_t v) = 0;
+
+    /**
+     * Fetch the instruction word at @p pc. Fetches are *not* data
+     * reads: MSSP assumes programs are not self-modifying, so slave
+     * contexts do not record fetched words as live-ins (DESIGN.md §7).
+     */
+    virtual uint32_t fetch(uint32_t pc) = 0;
+
+    /** Emit a program output. */
+    virtual void output(uint16_t port, uint32_t value) = 0;
+
+    /**
+     * FORK side effect. Only the MSSP master overrides this; the
+     * default (every other machine) treats FORK as a NOP.
+     */
+    virtual void fork(uint32_t task_map_index) { (void)task_map_index; }
+};
+
+} // namespace mssp
+
+#endif // MSSP_EXEC_CONTEXT_HH

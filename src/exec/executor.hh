@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The μRISC instruction executor.
+ *
+ * A single, deterministic implementation of instruction semantics —
+ * the formal model's `next : S -> S`. Determinism (two consistent
+ * states stepping to consistent states) is what makes MSSP's live-in
+ * verification sound, and is property-tested in
+ * tests/test_formal_properties.cpp.
+ */
+
+#ifndef MSSP_EXEC_EXECUTOR_HH
+#define MSSP_EXEC_EXECUTOR_HH
+
+#include <cstdint>
+
+#include "exec/context.hh"
+#include "isa/isa.hh"
+
+namespace mssp
+{
+
+/** Outcome of executing one instruction. */
+enum class StepStatus : uint8_t
+{
+    Ok,        ///< executed; continue at nextPc
+    Halted,    ///< HALT executed
+    Illegal,   ///< undecodable instruction (fault)
+};
+
+/** Result of a single executed instruction. */
+struct StepResult
+{
+    StepStatus status = StepStatus::Ok;
+    uint32_t nextPc = 0;
+    Instruction inst;      ///< the decoded instruction
+    bool branchTaken = false;  ///< valid when inst is a cond branch
+};
+
+/**
+ * Fetch, decode and execute the instruction at @p pc against @p ctx.
+ *
+ * The executor enforces r0-is-zero (contexts never see register 0).
+ * On Halted/Illegal, nextPc == pc (the machine does not advance).
+ */
+StepResult stepAt(uint32_t pc, ExecContext &ctx);
+
+/**
+ * Execute an already-decoded instruction (used by the distiller's
+ * constant folder to evaluate ALU ops; @p ctx supplies operands).
+ */
+StepResult executeDecoded(uint32_t pc, const Instruction &inst,
+                          ExecContext &ctx);
+
+/**
+ * Pure ALU evaluation helper: compute the result of an R- or I-type
+ * ALU instruction from operand values. Branches/memory/jumps are not
+ * accepted.
+ *
+ * @retval true when @p op is a pure ALU op and @p out was written.
+ */
+bool evalAlu(Opcode op, uint32_t a, uint32_t b, uint32_t &out);
+
+} // namespace mssp
+
+#endif // MSSP_EXEC_EXECUTOR_HH

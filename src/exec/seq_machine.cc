@@ -1,0 +1,50 @@
+#include "exec/seq_machine.hh"
+
+namespace mssp
+{
+
+SeqMachine::SeqMachine(const Program &prog)
+{
+    state_.loadProgram(prog);
+}
+
+StepResult
+SeqMachine::step()
+{
+    uint32_t pc = state_.pc();
+    StepResult res = stepAt(pc, *this);
+    switch (res.status) {
+      case StepStatus::Ok:
+        state_.setPc(res.nextPc);
+        state_.addInstret(1);
+        ++inst_count_;
+        break;
+      case StepStatus::Halted:
+        halted_ = true;
+        state_.addInstret(1);
+        ++inst_count_;
+        break;
+      case StepStatus::Illegal:
+        faulted_ = true;
+        break;
+    }
+    if (observer_)
+        observer_->onStep(pc, res);
+    return res;
+}
+
+SeqRunResult
+SeqMachine::run(uint64_t max_insts)
+{
+    SeqRunResult result;
+    while (!halted_ && !faulted_ && result.instCount < max_insts) {
+        step();
+        ++result.instCount;
+    }
+    result.halted = halted_;
+    result.faulted = faulted_;
+    result.finalPc = state_.pc();
+    return result;
+}
+
+} // namespace mssp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The sequential reference machine (the formal model's SEQ).
+ *
+ * SEQ executes a program directly against an ArchState, one
+ * instruction at a time. It is the correctness oracle for every MSSP
+ * configuration (jumping-refinement tests compare MSSP output and
+ * final state against SEQ), the profiler's execution engine, and the
+ * single-core performance baseline.
+ */
+
+#ifndef MSSP_EXEC_SEQ_MACHINE_HH
+#define MSSP_EXEC_SEQ_MACHINE_HH
+
+#include <cstdint>
+
+#include "arch/arch_state.hh"
+#include "arch/mmio.hh"
+#include "asm/program.hh"
+#include "exec/context.hh"
+#include "exec/executor.hh"
+
+namespace mssp
+{
+
+/** Result of a (possibly partial) sequential run. */
+struct SeqRunResult
+{
+    bool halted = false;
+    bool faulted = false;
+    uint64_t instCount = 0;
+    uint32_t finalPc = 0;
+};
+
+/** The SEQ reference machine. */
+class SeqMachine : public ExecContext
+{
+  public:
+    /** Per-instruction observation hook (profiling, tracing). */
+    class Observer
+    {
+      public:
+        virtual ~Observer() = default;
+
+        /** Called after each executed instruction. */
+        virtual void onStep(uint32_t pc, const StepResult &res) = 0;
+    };
+
+    /** Construct with the program loaded and PC at its entry. */
+    explicit SeqMachine(const Program &prog);
+
+    /**
+     * Run until HALT, a fault, or @p max_insts instructions.
+     * May be called repeatedly to continue an unfinished run.
+     */
+    SeqRunResult run(uint64_t max_insts);
+
+    /** Execute exactly one instruction. */
+    StepResult step();
+
+    ArchState &state() { return state_; }
+    const ArchState &state() const { return state_; }
+
+    const OutputStream &outputs() const { return outputs_; }
+
+    uint64_t instCount() const { return inst_count_; }
+    bool halted() const { return halted_; }
+    bool faulted() const { return faulted_; }
+
+    void setObserver(Observer *obs) { observer_ = obs; }
+
+    // -- ExecContext ------------------------------------------------------
+    uint32_t readReg(unsigned r) override { return state_.readReg(r); }
+    void
+    writeReg(unsigned r, uint32_t v) override
+    {
+        state_.writeReg(r, v);
+    }
+    uint32_t
+    readMem(uint32_t addr) override
+    {
+        if (isMmio(addr))
+            return device_.read(addr);
+        return state_.readMem(addr);
+    }
+    void
+    writeMem(uint32_t addr, uint32_t v) override
+    {
+        if (isMmio(addr)) {
+            device_.write(addr, v, outputs_);
+            return;
+        }
+        state_.writeMem(addr, v);
+    }
+    uint32_t fetch(uint32_t pc) override { return state_.readMem(pc); }
+    void
+    output(uint16_t port, uint32_t value) override
+    {
+        outputs_.push_back({port, value});
+    }
+
+    const MmioDevice &device() const { return device_; }
+
+  private:
+    ArchState state_;
+    MmioDevice device_;
+    OutputStream outputs_;
+    Observer *observer_ = nullptr;
+    uint64_t inst_count_ = 0;
+    bool halted_ = false;
+    bool faulted_ = false;
+};
+
+} // namespace mssp
+
+#endif // MSSP_EXEC_SEQ_MACHINE_HH

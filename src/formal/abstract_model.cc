@@ -1,0 +1,175 @@
+#include "formal/abstract_model.hh"
+
+#include "exec/executor.hh"
+#include "sim/logging.hh"
+
+namespace mssp::formal
+{
+
+namespace
+{
+
+/**
+ * ExecContext over a partial state that *fails* (records
+ * incompleteness) when execution reads an unbound cell — the
+ * executable form of the paper's completeness predicate.
+ */
+class PartialStateContext : public ExecContext
+{
+  public:
+    explicit PartialStateContext(State &s) : state_(s) {}
+
+    bool incomplete = false;
+
+    uint32_t
+    readReg(unsigned r) override
+    {
+        auto v = state_.get(makeRegCell(r));
+        if (!v) {
+            incomplete = true;
+            return 0;
+        }
+        return *v;
+    }
+    void
+    writeReg(unsigned r, uint32_t v) override
+    {
+        state_.set(makeRegCell(r), v);
+    }
+    uint32_t
+    readMem(uint32_t addr) override
+    {
+        auto v = state_.get(makeMemCell(addr));
+        if (!v) {
+            incomplete = true;
+            return 0;
+        }
+        return *v;
+    }
+    void
+    writeMem(uint32_t addr, uint32_t v) override
+    {
+        state_.set(makeMemCell(addr), v);
+    }
+    uint32_t
+    fetch(uint32_t pc) override
+    {
+        // Completeness requires the instruction cell itself.
+        auto v = state_.get(makeMemCell(pc));
+        if (!v) {
+            incomplete = true;
+            return 0;
+        }
+        return *v;
+    }
+    void output(uint16_t, uint32_t) override {}
+
+  private:
+    State &state_;
+};
+
+/** Advance a partial state by one instruction (next). */
+bool
+stepState(State &s)
+{
+    auto pc = s.get(PcCell);
+    if (!pc)
+        return false;
+    PartialStateContext ctx(s);
+    StepResult res = stepAt(*pc, ctx);
+    if (ctx.incomplete)
+        return false;
+    switch (res.status) {
+      case StepStatus::Ok:
+        s.set(PcCell, res.nextPc);
+        return true;
+      case StepStatus::Halted:
+        // A halted state is a fixed point of `next`.
+        return true;
+      case StepStatus::Illegal:
+      default:
+        return false;
+    }
+}
+
+} // anonymous namespace
+
+std::optional<State>
+seq(const State &s, uint64_t n)
+{
+    State cur = s;
+    for (uint64_t i = 0; i < n; ++i) {
+        if (!stepState(cur))
+            return std::nullopt;
+    }
+    return cur;
+}
+
+bool
+evolve(AbstractTask &t)
+{
+    if (t.complete())
+        return true;   // fixed point (Definition 5, second case)
+    if (!stepState(t.out))
+        return false;
+    ++t.k;
+    return true;
+}
+
+bool
+evolveToCompletion(AbstractTask &t)
+{
+    while (!t.complete()) {
+        if (!evolve(t))
+            return false;
+    }
+    return true;
+}
+
+bool
+isSafe(const AbstractTask &t, const State &s)
+{
+    MSSP_ASSERT(t.complete());
+    auto advanced = seq(s, t.n);
+    if (!advanced)
+        return false;
+    State superimposed = StateDelta::superimposed(s, t.out);
+    return *advanced == superimposed;
+}
+
+bool
+consistentAndComplete(const AbstractTask &t, const State &s)
+{
+    if (!t.in.consistentWith(s))
+        return false;
+    // #t-completeness of the live-in set: evolving a copy of the task
+    // from S_in must never read an unbound cell.
+    AbstractTask probe;
+    probe.in = t.in;
+    probe.out = t.in;
+    probe.n = t.n;
+    return evolveToCompletion(probe);
+}
+
+State
+msspRun(State s, std::vector<AbstractTask> tasks,
+        const std::vector<size_t> &commit_order,
+        size_t *committed_count)
+{
+    size_t committed = 0;
+    for (size_t idx : commit_order) {
+        MSSP_ASSERT(idx < tasks.size());
+        AbstractTask &t = tasks[idx];
+        if (!t.complete())
+            continue;   // only completed tasks reach the commit unit
+        if (!isSafe(t, s))
+            continue;   // unsafe when its turn comes: discard
+        s = StateDelta::superimposed(s, t.out);
+        ++committed;
+    }
+    if (committed_count)
+        *committed_count = committed;
+    return s;
+}
+
+} // namespace mssp::formal

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The companion paper's abstract MSSP model, executable.
+ *
+ * The formal paper (Salverda/Roşu/Zilles) defines MSSP at three
+ * abstraction levels; this module implements the second/third-level
+ * model directly over StateDelta machine states:
+ *
+ *  - tasks are 4-tuples <S_in, n, S_out, k> (Definition 4);
+ *  - task evolution steps S_out by `next` (Definition 5), so a
+ *    completed task has S_out = seq(S_in, n) (Lemma 2);
+ *  - task safety is seq(S, #t) == S <- live_out(t) (Definition 6),
+ *    established implementation-independently by consistency +
+ *    completeness (Theorem 2);
+ *  - the machine relation mssp(S, t|τ) => mssp(S <- live_out(t), τ)
+ *    commits any *safe* task, in any order (Definition 7) — order
+ *    affects only efficiency, never correctness (Theorem 1).
+ *
+ * The `next` function here is the real μRISC executor, so the
+ * abstract model and the microarchitectural machine share semantics;
+ * tests/test_abstract_model.cpp machine-checks the lemmas on real
+ * programs, mirroring what the authors did in Maude.
+ */
+
+#ifndef MSSP_FORMAL_ABSTRACT_MODEL_HH
+#define MSSP_FORMAL_ABSTRACT_MODEL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/state_delta.hh"
+
+namespace mssp::formal
+{
+
+/**
+ * A machine state for the abstract model: a *partial* map from cells
+ * to values (live-in and live-out sets are machine states too, per
+ * Section 4.1). The PC is the distinguished PcCell binding.
+ */
+using State = StateDelta;
+
+/** The abstract task: <S_in, n, S_out, k> (Definition 4). */
+struct AbstractTask
+{
+    State in;        ///< S_in: live-in set (includes a PC binding)
+    uint64_t n = 0;  ///< instructions constituting complete execution
+    State out;       ///< S_out: live-out set (= S_in at creation)
+    uint64_t k = 0;  ///< instructions executed so far
+
+    bool complete() const { return k >= n; }
+};
+
+/**
+ * seq(S, n): advance a partial state by n instructions using the real
+ * executor (the formal model's uninterpreted `next`, interpreted).
+ *
+ * @return nullopt when the state is not n-complete — some cell needed
+ *         by execution has no binding (Definition 9's completeness
+ *         precondition fails)
+ */
+std::optional<State> seq(const State &s, uint64_t n);
+
+/**
+ * One task-evolution step (Definition 5): S_out := next(S_out),
+ * k := k+1 when k < n; completed tasks are fixed points.
+ *
+ * @retval false when evolution would read an unbound cell
+ */
+bool evolve(AbstractTask &t);
+
+/** Evolve to completion (Lemma 2). @retval false on incompleteness */
+bool evolveToCompletion(AbstractTask &t);
+
+/**
+ * Task safety (Definition 6): seq(S, #t) == S <- live_out(t), for a
+ * *completed* task. S must be a full-machine state (n-complete).
+ */
+bool isSafe(const AbstractTask &t, const State &s);
+
+/**
+ * Sufficient condition (Theorem 2): live_in(t) ⊑ S and live_in(t) is
+ * #t-complete imply safety. This checks the *premises* only; tests
+ * verify it implies isSafe().
+ */
+bool consistentAndComplete(const AbstractTask &t, const State &s);
+
+/**
+ * The abstract machine (Definitions 3/7): commit safe tasks from the
+ * multiset in the order given by @p commit_order (any permutation of
+ * indices), discarding tasks that are unsafe when their turn comes —
+ * matching the model where a poor commit order only loses work.
+ *
+ * @return the final architected state
+ */
+State msspRun(State s, std::vector<AbstractTask> tasks,
+              const std::vector<size_t> &commit_order,
+              size_t *committed_count = nullptr);
+
+} // namespace mssp::formal
+
+#endif // MSSP_FORMAL_ABSTRACT_MODEL_HH

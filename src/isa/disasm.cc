@@ -1,0 +1,67 @@
+#include "isa/disasm.hh"
+
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+std::string
+disassemble(const Instruction &inst, uint32_t pc)
+{
+    const char *name = opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Illegal:
+        return name;
+      case Opcode::Lui:
+        return strfmt("%s %s, 0x%x", name, regName(inst.rd),
+                      static_cast<uint32_t>(inst.imm) & 0xffff);
+      case Opcode::Lw:
+        return strfmt("%s %s, %d(%s)", name, regName(inst.rd),
+                      inst.imm, regName(inst.rs1));
+      case Opcode::Sw:
+        return strfmt("%s %s, %d(%s)", name, regName(inst.rs2),
+                      inst.imm, regName(inst.rs1));
+      case Opcode::Out:
+        return strfmt("%s %s, %d", name, regName(inst.rs1), inst.imm);
+      case Opcode::Jal:
+        if (pc != UINT32_MAX) {
+            return strfmt("%s %s, 0x%x", name, regName(inst.rd),
+                          pc + 1 + inst.imm);
+        }
+        return strfmt("%s %s, %d", name, regName(inst.rd), inst.imm);
+      case Opcode::Jalr:
+        return strfmt("%s %s, %s, %d", name, regName(inst.rd),
+                      regName(inst.rs1), inst.imm);
+      case Opcode::Fork:
+        return strfmt("%s %d", name, inst.imm);
+      default:
+        break;
+    }
+    switch (formatOf(inst.op)) {
+      case Format::R:
+        return strfmt("%s %s, %s, %s", name, regName(inst.rd),
+                      regName(inst.rs1), regName(inst.rs2));
+      case Format::I:
+        return strfmt("%s %s, %s, %d", name, regName(inst.rd),
+                      regName(inst.rs1), inst.imm);
+      case Format::B:
+        if (pc != UINT32_MAX) {
+            return strfmt("%s %s, %s, 0x%x", name, regName(inst.rs1),
+                          regName(inst.rs2), pc + 1 + inst.imm);
+        }
+        return strfmt("%s %s, %s, %d", name, regName(inst.rs1),
+                      regName(inst.rs2), inst.imm);
+      default:
+        return name;
+    }
+}
+
+std::string
+disassembleWord(uint32_t word, uint32_t pc)
+{
+    return disassemble(decode(word), pc);
+}
+
+} // namespace mssp

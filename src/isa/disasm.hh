@@ -1,0 +1,33 @@
+/**
+ * @file
+ * μRISC disassembler.
+ */
+
+#ifndef MSSP_ISA_DISASM_HH
+#define MSSP_ISA_DISASM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace mssp
+{
+
+/**
+ * Disassemble a decoded instruction.
+ *
+ * @param inst the instruction
+ * @param pc   the instruction's own address; branch/jal targets are
+ *             rendered as absolute addresses when provided (pass
+ *             UINT32_MAX to render raw offsets)
+ */
+std::string disassemble(const Instruction &inst,
+                        uint32_t pc = UINT32_MAX);
+
+/** Disassemble an encoded word. */
+std::string disassembleWord(uint32_t word, uint32_t pc = UINT32_MAX);
+
+} // namespace mssp
+
+#endif // MSSP_ISA_DISASM_HH

@@ -1,0 +1,290 @@
+#include "isa/isa.hh"
+
+#include <unordered_map>
+
+#include "sim/logging.hh"
+#include "util/bitfield.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+struct OpInfo
+{
+    const char *name;
+    Format format;
+};
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    static const OpInfo table[] = {
+        {"illegal", Format::N},  // Illegal
+        {"add", Format::R},
+        {"sub", Format::R},
+        {"mul", Format::R},
+        {"div", Format::R},
+        {"rem", Format::R},
+        {"and", Format::R},
+        {"or", Format::R},
+        {"xor", Format::R},
+        {"sll", Format::R},
+        {"srl", Format::R},
+        {"sra", Format::R},
+        {"slt", Format::R},
+        {"sltu", Format::R},
+        {"addi", Format::I},
+        {"andi", Format::I},
+        {"ori", Format::I},
+        {"xori", Format::I},
+        {"slti", Format::I},
+        {"sltiu", Format::I},
+        {"slli", Format::I},
+        {"srli", Format::I},
+        {"srai", Format::I},
+        {"lui", Format::I},
+        {"lw", Format::I},
+        {"sw", Format::B},
+        {"beq", Format::B},
+        {"bne", Format::B},
+        {"blt", Format::B},
+        {"bge", Format::B},
+        {"bltu", Format::B},
+        {"bgeu", Format::B},
+        {"jal", Format::J},
+        {"jalr", Format::I},
+        {"out", Format::I},
+        {"nop", Format::N},
+        {"halt", Format::N},
+        {"fork", Format::J},
+    };
+    static_assert(sizeof(table) / sizeof(table[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+                  "opcode table out of sync");
+    auto idx = static_cast<size_t>(op);
+    MSSP_ASSERT(idx < static_cast<size_t>(Opcode::NumOpcodes));
+    return table[idx];
+}
+
+} // anonymous namespace
+
+Format
+formatOf(Opcode op)
+{
+    return opInfo(op).format;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    return opInfo(op).name;
+}
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    static const std::unordered_map<std::string, Opcode> map = [] {
+        std::unordered_map<std::string, Opcode> m;
+        for (unsigned i = 1;
+             i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+            auto op = static_cast<Opcode>(i);
+            m.emplace(opcodeName(op), op);
+        }
+        return m;
+    }();
+    auto it = map.find(name);
+    return it == map.end() ? Opcode::Illegal : it->second;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return op >= Opcode::Beq && op <= Opcode::Bgeu;
+}
+
+bool
+isControl(Opcode op)
+{
+    return isCondBranch(op) || op == Opcode::Jal || op == Opcode::Jalr;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Lw;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::Sw;
+}
+
+bool
+writesReg(const Instruction &inst)
+{
+    switch (formatOf(inst.op)) {
+      case Format::R:
+        return true;
+      case Format::I:
+        return inst.op != Opcode::Out;
+      case Format::J:
+        return inst.op == Opcode::Jal;
+      case Format::B:
+      case Format::N:
+        return false;
+    }
+    return false;
+}
+
+unsigned
+sourceRegs(const Instruction &inst, uint8_t srcs[2])
+{
+    switch (inst.op) {
+      case Opcode::Lui:
+      case Opcode::Jal:
+      case Opcode::Fork:
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Illegal:
+        return 0;
+      case Opcode::Out:
+        srcs[0] = inst.rs1;
+        return 1;
+      default:
+        break;
+    }
+    switch (formatOf(inst.op)) {
+      case Format::R:
+      case Format::B:
+        srcs[0] = inst.rs1;
+        srcs[1] = inst.rs2;
+        return 2;
+      case Format::I:
+        srcs[0] = inst.rs1;
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+// Encoding layout:
+//   [31:26] opcode
+//   R: [25:21] rd,  [20:16] rs1, [15:11] rs2
+//   I: [25:21] rd,  [20:16] rs1, [15:0] imm16
+//   B: [25:21] rs1, [20:16] rs2, [15:0] imm16
+//   J: [25:21] rd,  [20:0] imm21
+//   N: all zero
+
+uint32_t
+encode(const Instruction &inst)
+{
+    uint32_t w = 0;
+    w = insertBits(w, 31, 26, static_cast<uint32_t>(inst.op));
+    switch (formatOf(inst.op)) {
+      case Format::R:
+        w = insertBits(w, 25, 21, inst.rd);
+        w = insertBits(w, 20, 16, inst.rs1);
+        w = insertBits(w, 15, 11, inst.rs2);
+        break;
+      case Format::I:
+        if (!fitsSigned(inst.imm, 16) &&
+            !fitsUnsigned(static_cast<uint32_t>(inst.imm), 16)) {
+            fatal("immediate %d out of 16-bit range for %s", inst.imm,
+                  opcodeName(inst.op));
+        }
+        w = insertBits(w, 25, 21, inst.rd);
+        w = insertBits(w, 20, 16, inst.rs1);
+        w = insertBits(w, 15, 0, static_cast<uint32_t>(inst.imm));
+        break;
+      case Format::B:
+        if (!fitsSigned(inst.imm, 16)) {
+            fatal("branch offset %d out of 16-bit range for %s",
+                  inst.imm, opcodeName(inst.op));
+        }
+        w = insertBits(w, 25, 21, inst.rs1);
+        w = insertBits(w, 20, 16, inst.rs2);
+        w = insertBits(w, 15, 0, static_cast<uint32_t>(inst.imm));
+        break;
+      case Format::J:
+        if (!fitsSigned(inst.imm, 21)) {
+            fatal("jump offset %d out of 21-bit range for %s",
+                  inst.imm, opcodeName(inst.op));
+        }
+        w = insertBits(w, 25, 21, inst.rd);
+        w = insertBits(w, 20, 0, static_cast<uint32_t>(inst.imm));
+        break;
+      case Format::N:
+        break;
+    }
+    return w;
+}
+
+Instruction
+decode(uint32_t word)
+{
+    auto op_num = bits(word, 31, 26);
+    if (op_num == 0 ||
+        op_num >= static_cast<uint32_t>(Opcode::NumOpcodes)) {
+        return Instruction{};
+    }
+    Instruction inst;
+    inst.op = static_cast<Opcode>(op_num);
+    switch (formatOf(inst.op)) {
+      case Format::R:
+        inst.rd = static_cast<uint8_t>(bits(word, 25, 21));
+        inst.rs1 = static_cast<uint8_t>(bits(word, 20, 16));
+        inst.rs2 = static_cast<uint8_t>(bits(word, 15, 11));
+        break;
+      case Format::I:
+        inst.rd = static_cast<uint8_t>(bits(word, 25, 21));
+        inst.rs1 = static_cast<uint8_t>(bits(word, 20, 16));
+        inst.imm = sext(bits(word, 15, 0), 16);
+        break;
+      case Format::B:
+        inst.rs1 = static_cast<uint8_t>(bits(word, 25, 21));
+        inst.rs2 = static_cast<uint8_t>(bits(word, 20, 16));
+        inst.imm = sext(bits(word, 15, 0), 16);
+        break;
+      case Format::J:
+        inst.rd = static_cast<uint8_t>(bits(word, 25, 21));
+        inst.imm = sext(bits(word, 20, 0), 21);
+        break;
+      case Format::N:
+        break;
+    }
+    return inst;
+}
+
+const char *
+regName(unsigned r)
+{
+    static const char *names[NumRegs] = {
+        "zero", "ra", "sp",
+        "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+        "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9",
+        "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+        "s10",
+    };
+    MSSP_ASSERT(r < NumRegs);
+    return names[r];
+}
+
+int
+regFromName(const std::string &name)
+{
+    static const std::unordered_map<std::string, int> map = [] {
+        std::unordered_map<std::string, int> m;
+        for (unsigned i = 0; i < NumRegs; ++i) {
+            m.emplace(regName(i), static_cast<int>(i));
+            m.emplace("r" + std::to_string(i), static_cast<int>(i));
+        }
+        return m;
+    }();
+    auto it = map.find(name);
+    return it == map.end() ? -1 : it->second;
+}
+
+} // namespace mssp

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The μRISC instruction set.
+ *
+ * μRISC is a 32-bit, word-addressed RISC ISA defined for this project
+ * (the paper used Alpha; see DESIGN.md §2 for the substitution
+ * argument). Key properties:
+ *
+ *  - 32 general-purpose 32-bit registers; r0 is hard-wired to zero.
+ *  - Memory is an array of 32-bit words addressed by 32-bit word
+ *    addresses; there are no sub-word accesses.
+ *  - The PC is a word address; sequential execution advances it by 1.
+ *  - Fixed 32-bit instruction encodings in four formats (R/I/B/J).
+ *  - OUT writes a register to an output port; program output is the
+ *    ordered stream of (port, value) pairs, which is the primary
+ *    observable for equivalence checking.
+ *  - FORK marks an MSSP task boundary. It executes as a NOP on every
+ *    machine except the MSSP master, which interprets it as a task
+ *    spawn point. Only distilled programs contain FORKs.
+ */
+
+#ifndef MSSP_ISA_ISA_HH
+#define MSSP_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mssp
+{
+
+/** Number of architected general-purpose registers. */
+constexpr unsigned NumRegs = 32;
+
+/** Opcode space. Opcode 0 is deliberately illegal so that unmapped
+ *  (zero) memory does not decode to a runnable instruction. */
+enum class Opcode : uint8_t
+{
+    Illegal = 0,
+
+    // R-type: rd, rs1, rs2
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+
+    // I-type ALU: rd, rs1, imm16
+    Addi, Andi, Ori, Xori, Slti, Sltiu, Slli, Srli, Srai,
+
+    /// rd = imm16 << 16
+    Lui,
+
+    /// rd = mem[rs1 + imm16]
+    Lw,
+    /// mem[rs1 + imm16] = rs2   (B format)
+    Sw,
+
+    // B-type: rs1, rs2, imm16 (signed word offset from pc+1)
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+
+    /// rd = pc+1; pc += 1 + imm21 (signed)
+    Jal,
+    /// rd = pc+1; pc = rs1 + imm16
+    Jalr,
+
+    /// emit value of rs1 on output port imm16
+    Out,
+
+    /// no operation
+    Nop,
+    /// stop the machine
+    Halt,
+    /// MSSP task boundary; imm21 is an index into the task map
+    Fork,
+
+    NumOpcodes
+};
+
+/** Encoding formats. */
+enum class Format : uint8_t
+{
+    R,   ///< op rd, rs1, rs2
+    I,   ///< op rd, rs1, imm16
+    B,   ///< op rs1, rs2, imm16
+    J,   ///< op rd, imm21
+    N,   ///< no operands (nop, halt)
+};
+
+/** A decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Illegal;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;
+
+    bool operator==(const Instruction &) const = default;
+};
+
+/** @return the encoding format of @p op. */
+Format formatOf(Opcode op);
+
+/** @return the lower-case mnemonic for @p op. */
+const char *opcodeName(Opcode op);
+
+/** @return the opcode for a mnemonic, or Illegal if unknown. */
+Opcode opcodeFromName(const std::string &name);
+
+/** @return true for conditional branches (Beq..Bgeu). */
+bool isCondBranch(Opcode op);
+
+/** @return true for any control transfer (branches, jal, jalr). */
+bool isControl(Opcode op);
+
+/** @return true for Lw. */
+bool isLoad(Opcode op);
+
+/** @return true for Sw. */
+bool isStore(Opcode op);
+
+/** @return true when the instruction writes register inst.rd. */
+bool writesReg(const Instruction &inst);
+
+/**
+ * Collect source registers of @p inst into @p srcs (size >= 2).
+ * @return the number of sources (0..2).
+ */
+unsigned sourceRegs(const Instruction &inst, uint8_t srcs[2]);
+
+// -- Encoding -----------------------------------------------------------
+
+/**
+ * Encode an instruction into its 32-bit representation.
+ * Immediates out of field range cause a fatal() error.
+ */
+uint32_t encode(const Instruction &inst);
+
+/**
+ * Decode a 32-bit word. Unknown opcodes yield an Instruction with
+ * op == Opcode::Illegal (execution then faults).
+ */
+Instruction decode(uint32_t word);
+
+// -- Register names -----------------------------------------------------
+
+/**
+ * ABI register names:
+ *   r0  zero   hard-wired zero
+ *   r1  ra     return address
+ *   r2  sp     stack pointer
+ *   r3..r10  a0..a7   arguments / return values
+ *   r11..r20 t0..t9   caller-saved temporaries
+ *   r21..r31 s0..s10  callee-saved
+ */
+const char *regName(unsigned reg);
+
+/** @return register index for a name ("r5", "a2", "sp"), or -1. */
+int regFromName(const std::string &name);
+
+/** Named constants for commonly used registers. */
+namespace reg
+{
+constexpr uint8_t Zero = 0;
+constexpr uint8_t Ra = 1;
+constexpr uint8_t Sp = 2;
+constexpr uint8_t A0 = 3;
+constexpr uint8_t A1 = 4;
+constexpr uint8_t A2 = 5;
+constexpr uint8_t A3 = 6;
+constexpr uint8_t A4 = 7;
+constexpr uint8_t A5 = 8;
+constexpr uint8_t A6 = 9;
+constexpr uint8_t A7 = 10;
+constexpr uint8_t T0 = 11;
+constexpr uint8_t T1 = 12;
+constexpr uint8_t T2 = 13;
+constexpr uint8_t T3 = 14;
+constexpr uint8_t T4 = 15;
+constexpr uint8_t T5 = 16;
+constexpr uint8_t T6 = 17;
+constexpr uint8_t T7 = 18;
+constexpr uint8_t T8 = 19;
+constexpr uint8_t T9 = 20;
+constexpr uint8_t S0 = 21;
+constexpr uint8_t S1 = 22;
+constexpr uint8_t S2 = 23;
+constexpr uint8_t S3 = 24;
+constexpr uint8_t S4 = 25;
+constexpr uint8_t S5 = 26;
+constexpr uint8_t S6 = 27;
+constexpr uint8_t S7 = 28;
+constexpr uint8_t S8 = 29;
+constexpr uint8_t S9 = 30;
+constexpr uint8_t S10 = 31;
+} // namespace reg
+
+// -- Construction helpers (used by codegen and tests) --------------------
+
+inline Instruction
+makeR(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    return Instruction{op, rd, rs1, rs2, 0};
+}
+
+inline Instruction
+makeI(Opcode op, uint8_t rd, uint8_t rs1, int32_t imm)
+{
+    return Instruction{op, rd, rs1, 0, imm};
+}
+
+inline Instruction
+makeB(Opcode op, uint8_t rs1, uint8_t rs2, int32_t imm)
+{
+    return Instruction{op, 0, rs1, rs2, imm};
+}
+
+inline Instruction
+makeJ(Opcode op, uint8_t rd, int32_t imm)
+{
+    return Instruction{op, rd, 0, 0, imm};
+}
+
+inline Instruction
+makeN(Opcode op)
+{
+    return Instruction{op, 0, 0, 0, 0};
+}
+
+} // namespace mssp
+
+#endif // MSSP_ISA_ISA_HH

@@ -1,0 +1,108 @@
+#include "mem/cache.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+uint32_t
+log2u(uint32_t v)
+{
+    uint32_t n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // anonymous namespace
+
+Cache::Cache(const CacheConfig &cfg)
+    : cfg_(cfg)
+{
+    if (!isPowerOfTwo(cfg_.sets) || !isPowerOfTwo(cfg_.lineWords) ||
+        cfg_.ways == 0) {
+        fatal("cache geometry must use power-of-two sets/lineWords "
+              "and nonzero ways");
+    }
+    set_shift_ = log2u(cfg_.lineWords);
+    set_mask_ = cfg_.sets - 1;
+    lines_.resize(static_cast<size_t>(cfg_.sets) * cfg_.ways);
+}
+
+uint32_t
+Cache::setOf(uint32_t addr) const
+{
+    return (addr >> set_shift_) & set_mask_;
+}
+
+uint32_t
+Cache::tagOf(uint32_t addr) const
+{
+    return addr >> set_shift_ >> log2u(cfg_.sets);
+}
+
+bool
+Cache::probe(uint32_t addr) const
+{
+    uint32_t set = setOf(addr);
+    uint32_t tag = tagOf(addr);
+    const Line *base = &lines_[static_cast<size_t>(set) * cfg_.ways];
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::access(uint32_t addr)
+{
+    ++tick_;
+    uint32_t set = setOf(addr);
+    uint32_t tag = tagOf(addr);
+    Line *base = &lines_[static_cast<size_t>(set) * cfg_.ways];
+
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUse = tick_;
+            ++hits_;
+            return true;
+        }
+    }
+
+    ++misses_;
+    // Fill: pick an invalid way, else the LRU way.
+    Line *victim = &base[0];
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    if (victim->valid)
+        ++evictions_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+} // namespace mssp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A small set-associative cache timing model.
+ *
+ * Used by the MSSP slaves as a private L1 over architected (L2)
+ * state: the first touch of a line pays the read-through latency,
+ * subsequent touches hit locally. It is a *timing* model only — data
+ * always comes from the task context's value hierarchy — which is how
+ * the paper's slaves behave (their L1s hold speculative lines that
+ * are flash-invalidated on squash).
+ */
+
+#ifndef MSSP_MEM_CACHE_HH
+#define MSSP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    uint32_t sets = 64;        ///< power of two
+    uint32_t ways = 4;
+    uint32_t lineWords = 8;    ///< power of two
+
+    uint32_t
+    sizeWords() const
+    {
+        return sets * ways * lineWords;
+    }
+};
+
+/** Set-associative cache with true-LRU replacement (timing only). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg = CacheConfig{});
+
+    /**
+     * Access the word at @p addr.
+     * @retval true on hit; on miss the line is filled (allocating on
+     *         both reads and writes) and an LRU victim is evicted
+     */
+    bool access(uint32_t addr);
+
+    /** @return true iff the line holding @p addr is resident. */
+    bool probe(uint32_t addr) const;
+
+    /** Drop every line (squash / task switch flash-invalidate). */
+    void invalidateAll();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t evictions() const { return evictions_; }
+
+    const CacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    uint32_t setOf(uint32_t addr) const;
+    uint32_t tagOf(uint32_t addr) const;
+
+    CacheConfig cfg_;
+    uint32_t set_shift_;       ///< log2(lineWords)
+    uint32_t set_mask_;        ///< sets - 1
+    std::vector<Line> lines_;  ///< sets * ways, set-major
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace mssp
+
+#endif // MSSP_MEM_CACHE_HH

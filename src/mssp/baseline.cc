@@ -1,0 +1,28 @@
+#include "mssp/baseline.hh"
+
+#include <cmath>
+
+#include "exec/seq_machine.hh"
+
+namespace mssp
+{
+
+BaselineResult
+runBaseline(const Program &prog, double ipc, uint64_t max_insts)
+{
+    SeqMachine machine(prog);
+    SeqRunResult run = machine.run(max_insts);
+
+    BaselineResult result;
+    result.halted = run.halted;
+    result.faulted = run.faulted;
+    result.insts = machine.instCount();
+    result.cycles = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(result.insts) /
+                  (ipc > 0 ? ipc : 1.0)));
+    result.outputs = machine.outputs();
+    result.finalPc = machine.state().pc();
+    return result;
+}
+
+} // namespace mssp

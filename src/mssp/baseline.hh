@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The single-processor baseline.
+ *
+ * MSSP speedups are reported against one processor of the same type as
+ * the slaves executing the original program (the paper's baseline was
+ * one core of its CMP). Timing model: instructions / ipc cycles; the
+ * baseline runs out of its local cache hierarchy, so it pays no
+ * read-through latency (see DESIGN.md §2).
+ */
+
+#ifndef MSSP_MSSP_BASELINE_HH
+#define MSSP_MSSP_BASELINE_HH
+
+#include <cstdint>
+
+#include "asm/program.hh"
+#include "exec/context.hh"
+
+namespace mssp
+{
+
+/** Result of a baseline run. */
+struct BaselineResult
+{
+    bool halted = false;
+    bool faulted = false;
+    uint64_t insts = 0;
+    uint64_t cycles = 0;
+    OutputStream outputs;
+    uint32_t finalPc = 0;
+};
+
+/**
+ * Run @p prog to completion (or @p max_insts) on a single core with
+ * the given ipc.
+ */
+BaselineResult runBaseline(const Program &prog, double ipc,
+                           uint64_t max_insts);
+
+} // namespace mssp
+
+#endif // MSSP_MSSP_BASELINE_HH

@@ -1,0 +1,50 @@
+#include "mssp/config.hh"
+
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+std::string
+MsspConfig::toString() const
+{
+    std::string s;
+    auto row = [&](const char *name, const std::string &value,
+                   const char *desc) {
+        s += strfmt("  %-22s %-10s %s\n", name, value.c_str(), desc);
+    };
+    row("numSlaves", strfmt("%u", numSlaves), "slave processors");
+    row("maxInFlightTasks", strfmt("%u", maxInFlightTasks),
+        "task window");
+    row("forkLatency", strfmt("%llu",
+        static_cast<unsigned long long>(forkLatency)),
+        "cycles, checkpoint transfer master->slave");
+    row("commitLatency", strfmt("%llu",
+        static_cast<unsigned long long>(commitLatency)),
+        "cycles, verify/commit occupancy per task");
+    row("squashPenalty", strfmt("%llu",
+        static_cast<unsigned long long>(squashPenalty)),
+        "cycles, squash + master restart");
+    row("archReadLatency", strfmt("%llu",
+        static_cast<unsigned long long>(archReadLatency)),
+        "cycles, slave read-through to L2");
+    row("slaveL1", useSlaveL1
+            ? strfmt("%ux%ux%u", slaveL1.sets, slaveL1.ways,
+                     slaveL1.lineWords)
+            : std::string("off"),
+        "speculative L1 (sets x ways x words/line)");
+    row("masterIpc", strfmt("%.2f", masterIpc), "master issue rate");
+    row("slaveIpc", strfmt("%.2f", slaveIpc),
+        "slave / baseline issue rate");
+    row("forkInterval", strfmt("%u", forkInterval),
+        "fork every k-th fork-site visit");
+    row("maxTaskInsts", strfmt("%llu",
+        static_cast<unsigned long long>(maxTaskInsts)),
+        "speculative-task runaway cap");
+    row("watchdogCycles", strfmt("%llu",
+        static_cast<unsigned long long>(watchdogCycles)),
+        "no-commit watchdog");
+    return s;
+}
+
+} // namespace mssp

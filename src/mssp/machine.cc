@@ -1,0 +1,479 @@
+#include "mssp/machine.hh"
+
+#include <algorithm>
+
+#include "exec/executor.hh"
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+/** Non-speculative execution context: directly on architected state. */
+class SeqArchContext : public ExecContext
+{
+  public:
+    SeqArchContext(ArchState &arch, MmioDevice &device,
+                   OutputStream &outputs)
+        : arch_(arch), device_(device), outputs_(outputs)
+    {}
+
+    uint32_t readReg(unsigned r) override { return arch_.readReg(r); }
+    void
+    writeReg(unsigned r, uint32_t v) override
+    {
+        arch_.writeReg(r, v);
+    }
+    uint32_t
+    readMem(uint32_t a) override
+    {
+        if (isMmio(a))
+            return device_.read(a);
+        return arch_.readMem(a);
+    }
+    void
+    writeMem(uint32_t a, uint32_t v) override
+    {
+        if (isMmio(a)) {
+            device_.write(a, v, outputs_);
+            return;
+        }
+        arch_.writeMem(a, v);
+    }
+    uint32_t fetch(uint32_t pc) override { return arch_.readMem(pc); }
+    void
+    output(uint16_t port, uint32_t value) override
+    {
+        outputs_.push_back({port, value});
+    }
+
+  private:
+    ArchState &arch_;
+    MmioDevice &device_;
+    OutputStream &outputs_;
+};
+
+} // anonymous namespace
+
+MsspMachine::MsspMachine(const Program &orig,
+                         const DistilledProgram &dist,
+                         const MsspConfig &cfg)
+    : cfg_(cfg), orig_(orig), dist_(dist), arch_(),
+      master_(dist_, arch_)
+{
+    arch_.loadProgram(orig_);
+    master_.setForkInterval(cfg_.forkInterval);
+    for (uint32_t pc : dist_.taskMap)
+        fork_site_pcs_.insert(pc);
+    for (unsigned i = 0; i < cfg_.numSlaves; ++i) {
+        slaves_.push_back(std::make_unique<SlaveCore>(
+            static_cast<int>(i), arch_, cfg_, fork_site_pcs_));
+    }
+    mode_ = Mode::Restarting;
+    restart_at_ = 0;
+}
+
+void
+MsspMachine::engageMaster()
+{
+    last_commit_cycle_ = now_;
+    if (seq_insts_remaining_ == 0 && force_seq_insts_ == 0 &&
+        master_.restart(arch_.pc())) {
+        mode_ = Mode::Spec;
+        master_budget_ = 0.0;
+    } else {
+        mode_ = Mode::Seq;
+        seq_budget_ = 0.0;
+    }
+}
+
+void
+MsspMachine::squash(TaskOutcome reason)
+{
+    ++ctrs_.squashEvents;
+    switch (reason) {
+      case TaskOutcome::SquashedLiveIn:
+        ++ctrs_.tasksSquashedLiveIn;
+        break;
+      case TaskOutcome::SquashedWrongPc:
+        ++ctrs_.tasksSquashedWrongPc;
+        break;
+      case TaskOutcome::SquashedOverrun:
+        ++ctrs_.tasksSquashedOverrun;
+        break;
+      default:
+        break;
+    }
+    if (window_.size() > 1)
+        ctrs_.tasksSquashedCascade += window_.size() - 1;
+    for (const auto &task : window_)
+        ctrs_.wastedSlaveInsts += task->instCount;
+
+    for (auto &slave : slaves_) {
+        slave->release();
+        slave->invalidateL1();   // speculative lines are discarded
+    }
+    window_.clear();
+    arrived_.clear();
+    events_.clear();
+    master_.stop();
+
+    ++engage_failures_;
+    if (engage_failures_ > cfg_.maxEngageFailures) {
+        // Speculation keeps failing here: back off to sequential
+        // execution for a while (exponential, decayed by commits).
+        seq_backoff_ = std::min(
+            std::max(seq_backoff_ * 2, cfg_.seqBackoffInsts),
+            cfg_.maxSeqBackoffInsts);
+        seq_insts_remaining_ = seq_backoff_;
+        engage_failures_ = 0;
+        ++ctrs_.seqBackoffEvents;
+    }
+    mode_ = Mode::Restarting;
+    restart_at_ = now_ + cfg_.squashPenalty;
+    last_commit_cycle_ = now_;
+}
+
+void
+MsspMachine::serializeSpeculation()
+{
+    for (auto &slave : slaves_) {
+        slave->release();
+        slave->invalidateL1();
+    }
+    for (const auto &task : window_)
+        ctrs_.wastedSlaveInsts += task->instCount;
+    window_.clear();
+    arrived_.clear();
+    events_.clear();
+    master_.stop();
+    mode_ = Mode::Restarting;
+    restart_at_ = now_ + cfg_.squashPenalty;
+    last_commit_cycle_ = now_;
+    // The device access itself must execute sequentially before the
+    // master may be re-engaged (it could sit exactly at a fork site).
+    force_seq_insts_ = 1;
+    // Note: deliberately no engage-failure accounting — this is
+    // planned serialization, not misspeculation.
+}
+
+void
+MsspMachine::commitFront()
+{
+    Task &t = *window_.front();
+    if (commit_hook_)
+        commit_hook_(t, arch_);
+    arch_.apply(t.liveOut);
+    bool stays_at_pc = t.end == TaskEnd::Halted ||
+                       t.end == TaskEnd::MmioStop;
+    arch_.setPc(stays_at_pc ? t.pc : t.endPc);
+    arch_.addInstret(t.instCount);
+    outputs_.insert(outputs_.end(), t.outputs.begin(),
+                    t.outputs.end());
+
+    ++ctrs_.tasksCommitted;
+    task_size_dist_.sample(static_cast<double>(t.instCount));
+    livein_dist_.sample(static_cast<double>(t.liveIn.size()));
+    ctrs_.archReads += t.archReads;
+    if (t.end == TaskEnd::Halted)
+        halted_ = true;
+
+    window_.pop_front();
+    commit_busy_until_ = now_ + cfg_.commitLatency;
+    last_commit_cycle_ = now_;
+    engage_failures_ = 0;
+    seq_backoff_ /= 2;   // speculation is working again: decay
+    master_.sweepDeltaAgainstArch(cfg_.checkpointSweepCells);
+}
+
+void
+MsspMachine::tickCommit()
+{
+    if (now_ < commit_busy_until_ || window_.empty())
+        return;
+    Task &t = *window_.front();
+    if (!t.done())
+        return;
+
+    auto squash_with_hook = [&](TaskOutcome reason) {
+        if (squash_hook_)
+            squash_hook_(t, reason);
+        squash(reason);
+    };
+
+    switch (t.end) {
+      case TaskEnd::ReachedEnd:
+      case TaskEnd::Halted:
+      case TaskEnd::MmioStop: {
+        if (t.startPc != arch_.pc()) {
+            squash_with_hook(TaskOutcome::SquashedWrongPc);
+            return;
+        }
+        ctrs_.liveInCellsChecked += t.liveIn.size();
+        uint64_t mismatches = arch_.countMismatches(t.liveIn);
+        if (mismatches) {
+            ctrs_.liveInCellsMismatched += mismatches;
+            squash_with_hook(TaskOutcome::SquashedLiveIn);
+            return;
+        }
+        bool mmio = t.end == TaskEnd::MmioStop;
+        commitFront();
+        if (mmio) {
+            // The committed prefix brought the architected PC to the
+            // device access; execute it (and what follows) in
+            // sequential mode — speculation is precluded on
+            // non-idempotent state.
+            ++ctrs_.mmioSerializations;
+            serializeSpeculation();
+        }
+        return;
+      }
+      case TaskEnd::Faulted: {
+        // A fault with verified inputs is a genuine program fault.
+        if (t.startPc == arch_.pc() && arch_.matches(t.liveIn)) {
+            faulted_ = true;
+            return;
+        }
+        squash_with_hook(TaskOutcome::SquashedLiveIn);
+        return;
+      }
+      case TaskEnd::Overrun:
+        squash_with_hook(TaskOutcome::SquashedOverrun);
+        return;
+      case TaskEnd::None:
+        return;
+    }
+}
+
+void
+MsspMachine::tickSpawnDelivery()
+{
+    while (!arrived_.empty()) {
+        auto idle = std::find_if(slaves_.begin(), slaves_.end(),
+                                 [](const auto &s) {
+                                     return s->idle();
+                                 });
+        if (idle == slaves_.end())
+            return;
+        Task *t = arrived_.front();
+        arrived_.pop_front();
+        (*idle)->assign(t);
+    }
+}
+
+void
+MsspMachine::tickSlaves()
+{
+    for (auto &slave : slaves_) {
+        unsigned executed = slave->tick();
+        ctrs_.slaveInsts += executed;
+        // Free the slave as soon as its task is complete: the task's
+        // live-in/live-out data now lives with the verify/commit unit
+        // (the window), exactly as in the paper.
+        if (!slave->idle() && slave->task()->done())
+            slave->release();
+    }
+}
+
+void
+MsspMachine::tickMaster()
+{
+    if (mode_ != Mode::Spec || !master_.running())
+        return;
+    master_budget_ += cfg_.masterIpc;
+
+    while (master_budget_ >= 1.0 && master_.running()) {
+        if (master_.nextForkWouldSpawn() &&
+            window_.size() >= cfg_.maxInFlightTasks) {
+            ++ctrs_.masterStallWindowFull;
+            master_budget_ = 0.0;
+            return;
+        }
+        master_budget_ -= 1.0;
+
+        MasterCore::ForkInfo fi;
+        MasterStep st = master_.step(&fi);
+        if (st != MasterStep::Faulted)
+            ++ctrs_.masterInsts;
+
+        switch (st) {
+          case MasterStep::WantsFork: {
+            if (Task *prev = youngest(); prev && !prev->endKnown) {
+                prev->endKnown = true;
+                prev->endPc = fi.origPc;
+                prev->endVisits = fi.endVisitsForPrev;
+            }
+            auto task = std::make_unique<Task>();
+            task->id = next_task_id_++;
+            task->startPc = fi.origPc;
+            task->checkpoint = fi.checkpoint;
+            checkpoint_dist_.sample(
+                static_cast<double>(fi.checkpoint->size()));
+            Task *raw = task.get();
+            window_.push_back(std::move(task));
+            ++ctrs_.tasksForked;
+            events_.scheduleIn(now_, cfg_.forkLatency, [this, raw] {
+                arrived_.push_back(raw);
+            });
+            break;
+          }
+          case MasterStep::Halted: {
+            if (Task *prev = youngest(); prev && !prev->endKnown)
+                prev->runToHalt = true;
+            return;
+          }
+          case MasterStep::Faulted:
+            // The distilled program went off the rails; in-flight
+            // tasks may still commit, and the watchdog recovers the
+            // rest. Correctness is unaffected.
+            return;
+          case MasterStep::Executed:
+            break;
+        }
+    }
+}
+
+void
+MsspMachine::tickSeq()
+{
+    if (mode_ != Mode::Seq)
+        return;
+    ++ctrs_.seqModeCycles;
+    seq_budget_ += cfg_.slaveIpc;
+    SeqArchContext ctx(arch_, device_, outputs_);
+
+    while (seq_budget_ >= 1.0 && !halted_ && !faulted_) {
+        seq_budget_ -= 1.0;
+        StepResult res = stepAt(arch_.pc(), ctx);
+        if (res.status == StepStatus::Illegal) {
+            faulted_ = true;
+            return;
+        }
+        arch_.addInstret(1);
+        ++ctrs_.seqModeInsts;
+        if (res.status == StepStatus::Halted) {
+            halted_ = true;
+            return;
+        }
+        arch_.setPc(res.nextPc);
+        if (seq_insts_remaining_ > 0)
+            --seq_insts_remaining_;
+        if (force_seq_insts_ > 0)
+            --force_seq_insts_;
+        if (seq_insts_remaining_ == 0 && force_seq_insts_ == 0 &&
+            dist_.entryMap.count(res.nextPc)) {
+            engageMaster();
+            if (mode_ == Mode::Spec)
+                return;
+        }
+    }
+}
+
+void
+MsspMachine::checkWatchdog()
+{
+    if (mode_ != Mode::Spec)
+        return;
+    if (now_ - last_commit_cycle_ > cfg_.watchdogCycles) {
+        ++ctrs_.watchdogSquashes;
+        squash(TaskOutcome::SquashedOverrun);
+    }
+}
+
+MsspResult
+MsspMachine::run(uint64_t max_cycles)
+{
+    while (now_ < max_cycles && !halted_ && !faulted_) {
+        events_.runUntil(now_);
+        if (mode_ == Mode::Restarting && now_ >= restart_at_)
+            engageMaster();
+        tickCommit();
+        if (halted_ || faulted_)
+            break;
+        tickSpawnDelivery();
+        tickSlaves();
+        if (mode_ == Mode::Spec)
+            tickMaster();
+        else if (mode_ == Mode::Seq)
+            tickSeq();
+        checkWatchdog();
+        ++now_;
+    }
+
+    for (const auto &slave : slaves_) {
+        if (const Cache *l1 = slave->l1()) {
+            ctrs_.l1Hits += l1->hits();
+            ctrs_.l1Misses += l1->misses();
+        }
+        ctrs_.slaveArchStallCycles += slave->archStallCycles();
+        ctrs_.slavePauseCycles += slave->pauseCycles();
+        ctrs_.slaveIdleCycles += slave->idleCycles();
+    }
+
+    MsspResult result;
+    result.halted = halted_;
+    result.faulted = faulted_;
+    result.timedOut = !halted_ && !faulted_;
+    result.cycles = now_;
+    result.committedInsts = arch_.instret();
+    result.outputs = outputs_;
+    return result;
+}
+
+double
+MsspMachine::meanTaskSize() const
+{
+    return task_size_dist_.mean();
+}
+
+void
+MsspMachine::dumpStats(std::ostream &os) const
+{
+    const MsspCounters &c = ctrs_;
+    auto row = [&](const char *name, uint64_t v, const char *desc) {
+        os << strfmt("mssp.%-28s %12llu  # %s\n", name,
+                     static_cast<unsigned long long>(v), desc);
+    };
+    row("tasksForked", c.tasksForked, "tasks spawned by the master");
+    row("tasksCommitted", c.tasksCommitted, "tasks committed");
+    row("tasksSquashedLiveIn", c.tasksSquashedLiveIn,
+        "head squashes: live-in mismatch");
+    row("tasksSquashedWrongPc", c.tasksSquashedWrongPc,
+        "head squashes: start-PC mismatch");
+    row("tasksSquashedOverrun", c.tasksSquashedOverrun,
+        "head squashes: runaway task");
+    row("tasksSquashedCascade", c.tasksSquashedCascade,
+        "younger tasks discarded on squash");
+    row("squashEvents", c.squashEvents, "squash events");
+    row("watchdogSquashes", c.watchdogSquashes,
+        "squashes forced by the watchdog");
+    row("masterInsts", c.masterInsts,
+        "distilled instructions executed");
+    row("slaveInsts", c.slaveInsts,
+        "original instructions executed on slaves");
+    row("wastedSlaveInsts", c.wastedSlaveInsts,
+        "slave instructions discarded by squashes");
+    row("seqModeInsts", c.seqModeInsts,
+        "instructions executed in sequential fallback");
+    row("seqModeCycles", c.seqModeCycles,
+        "cycles spent in sequential fallback");
+    row("masterStallWindowFull", c.masterStallWindowFull,
+        "cycles the master stalled on a full task window");
+    row("liveInCellsChecked", c.liveInCellsChecked,
+        "live-in cells verified at commit");
+    row("liveInCellsMismatched", c.liveInCellsMismatched,
+        "live-in cells that mismatched");
+    row("archReads", c.archReads,
+        "slave reads satisfied from architected state");
+    row("seqBackoffEvents", c.seqBackoffEvents,
+        "sequential-backoff episodes");
+    row("mmioSerializations", c.mmioSerializations,
+        "device accesses serialized non-speculatively");
+    row("l1Hits", c.l1Hits, "slave L1 hits on read-throughs");
+    row("l1Misses", c.l1Misses, "slave L1 misses on read-throughs");
+    stats_root_.dump(os);
+}
+
+} // namespace mssp

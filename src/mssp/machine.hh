@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The MSSP machine: master + slaves + verify/commit unit + recovery.
+ *
+ * Execution alternates between two modes, mirroring the paper's
+ * dual-mode design:
+ *
+ *  - Spec: the master runs the distilled program and forks tasks;
+ *    slaves execute them; the commit unit verifies and commits them in
+ *    order. A verification failure squashes all speculative state
+ *    (architected state is untouched) and restarts the master from the
+ *    architected PC.
+ *  - Seq: when the master cannot be (re)engaged — the architected PC
+ *    is not a restart point, or speculation keeps failing — the
+ *    machine executes the original program directly against
+ *    architected state, re-engaging the master at the next fork-site
+ *    PC it passes. This guarantees forward progress regardless of what
+ *    the distilled program does.
+ *
+ * The first task the master forks after any (re)start begins exactly
+ * at the architected PC with an empty checkpoint, so its live-ins are
+ * read straight from architected state and it always verifies: that
+ * task *is* the paper's non-speculative recovery task.
+ */
+
+#ifndef MSSP_MSSP_MACHINE_HH
+#define MSSP_MSSP_MACHINE_HH
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "arch/arch_state.hh"
+#include "asm/program.hh"
+#include "distill/distiller.hh"
+#include "exec/context.hh"
+#include "mssp/config.hh"
+#include "mssp/master.hh"
+#include "mssp/slave.hh"
+#include "mssp/task.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace mssp
+{
+
+/** Result of an MSSP run. */
+struct MsspResult
+{
+    bool halted = false;     ///< program ran to completion
+    bool faulted = false;    ///< program genuinely faulted
+    bool timedOut = false;   ///< hit the cycle limit
+    uint64_t cycles = 0;
+    uint64_t committedInsts = 0;
+    OutputStream outputs;
+};
+
+/** Aggregated machine statistics (also exposed as a stats::Group). */
+struct MsspCounters
+{
+    uint64_t tasksForked = 0;
+    uint64_t tasksCommitted = 0;
+    uint64_t tasksSquashedLiveIn = 0;
+    uint64_t tasksSquashedWrongPc = 0;
+    uint64_t tasksSquashedOverrun = 0;
+    uint64_t tasksSquashedCascade = 0;
+    uint64_t squashEvents = 0;
+    uint64_t watchdogSquashes = 0;
+    uint64_t masterInsts = 0;
+    uint64_t slaveInsts = 0;         ///< executed, incl. wasted
+    uint64_t wastedSlaveInsts = 0;   ///< from squashed tasks
+    uint64_t seqModeInsts = 0;
+    uint64_t seqModeCycles = 0;
+    uint64_t masterStallWindowFull = 0;
+    uint64_t liveInCellsChecked = 0;
+    uint64_t liveInCellsMismatched = 0;
+    uint64_t archReads = 0;
+    uint64_t seqBackoffEvents = 0;
+    /** Tasks that stopped at a device access and were serialized. */
+    uint64_t mmioSerializations = 0;
+    /** Slave L1 filter statistics (0 when the L1 is disabled). */
+    uint64_t l1Hits = 0;
+    uint64_t l1Misses = 0;
+    /** Aggregate slave cycle breakdown (sums over all slaves). */
+    uint64_t slaveArchStallCycles = 0;
+    uint64_t slavePauseCycles = 0;
+    uint64_t slaveIdleCycles = 0;
+};
+
+/** The full MSSP chip-multiprocessor model. */
+class MsspMachine
+{
+  public:
+    /**
+     * @param orig the original program (loaded into architected state)
+     * @param dist its distilled companion
+     * @param cfg  machine configuration
+     */
+    MsspMachine(const Program &orig, const DistilledProgram &dist,
+                const MsspConfig &cfg);
+
+    /** Run until the program halts/faults or @p max_cycles elapse. */
+    MsspResult run(uint64_t max_cycles);
+
+    const ArchState &arch() const { return arch_; }
+    const MsspConfig &config() const { return cfg_; }
+    /** Current simulation time (valid inside hooks). */
+    Cycle now() const { return now_; }
+    const MsspCounters &counters() const { return ctrs_; }
+    const OutputStream &outputs() const { return outputs_; }
+
+    /** Mean committed task size in instructions. */
+    double meanTaskSize() const;
+
+    /** Dump a gem5-style statistics table. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Committed-task observer hook (used by the task-safety tests):
+     *  called with each task right before its live-outs commit. */
+    using CommitHook = std::function<void(const Task &,
+                                          const ArchState &)>;
+    void setCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+    /** Head-squash observer hook (diagnostics and tests): called with
+     *  the offending task and the squash reason. */
+    using SquashHook = std::function<void(const Task &, TaskOutcome)>;
+    void setSquashHook(SquashHook hook) { squash_hook_ = std::move(hook); }
+
+  private:
+    enum class Mode : uint8_t { Spec, Seq, Restarting };
+
+    void tickCommit();
+    void tickSpawnDelivery();
+    void tickSlaves();
+    void tickMaster();
+    void tickSeq();
+    void checkWatchdog();
+
+    void squash(TaskOutcome reason);
+    void engageMaster();
+    void commitFront();
+    /** Drop speculative state to serialize a device access; unlike
+     *  squash(), this is planned work, not a failure. */
+    void serializeSpeculation();
+
+    /** The youngest (most recently forked) in-flight task. */
+    Task *youngest() { return window_.empty() ? nullptr
+                                              : window_.back().get(); }
+
+    // -- Construction-ordered members (arch before master!) -------------
+    MsspConfig cfg_;
+    Program orig_;
+    DistilledProgram dist_;
+    ArchState arch_;
+    MmioDevice device_;
+    MasterCore master_;
+    std::set<uint32_t> fork_site_pcs_;
+    std::vector<std::unique_ptr<SlaveCore>> slaves_;
+
+    std::deque<std::unique_ptr<Task>> window_;   ///< fork order
+    std::deque<Task *> arrived_;   ///< spawned, awaiting a slave
+    EventQueue events_;
+
+    Mode mode_ = Mode::Restarting;
+    Cycle restart_at_ = 0;
+    Cycle now_ = 0;
+    Cycle commit_busy_until_ = 0;
+    Cycle last_commit_cycle_ = 0;
+    unsigned engage_failures_ = 0;
+    /** Current sequential-backoff length (0 = no backoff active). */
+    uint64_t seq_backoff_ = 0;
+    /** Instructions left to execute sequentially before the machine
+     *  may try to re-engage the master. */
+    uint64_t seq_insts_remaining_ = 0;
+    /** Minimum sequential steps after a device serialization (ensures
+     *  the device access itself executes even when it sits exactly at
+     *  a fork site). */
+    uint64_t force_seq_insts_ = 0;
+
+    double master_budget_ = 0.0;
+    double seq_budget_ = 0.0;
+
+    bool halted_ = false;
+    bool faulted_ = false;
+    uint64_t next_task_id_ = 1;
+
+    OutputStream outputs_;
+    MsspCounters ctrs_;
+    CommitHook commit_hook_;
+    SquashHook squash_hook_;
+
+    // Statistics (mirrors of ctrs_ for table dumping).
+    mutable stats::Group stats_root_{"mssp"};
+    stats::Distribution task_size_dist_{&stats_root_, "taskSize",
+        "committed task size (insts)", 0, 2000, 20};
+    stats::Distribution checkpoint_dist_{&stats_root_, "checkpointCells",
+        "checkpoint size at fork (cells)", 0, 4096, 16};
+    stats::Distribution livein_dist_{&stats_root_, "liveInCells",
+        "live-in set size at commit (cells)", 0, 512, 16};
+};
+
+} // namespace mssp
+
+#endif // MSSP_MSSP_MACHINE_HH

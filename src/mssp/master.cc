@@ -1,0 +1,148 @@
+#include "mssp/master.hh"
+
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+bool
+MasterCore::restart(uint32_t orig_pc)
+{
+    uint32_t dist_pc = dist_.distilledPcFor(orig_pc);
+    if (dist_pc == UINT32_MAX)
+        return false;
+    pc_ = dist_pc;
+    for (unsigned r = 0; r < NumRegs; ++r)
+        regs_[r] = arch_.readReg(r);
+    delta_.clear();
+    site_arrivals_.clear();
+    forks_seen_since_spawn_ = 0;
+    insts_since_restart_ = 0;
+    running_ = true;
+    halted_ = false;
+    faulted_ = false;
+    first_fork_pending_ = true;
+    return true;
+}
+
+bool
+MasterCore::nextForkWouldSpawn()
+{
+    if (!running())
+        return false;
+    Instruction inst = decode(fetch(pc_));
+    if (inst.op != Opcode::Fork)
+        return false;
+    if (first_fork_pending_)
+        return true;
+    auto idx = static_cast<uint32_t>(inst.imm);
+    if (idx >= dist_.taskMap.size())
+        return false;   // corrupt fork: step() will fault
+    uint32_t orig_pc = dist_.taskMap[idx];
+    uint32_t required = requiredArrivals(idx);
+    auto it = site_arrivals_.find(orig_pc);
+    uint32_t arrivals = it == site_arrivals_.end() ? 0 : it->second;
+    return arrivals + 1 >= required;
+}
+
+uint32_t
+MasterCore::requiredArrivals(uint32_t task_map_index) const
+{
+    uint32_t site_interval =
+        task_map_index < dist_.taskIntervals.size()
+            ? dist_.taskIntervals[task_map_index]
+            : 1;
+    if (site_interval == 0)
+        site_interval = 1;
+    return site_interval * fork_interval_;
+}
+
+MasterStep
+MasterCore::step(ForkInfo *fork_out)
+{
+    MSSP_ASSERT(running());
+    Instruction inst = decode(fetch(pc_));
+
+    if (inst.op == Opcode::Fork) {
+        auto idx = static_cast<uint32_t>(inst.imm);
+        if (idx >= dist_.taskMap.size()) {
+            // Corrupt distilled program; the master just faults.
+            faulted_ = true;
+            return MasterStep::Faulted;
+        }
+        uint32_t orig_pc = dist_.taskMap[idx];
+        uint32_t arrivals = ++site_arrivals_[orig_pc];
+        ++forks_seen_since_spawn_;
+
+        bool spawn = first_fork_pending_ ||
+                     arrivals >= requiredArrivals(idx);
+        ++total_insts_;
+        ++insts_since_restart_;
+        pc_ += 1;
+
+        if (!spawn)
+            return MasterStep::Executed;
+
+        MSSP_ASSERT(fork_out != nullptr);
+        fork_out->origPc = orig_pc;
+        fork_out->endVisitsForPrev = arrivals;
+        fork_out->checkpoint =
+            std::make_shared<const StateDelta>(delta_);
+        site_arrivals_.clear();
+        forks_seen_since_spawn_ = 0;
+        first_fork_pending_ = false;
+        return MasterStep::WantsFork;
+    }
+
+    StepResult res = executeDecoded(pc_, inst, *this);
+
+    // Indirect jumps may target *original* code addresses (a return
+    // address seeded from architected state after a restart, or
+    // reloaded from a committed stack slot): translate through the
+    // distiller's address map, as a dynamic binary translator would.
+    if (res.status == StepStatus::Ok && inst.op == Opcode::Jalr &&
+        res.nextPc < DistilledCodeBase) {
+        auto it = dist_.addrMap.find(res.nextPc);
+        if (it == dist_.addrMap.end()) {
+            faulted_ = true;
+            return MasterStep::Faulted;
+        }
+        res.nextPc = it->second;
+    }
+
+    switch (res.status) {
+      case StepStatus::Ok:
+        pc_ = res.nextPc;
+        ++total_insts_;
+        ++insts_since_restart_;
+        return MasterStep::Executed;
+      case StepStatus::Halted:
+        halted_ = true;
+        ++total_insts_;
+        ++insts_since_restart_;
+        return MasterStep::Halted;
+      case StepStatus::Illegal:
+      default:
+        faulted_ = true;
+        return MasterStep::Faulted;
+    }
+}
+
+void
+MasterCore::sweepDeltaAgainstArch(size_t max_cells)
+{
+    if (delta_.size() <= max_cells)
+        return;
+    std::vector<CellId> drop;
+    for (const auto &[cell, value] : delta_) {
+        if (arch_.readCell(cell) == value)
+            drop.push_back(cell);
+    }
+    for (CellId cell : drop) {
+        // Register cells stay cached in regs_, which is fine: the
+        // value equals architected state by construction.
+        delta_.erase(cell);
+    }
+}
+
+} // namespace mssp

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The MSSP master processor.
+ *
+ * The master executes the *distilled* program against its own
+ * speculative register file and write buffer, reading through to
+ * architected state for anything it has not written. Its only products
+ * are predictions: at each taken FORK it snapshots its write-delta as
+ * the checkpoint (predicted live-ins) of a new task.
+ *
+ * Nothing the master does can affect correctness; it can be stopped,
+ * squashed and restarted at any fork-site PC (the entry map).
+ */
+
+#ifndef MSSP_MSSP_MASTER_HH
+#define MSSP_MSSP_MASTER_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "arch/arch_state.hh"
+#include "arch/mmio.hh"
+#include "arch/state_delta.hh"
+#include "distill/distiller.hh"
+#include "exec/context.hh"
+#include "exec/executor.hh"
+
+namespace mssp
+{
+
+/** What a single master step produced. */
+enum class MasterStep : uint8_t
+{
+    Executed,    ///< ordinary instruction
+    WantsFork,   ///< at a FORK that should spawn (caller must approve)
+    Halted,
+    Faulted,
+};
+
+/** The master core. */
+class MasterCore : public ExecContext
+{
+  public:
+    MasterCore(const DistilledProgram &dist, const ArchState &arch)
+        : dist_(dist), arch_(arch)
+    {
+        regs_.fill(0);
+    }
+
+    /**
+     * (Re)start the master at the distilled block for original PC
+     * @p orig_pc, seeding registers from architected state.
+     *
+     * @retval false when orig_pc is not a restart point
+     */
+    bool restart(uint32_t orig_pc);
+
+    /** Stop executing (squash); restart() re-engages. */
+    void stop() { running_ = false; }
+
+    bool running() const { return running_ && !halted_ && !faulted_; }
+    bool halted() const { return halted_; }
+    bool faulted() const { return faulted_; }
+
+    /**
+     * Peek whether the next instruction is a FORK that must actually
+     * spawn a task (first fork after restart, or the fork-interval
+     * counter expiring). Used by the machine to stall the master when
+     * there is no task capacity instead of half-executing the fork.
+     */
+    bool nextForkWouldSpawn();
+
+    /**
+     * Execute one instruction.
+     *
+     * If the instruction is a FORK: site-arrival counters always
+     * update; when the fork must spawn, *fork_out is filled with the
+     * original start PC, the end-condition data for the *previous*
+     * task and a checkpoint snapshot, and WantsFork is returned.
+     */
+    struct ForkInfo
+    {
+        uint32_t origPc = 0;
+        uint32_t endVisitsForPrev = 1;
+        std::shared_ptr<const StateDelta> checkpoint;
+    };
+    MasterStep step(ForkInfo *fork_out);
+
+    /** Arrivals required at site i before it spawns (per-site
+     *  interval times the machine-wide fork interval). */
+    uint32_t requiredArrivals(uint32_t task_map_index) const;
+
+    /** Instructions executed since the last restart. */
+    uint64_t instsSinceRestart() const { return insts_since_restart_; }
+
+    /** Total instructions executed (all epochs). */
+    uint64_t totalInsts() const { return total_insts_; }
+
+    /** Current write-delta size (checkpoint cost model + tests). */
+    size_t deltaSize() const { return delta_.size(); }
+
+    /**
+     * Drop delta entries whose value equals current architected state
+     * (sound: read-through would return the same value, and younger
+     * commits are verified against live-ins anyway). Keeps checkpoint
+     * snapshots small; called by the machine after commits.
+     */
+    void sweepDeltaAgainstArch(size_t max_cells);
+
+    uint32_t pc() const { return pc_; }
+
+    // -- ExecContext ------------------------------------------------------
+    uint32_t readReg(unsigned r) override { return regs_[r]; }
+    void
+    writeReg(unsigned r, uint32_t v) override
+    {
+        regs_[r] = v;
+        delta_.set(makeRegCell(r), v);
+    }
+    uint32_t
+    readMem(uint32_t addr) override
+    {
+        // The master must never touch non-idempotent device state; a
+        // zero prediction is as good as any (verification protects).
+        if (isMmio(addr))
+            return 0;
+        if (auto v = delta_.get(makeMemCell(addr)))
+            return *v;
+        return arch_.readMem(addr);
+    }
+    void
+    writeMem(uint32_t addr, uint32_t v) override
+    {
+        if (isMmio(addr))
+            return;   // device writes are real side effects: drop
+        delta_.set(makeMemCell(addr), v);
+    }
+    uint32_t
+    fetch(uint32_t pc) override
+    {
+        // The distilled image is the master's private I-space.
+        return dist_.prog.word(pc);
+    }
+    void output(uint16_t, uint32_t) override
+    {
+        // Master outputs are predictions, never observable.
+    }
+
+  private:
+    const DistilledProgram &dist_;
+    const ArchState &arch_;
+
+    std::array<uint32_t, NumRegs> regs_;
+    uint32_t pc_ = 0;
+    StateDelta delta_;
+
+    bool running_ = false;
+    bool halted_ = false;
+    bool faulted_ = false;
+    bool first_fork_pending_ = false;
+
+    /** Arrivals per fork-site original PC since the last spawn. */
+    std::map<uint32_t, uint32_t> site_arrivals_;
+    /** Fork-site executions since the last spawn (interval policy). */
+    unsigned forks_seen_since_spawn_ = 0;
+    unsigned fork_interval_ = 1;
+
+    uint64_t insts_since_restart_ = 0;
+    uint64_t total_insts_ = 0;
+
+    friend class MsspMachine;
+
+  public:
+    void setForkInterval(unsigned k) { fork_interval_ = k ? k : 1; }
+};
+
+} // namespace mssp
+
+#endif // MSSP_MSSP_MASTER_HH

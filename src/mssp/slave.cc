@@ -1,0 +1,106 @@
+#include "mssp/slave.hh"
+
+namespace mssp
+{
+
+void
+SlaveCore::refreshEndCondition()
+{
+    Task &t = *task_;
+    if (!t.pausedAtForkSite)
+        return;
+    if (t.runToHalt) {
+        t.pausedAtForkSite = false;
+        return;
+    }
+    if (!t.endKnown)
+        return;   // still waiting for the master to fork
+    t.pausedAtForkSite = false;
+    if (t.pc == t.endPc) {
+        ++t.visits;
+        if (t.visits >= t.endVisits)
+            t.end = TaskEnd::ReachedEnd;
+    }
+}
+
+unsigned
+SlaveCore::tick()
+{
+    if (!task_) {
+        ++idle_cycles_;
+        return 0;
+    }
+    Task &t = *task_;
+    if (t.done())
+        return 0;   // waiting for the commit unit
+
+    if (stall_ > 0) {
+        --stall_;
+        ++arch_stall_cycles_;
+        return 0;
+    }
+    if (t.pausedAtForkSite) {
+        refreshEndCondition();
+        if (t.pausedAtForkSite || t.done()) {
+            if (t.pausedAtForkSite)
+                ++pause_cycles_;
+            return 0;
+        }
+    }
+
+    budget_ += cfg_.slaveIpc;
+    unsigned executed = 0;
+    TaskContext ctx(t, arch_, l1_.get());
+
+    while (budget_ >= 1.0 && !t.done() && !t.pausedAtForkSite &&
+           stall_ == 0) {
+        budget_ -= 1.0;
+        ctx.beginStep();
+        StepResult res = stepAt(t.pc, ctx);
+
+        if (ctx.mmioTouched) {
+            // Device access: the step was suppressed. The task ends
+            // *before* the access; the machine will serialize it.
+            t.end = TaskEnd::MmioStop;
+            break;
+        }
+        if (res.status == StepStatus::Illegal) {
+            t.end = TaskEnd::Faulted;
+            break;
+        }
+        ++t.instCount;
+        ++executed;
+        if (res.status == StepStatus::Halted) {
+            t.end = TaskEnd::Halted;
+            break;
+        }
+
+        t.pc = res.nextPc;
+        if (ctx.archReadsLastStep) {
+            stall_ += static_cast<Cycle>(ctx.archReadsLastStep) *
+                      cfg_.archReadLatency;
+        }
+
+        // Arrival checks: end condition and fork-site pauses.
+        if (t.endKnown) {
+            if (t.pc == t.endPc) {
+                ++t.visits;
+                if (t.visits >= t.endVisits) {
+                    t.end = TaskEnd::ReachedEnd;
+                    break;
+                }
+            }
+        } else if (!t.runToHalt && fork_site_pcs_.count(t.pc)) {
+            t.pausedAtForkSite = true;
+            break;
+        }
+
+        if (t.instCount >= cfg_.maxTaskInsts) {
+            t.end = TaskEnd::Overrun;
+            break;
+        }
+    }
+    return executed;
+}
+
+} // namespace mssp

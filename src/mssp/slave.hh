@@ -1,0 +1,210 @@
+/**
+ * @file
+ * MSSP slave processors.
+ *
+ * A slave executes one task of the *original* program. Reads are
+ * satisfied, in priority order, from the task's own write buffer, the
+ * already-recorded live-ins, the master's checkpoint, and finally
+ * architected state (read-through, charged archReadLatency cycles).
+ * Every first read of a cell is recorded in the task's live-in set;
+ * the verify/commit unit later checks that set against architected
+ * state, which is exactly the paper's memoization-style commit test.
+ */
+
+#ifndef MSSP_MSSP_SLAVE_HH
+#define MSSP_MSSP_SLAVE_HH
+
+#include <cstdint>
+#include <memory>
+#include <set>
+
+#include "arch/arch_state.hh"
+#include "arch/mmio.hh"
+#include "exec/context.hh"
+#include "exec/executor.hh"
+#include "mssp/config.hh"
+#include "mssp/task.hh"
+
+namespace mssp
+{
+
+/** ExecContext for one task on one slave. */
+class TaskContext : public ExecContext
+{
+  public:
+    TaskContext(Task &task, const ArchState &arch,
+                Cache *l1 = nullptr)
+        : task_(task), arch_(arch), l1_(l1)
+    {}
+
+    /** Arch read-throughs performed by the last step (for timing). */
+    unsigned archReadsLastStep = 0;
+    /** Set when the last step tried to touch device space; all of the
+     *  step's writes were suppressed and it must be discarded. */
+    bool mmioTouched = false;
+
+    void
+    beginStep()
+    {
+        archReadsLastStep = 0;
+        mmioTouched = false;
+    }
+
+    uint32_t
+    readCell(CellId cell)
+    {
+        if (auto v = task_.liveOut.get(cell))
+            return *v;
+        if (auto v = task_.liveIn.get(cell))
+            return *v;
+        uint32_t value;
+        if (task_.checkpoint) {
+            if (auto v = task_.checkpoint->get(cell)) {
+                value = *v;
+                task_.liveIn.set(cell, value);
+                return value;
+            }
+        }
+        value = arch_.readCell(cell);
+        ++task_.archReads;
+        // L1 filter: resident memory lines are free; misses (and all
+        // architected register-file reads) pay the read-through.
+        bool charged = true;
+        if (l1_ && cellKind(cell) == CellKind::Mem)
+            charged = !l1_->access(cellIndex(cell));
+        if (charged)
+            ++archReadsLastStep;
+        task_.liveIn.set(cell, value);
+        return value;
+    }
+
+    uint32_t readReg(unsigned r) override
+    {
+        return readCell(makeRegCell(r));
+    }
+    void
+    writeReg(unsigned r, uint32_t v) override
+    {
+        if (mmioTouched)
+            return;   // discard the aborted step's register write
+        task_.liveOut.set(makeRegCell(r), v);
+    }
+    uint32_t
+    readMem(uint32_t addr) override
+    {
+        if (isMmio(addr)) {
+            mmioTouched = true;
+            return 0;   // dummy; the step is discarded
+        }
+        return readCell(makeMemCell(addr));
+    }
+    void
+    writeMem(uint32_t addr, uint32_t v) override
+    {
+        if (isMmio(addr) || mmioTouched) {
+            mmioTouched = true;
+            return;
+        }
+        task_.liveOut.set(makeMemCell(addr), v);
+    }
+    uint32_t
+    fetch(uint32_t pc) override
+    {
+        // Original code is immutable (no self-modifying code); fetch
+        // directly from architected memory without live-in recording.
+        return arch_.readMem(pc);
+    }
+    void
+    output(uint16_t port, uint32_t value) override
+    {
+        task_.outputs.push_back({port, value});
+    }
+
+  private:
+    Task &task_;
+    const ArchState &arch_;
+    Cache *l1_;
+};
+
+/** One slave processor. */
+class SlaveCore
+{
+  public:
+    SlaveCore(int id, const ArchState &arch, const MsspConfig &cfg,
+              const std::set<uint32_t> &fork_site_pcs)
+        : id_(id), arch_(arch), cfg_(cfg),
+          fork_site_pcs_(fork_site_pcs)
+    {
+        if (cfg.useSlaveL1)
+            l1_ = std::make_unique<Cache>(cfg.slaveL1);
+    }
+
+    bool idle() const { return task_ == nullptr; }
+    Task *task() { return task_; }
+
+    /** Begin executing @p task (it must be freshly spawned). */
+    void
+    assign(Task *task)
+    {
+        task_ = task;
+        task->slaveId = id_;
+        task->pc = task->startPc;
+        budget_ = 0.0;
+        stall_ = 0;
+    }
+
+    /** Drop the current task (squash or commit bookkeeping). */
+    void
+    release()
+    {
+        task_ = nullptr;
+    }
+
+    /**
+     * Advance one cycle. Executes up to slaveIpc instructions,
+     * honoring arch-read stalls and fork-site pauses.
+     *
+     * @return instructions executed this cycle (for stats)
+     */
+    unsigned tick();
+
+    /** Flash-invalidate the speculative L1 (squash/serialize). */
+    void
+    invalidateL1()
+    {
+        if (l1_)
+            l1_->invalidateAll();
+    }
+
+    /** The private L1 (null when disabled). */
+    const Cache *l1() const { return l1_.get(); }
+
+    /** Cycles this slave spent stalled on arch reads (stats). */
+    uint64_t archStallCycles() const { return arch_stall_cycles_; }
+    /** Cycles spent paused waiting for an end condition (stats). */
+    uint64_t pauseCycles() const { return pause_cycles_; }
+    /** Cycles spent idle with no task (stats). */
+    uint64_t idleCycles() const { return idle_cycles_; }
+
+  private:
+    /** Re-check pause/end conditions when new end info arrives. */
+    void refreshEndCondition();
+
+    int id_;
+    const ArchState &arch_;
+    const MsspConfig &cfg_;
+    const std::set<uint32_t> &fork_site_pcs_;
+
+    Task *task_ = nullptr;
+    std::unique_ptr<Cache> l1_;
+    double budget_ = 0.0;
+    Cycle stall_ = 0;
+
+    uint64_t arch_stall_cycles_ = 0;
+    uint64_t pause_cycles_ = 0;
+    uint64_t idle_cycles_ = 0;
+};
+
+} // namespace mssp
+
+#endif // MSSP_MSSP_SLAVE_HH

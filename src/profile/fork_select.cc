@@ -1,0 +1,79 @@
+#include "profile/fork_select.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mssp
+{
+
+namespace
+{
+
+struct Candidate
+{
+    uint32_t pc;
+    uint64_t visits;
+};
+
+} // anonymous namespace
+
+ForkSelection
+selectForkSites(const Cfg &cfg, const ProfileData &profile,
+                const ForkSelectOptions &opts)
+{
+    ForkSelection sel;
+    if (profile.totalInsts == 0)
+        return sel;
+
+    double total = static_cast<double>(profile.totalInsts);
+    double target = static_cast<double>(
+        std::max<uint64_t>(opts.targetTaskSize, 1));
+
+    std::vector<Candidate> candidates;
+    for (uint32_t header : cfg.loopHeaders()) {
+        uint64_t visits = profile.countAt(header);
+        if (visits < opts.minVisits)
+            continue;
+        candidates.push_back({header, visits});
+    }
+
+    // Straight-line fallback: use hot block leaders.
+    if (candidates.empty()) {
+        for (const auto &[start, bb] : cfg.blocks()) {
+            uint64_t visits = profile.countAt(start);
+            if (visits < opts.minVisits)
+                continue;
+            candidates.push_back({start, visits});
+        }
+    }
+    if (candidates.empty())
+        return sel;
+
+    // Every hot header becomes a site (so every program phase has a
+    // task-boundary source); per-site fork intervals equalize the
+    // expected task size. If over the cap, keep the hottest.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.visits != b.visits)
+                      return a.visits > b.visits;
+                  return a.pc < b.pc;
+              });
+    if (candidates.size() > opts.maxSites)
+        candidates.resize(opts.maxSites);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.pc < b.pc;
+              });
+
+    for (const Candidate &c : candidates) {
+        double region = total / static_cast<double>(c.visits);
+        auto interval = static_cast<uint32_t>(
+            std::lround(std::max(1.0, target / region)));
+        sel.sites.push_back(c.pc);
+        sel.intervals.push_back(interval);
+    }
+    sel.expectedTaskSize = target;
+    return sel;
+}
+
+} // namespace mssp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fork-site selection.
+ *
+ * MSSP task boundaries are FORK instructions placed in the distilled
+ * program; each fork site corresponds to a PC in the original program
+ * (usually a hot loop header). Site selection balances task size: the
+ * expected task length is totalInsts / Σ visits(site), and the paper's
+ * sweet spot is tasks of a few hundred instructions (E5 reproduces the
+ * sensitivity).
+ */
+
+#ifndef MSSP_PROFILE_FORK_SELECT_HH
+#define MSSP_PROFILE_FORK_SELECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/cfg.hh"
+#include "profile/profile_data.hh"
+
+namespace mssp
+{
+
+/** Selection tuning knobs. */
+struct ForkSelectOptions
+{
+    /** Desired mean task size in original-program instructions. */
+    uint64_t targetTaskSize = 150;
+    /** Sites visited fewer times than this are ignored. */
+    uint64_t minVisits = 4;
+    /** Hard cap on the number of selected sites. */
+    size_t maxSites = 64;
+};
+
+/** Result of fork-site selection. */
+struct ForkSelection
+{
+    /** Selected original-program PCs, ascending. */
+    std::vector<uint32_t> sites;
+    /** Per-site fork interval (fork every k-th visit), parallel to
+     *  sites: inner loops get large intervals, outer loops small, so
+     *  expected task size is uniform across program phases. */
+    std::vector<uint32_t> intervals;
+    /** Expected mean task size implied by the selection. */
+    double expectedTaskSize = 0.0;
+};
+
+/**
+ * Choose fork sites from @p cfg's loop headers using @p profile.
+ * Every sufficiently hot header is selected; task size is controlled
+ * by per-site fork intervals rather than by dropping sites, so each
+ * program phase has a boundary source. Falls back to the hottest
+ * block leaders when no loop header qualifies.
+ */
+ForkSelection selectForkSites(const Cfg &cfg,
+                              const ProfileData &profile,
+                              const ForkSelectOptions &opts);
+
+} // namespace mssp
+
+#endif // MSSP_PROFILE_FORK_SELECT_HH

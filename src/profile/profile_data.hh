@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Profile data gathered from a training run.
+ *
+ * The distiller is profile-guided, exactly as in the paper: branch
+ * biases drive branch pruning, execution counts drive cold-code
+ * decisions and fork-site selection, load-value invariance drives
+ * (optional) value speculation, and silent-store ratios drive
+ * (optional) store elimination.
+ */
+
+#ifndef MSSP_PROFILE_PROFILE_DATA_HH
+#define MSSP_PROFILE_PROFILE_DATA_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mssp
+{
+
+/** Taken/total counts of one conditional branch site. */
+struct BranchProfile
+{
+    uint64_t taken = 0;
+    uint64_t total = 0;
+
+    /** Fraction of executions that were taken (0.5 when never run). */
+    double
+    bias() const
+    {
+        return total ? static_cast<double>(taken) /
+                           static_cast<double>(total)
+                     : 0.5;
+    }
+};
+
+/** Value/address-invariance profile of one load site. */
+struct LoadProfile
+{
+    uint64_t count = 0;
+    uint32_t firstValue = 0;
+    uint64_t sameAsFirst = 0;
+    uint32_t firstAddr = 0;
+    uint64_t sameAddr = 0;
+
+    /** Fraction of executions that loaded firstValue. */
+    double
+    invariance() const
+    {
+        return count ? static_cast<double>(sameAsFirst) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+
+    /** Fraction of executions that read firstAddr. */
+    double
+    addrInvariance() const
+    {
+        return count ? static_cast<double>(sameAddr) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+};
+
+/** Silent-store profile of one store site. */
+struct StoreProfile
+{
+    uint64_t count = 0;
+    uint64_t silent = 0;   ///< stores that wrote the value already there
+
+    double
+    silentRatio() const
+    {
+        return count ? static_cast<double>(silent) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+};
+
+/** Aggregate training-run profile. */
+class ProfileData
+{
+  public:
+    std::unordered_map<uint32_t, uint64_t> pcCount;
+    std::unordered_map<uint32_t, BranchProfile> branches;
+    std::unordered_map<uint32_t, LoadProfile> loads;
+    std::unordered_map<uint32_t, StoreProfile> stores;
+    /** Every word address written at least once during training. */
+    std::unordered_set<uint32_t> writtenAddrs;
+    uint64_t totalInsts = 0;
+    bool ranToCompletion = false;
+
+    bool
+    wasWritten(uint32_t addr) const
+    {
+        return writtenAddrs.count(addr) != 0;
+    }
+
+    uint64_t
+    countAt(uint32_t pc) const
+    {
+        auto it = pcCount.find(pc);
+        return it == pcCount.end() ? 0 : it->second;
+    }
+
+    const BranchProfile *
+    branchAt(uint32_t pc) const
+    {
+        auto it = branches.find(pc);
+        return it == branches.end() ? nullptr : &it->second;
+    }
+
+    const LoadProfile *
+    loadAt(uint32_t pc) const
+    {
+        auto it = loads.find(pc);
+        return it == loads.end() ? nullptr : &it->second;
+    }
+
+    const StoreProfile *
+    storeAt(uint32_t pc) const
+    {
+        auto it = stores.find(pc);
+        return it == stores.end() ? nullptr : &it->second;
+    }
+};
+
+} // namespace mssp
+
+#endif // MSSP_PROFILE_PROFILE_DATA_HH

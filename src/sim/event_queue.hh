@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A minimal discrete-event scheduling kernel.
+ *
+ * The MSSP machine is cycle-stepped for its cores, but inter-component
+ * messages (task spawn delivery, commit completion, squash/restart
+ * signals) are carried by events with latencies. The queue is strictly
+ * deterministic: events at the same cycle fire in insertion order.
+ */
+
+#ifndef MSSP_SIM_EVENT_QUEUE_HH
+#define MSSP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace mssp
+{
+
+/** Simulation time in cycles. */
+using Cycle = uint64_t;
+
+/** Deterministic time-ordered event queue. */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Schedule @p action to run at absolute cycle @p when. */
+    void
+    schedule(Cycle when, Action action)
+    {
+        events[when].push_back(std::move(action));
+        ++pending_;
+    }
+
+    /** Schedule @p action @p delay cycles after @p now. */
+    void
+    scheduleIn(Cycle now, Cycle delay, Action action)
+    {
+        schedule(now + delay, std::move(action));
+    }
+
+    /**
+     * Run every event scheduled at or before @p now.
+     * Events may schedule further events; those at or before @p now
+     * also run during this call.
+     */
+    void
+    runUntil(Cycle now)
+    {
+        while (!events.empty() && events.begin()->first <= now) {
+            auto it = events.begin();
+            // Move out so handlers can schedule at the same cycle.
+            std::vector<Action> batch = std::move(it->second);
+            Cycle when = it->first;
+            events.erase(it);
+            pending_ -= batch.size();
+            for (auto &a : batch)
+                a();
+            // Handlers may have scheduled new work at 'when'; the loop
+            // re-checks the front of the map, so it is picked up.
+            (void)when;
+        }
+    }
+
+    /** Discard all pending events (used on machine reset). */
+    void
+    clear()
+    {
+        events.clear();
+        pending_ = 0;
+    }
+
+    /** Number of not-yet-fired events. */
+    size_t pending() const { return pending_; }
+
+    /** @return true when nothing is scheduled. */
+    bool empty() const { return events.empty(); }
+
+    /** Cycle of the earliest pending event (queue must be nonempty). */
+    Cycle nextEventCycle() const { return events.begin()->first; }
+
+  private:
+    std::map<Cycle, std::vector<Action>> events;
+    size_t pending_ = 0;
+};
+
+} // namespace mssp
+
+#endif // MSSP_SIM_EVENT_QUEUE_HH

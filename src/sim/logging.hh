@@ -1,0 +1,69 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic() is for internal simulator bugs (conditions that should never
+ * happen regardless of user input); it aborts. fatal() is for user
+ * errors (bad configuration, malformed assembly); it throws a
+ * FatalError so library embedders and tests can catch it. warn() and
+ * inform() print status without stopping the simulation.
+ */
+
+#ifndef MSSP_SIM_LOGGING_HH
+#define MSSP_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace mssp
+{
+
+/** Exception thrown by fatal(): the user asked for something invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting from a va_list. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Report an internal invariant violation and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user-caused error by throwing FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (benches use this). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() are silenced. */
+bool quiet();
+
+} // namespace mssp
+
+/** assert-like macro that survives NDEBUG and reports via panic(). */
+#define MSSP_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::mssp::panic("assertion '%s' failed at %s:%d", #cond,      \
+                          __FILE__, __LINE__);                          \
+        }                                                               \
+    } while (0)
+
+#endif // MSSP_SIM_LOGGING_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic behaviour in the simulator (workload data generation,
+ * fault injection, adversarial corruption) flows through this RNG so
+ * that every run is exactly reproducible from a seed.
+ */
+
+#ifndef MSSP_SIM_RNG_HH
+#define MSSP_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace mssp
+{
+
+/** xoshiro-style splitmix64 generator; small, fast, deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound) (bound must be nonzero). */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0) < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace mssp
+
+#endif // MSSP_SIM_RNG_HH

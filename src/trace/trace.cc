@@ -1,0 +1,73 @@
+#include "trace/trace.hh"
+
+#include "isa/disasm.hh"
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+std::string
+TraceLog::text() const
+{
+    std::string out;
+    for (const auto &line : lines_) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+void
+ExecTracer::onStep(uint32_t pc, const StepResult &res)
+{
+    const char *suffix = "";
+    switch (res.status) {
+      case StepStatus::Halted:
+        suffix = "  <halt>";
+        break;
+      case StepStatus::Illegal:
+        suffix = "  <fault>";
+        break;
+      case StepStatus::Ok:
+        if (isCondBranch(res.inst.op))
+            suffix = res.branchTaken ? "  [taken]" : "  [not taken]";
+        break;
+    }
+    log_.append(strfmt("%8llu  0x%06x:  %s%s",
+                       static_cast<unsigned long long>(seq_++), pc,
+                       disassemble(res.inst, pc).c_str(), suffix));
+}
+
+TaskTracer::TaskTracer(MsspMachine &machine, TraceLog &log)
+    : log_(log)
+{
+    machine.setCommitHook([this, &machine](const Task &t,
+                                           const ArchState &) {
+        ++commits_;
+        log_.append(strfmt(
+            "%10llu  commit  task %llu  [0x%x..0x%x]  %llu insts  "
+            "%zu live-ins  %zu live-outs",
+            static_cast<unsigned long long>(machine.now()),
+            static_cast<unsigned long long>(t.id), t.startPc,
+            t.endKnown ? t.endPc : t.pc,
+            static_cast<unsigned long long>(t.instCount),
+            t.liveIn.size(), t.liveOut.size()));
+    });
+    machine.setSquashHook([this, &machine](const Task &t,
+                                           TaskOutcome reason) {
+        ++squashes_;
+        static const char *names[] = {
+            "committed", "livein-mismatch", "wrong-pc", "overrun",
+            "cascade",
+        };
+        log_.append(strfmt(
+            "%10llu  squash  task %llu  start 0x%x  %llu insts  "
+            "(%s)",
+            static_cast<unsigned long long>(machine.now()),
+            static_cast<unsigned long long>(t.id), t.startPc,
+            static_cast<unsigned long long>(t.instCount),
+            names[static_cast<int>(reason)]));
+    });
+}
+
+} // namespace mssp

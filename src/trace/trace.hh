@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tracing facilities.
+ *
+ * - TraceLog: a bounded ring of formatted trace lines (so tracing a
+ *   long run cannot exhaust memory) with text dump.
+ * - ExecTracer: a SeqMachine observer producing one disassembled line
+ *   per executed instruction.
+ * - TaskTracer: attaches to an MsspMachine's commit/squash hooks and
+ *   records the task-level event stream (the machine-level analogue
+ *   of gem5's Exec trace).
+ */
+
+#ifndef MSSP_TRACE_TRACE_HH
+#define MSSP_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "exec/seq_machine.hh"
+#include "mssp/machine.hh"
+
+namespace mssp
+{
+
+/** Bounded ring buffer of trace lines. */
+class TraceLog
+{
+  public:
+    explicit TraceLog(size_t capacity = 10000)
+        : capacity_(capacity)
+    {}
+
+    void
+    append(std::string line)
+    {
+        if (lines_.size() == capacity_) {
+            lines_.pop_front();
+            ++dropped_;
+        }
+        lines_.push_back(std::move(line));
+    }
+
+    size_t size() const { return lines_.size(); }
+    uint64_t dropped() const { return dropped_; }
+    const std::deque<std::string> &lines() const { return lines_; }
+
+    /** All retained lines joined with newlines. */
+    std::string text() const;
+
+    void
+    clear()
+    {
+        lines_.clear();
+        dropped_ = 0;
+    }
+
+  private:
+    size_t capacity_;
+    std::deque<std::string> lines_;
+    uint64_t dropped_ = 0;
+};
+
+/** Instruction-level tracer for the sequential machine. */
+class ExecTracer : public SeqMachine::Observer
+{
+  public:
+    explicit ExecTracer(TraceLog &log) : log_(log) {}
+
+    void onStep(uint32_t pc, const StepResult &res) override;
+
+  private:
+    TraceLog &log_;
+    uint64_t seq_ = 0;
+};
+
+/** Task-level tracer for the MSSP machine. Attach *before* run(). */
+class TaskTracer
+{
+  public:
+    TaskTracer(MsspMachine &machine, TraceLog &log);
+
+    uint64_t commits() const { return commits_; }
+    uint64_t squashes() const { return squashes_; }
+
+  private:
+    TraceLog &log_;
+    uint64_t commits_ = 0;
+    uint64_t squashes_ = 0;
+};
+
+} // namespace mssp
+
+#endif // MSSP_TRACE_TRACE_HH

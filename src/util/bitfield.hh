@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoder/decoder.
+ */
+
+#ifndef MSSP_UTIL_BITFIELD_HH
+#define MSSP_UTIL_BITFIELD_HH
+
+#include <cstdint>
+
+namespace mssp
+{
+
+/** Extract bits [last:first] (inclusive) of @p val. */
+constexpr uint32_t
+bits(uint32_t val, unsigned last, unsigned first)
+{
+    unsigned nbits = last - first + 1;
+    uint32_t mask = (nbits >= 32) ? 0xffffffffu : ((1u << nbits) - 1);
+    return (val >> first) & mask;
+}
+
+/** Insert the low (last-first+1) bits of @p bitsVal into [last:first]. */
+constexpr uint32_t
+insertBits(uint32_t val, unsigned last, unsigned first, uint32_t bits_val)
+{
+    unsigned nbits = last - first + 1;
+    uint32_t mask = (nbits >= 32) ? 0xffffffffu : ((1u << nbits) - 1);
+    return (val & ~(mask << first)) | ((bits_val & mask) << first);
+}
+
+/** Sign-extend the low @p nbits bits of @p val to a signed 32-bit int. */
+constexpr int32_t
+sext(uint32_t val, unsigned nbits)
+{
+    uint32_t sign_bit = 1u << (nbits - 1);
+    uint32_t mask = (nbits >= 32) ? 0xffffffffu : ((1u << nbits) - 1);
+    uint32_t v = val & mask;
+    return static_cast<int32_t>((v ^ sign_bit) - sign_bit);
+}
+
+/** @return true iff @p val fits in an @p nbits-wide signed field. */
+constexpr bool
+fitsSigned(int64_t val, unsigned nbits)
+{
+    int64_t lo = -(int64_t{1} << (nbits - 1));
+    int64_t hi = (int64_t{1} << (nbits - 1)) - 1;
+    return val >= lo && val <= hi;
+}
+
+/** @return true iff @p val fits in an @p nbits-wide unsigned field. */
+constexpr bool
+fitsUnsigned(uint64_t val, unsigned nbits)
+{
+    return val < (uint64_t{1} << nbits);
+}
+
+} // namespace mssp
+
+#endif // MSSP_UTIL_BITFIELD_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Minimal file I/O helpers for the CLI tools.
+ */
+
+#ifndef MSSP_UTIL_FILE_HH
+#define MSSP_UTIL_FILE_HH
+
+#include <string>
+
+namespace mssp
+{
+
+/** Read a whole file; fatal() if it cannot be opened. */
+std::string readFile(const std::string &path);
+
+/** Write a whole file; fatal() on failure. */
+void writeFile(const std::string &path, const std::string &contents);
+
+} // namespace mssp
+
+#endif // MSSP_UTIL_FILE_HH

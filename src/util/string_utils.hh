@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small string helpers used by the assembler and table printers.
+ */
+
+#ifndef MSSP_UTIL_STRING_UTILS_HH
+#define MSSP_UTIL_STRING_UTILS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mssp
+{
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace; empty fields are dropped. */
+std::vector<std::string_view> splitWs(std::string_view s);
+
+/** Case-sensitive prefix test. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/**
+ * Parse an integer literal: decimal, 0x-hex, 0b-binary, optional
+ * leading '-', or a single-quoted character ('a').
+ *
+ * @param s   text to parse (must be fully consumed)
+ * @param out receives the value on success
+ * @retval true on success
+ */
+bool parseInt(std::string_view s, int64_t &out);
+
+/** Left-pad @p s with spaces to width @p w. */
+std::string padLeft(const std::string &s, size_t w);
+
+/** Right-pad @p s with spaces to width @p w. */
+std::string padRight(const std::string &s, size_t w);
+
+} // namespace mssp
+
+#endif // MSSP_UTIL_STRING_UTILS_HH

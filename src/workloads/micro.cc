@@ -1,0 +1,369 @@
+#include "workloads/micro.hh"
+
+#include "workloads/wl_common.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+/** Build ref/train variants by scaling the size parameter. */
+Workload
+makePair(const char *name, const char *desc,
+         std::string (*gen)(uint32_t, uint64_t), uint32_t size)
+{
+    Workload w;
+    w.name = name;
+    w.description = desc;
+    w.refSource = gen(size, 0xACE1);
+    w.trainSource = gen(size / 2 + 3, 0xBEE2);
+    return w;
+}
+
+std::string
+fibSource(uint32_t steps, uint64_t)
+{
+    return strfmt(
+        "    li s0, %u\n"
+        "    li t0, 0\n"            // fib(i)
+        "    li t1, 1\n"            // fib(i+1)
+        "fib:\n"
+        "    add t2, t0, t1\n"
+        "    mv t0, t1\n"
+        "    mv t1, t2\n"
+        "    addi s0, s0, -1\n"
+        "    bnez s0, fib\n"
+        "    out t0, 1\n"
+        "    halt\n",
+        steps);
+}
+
+std::string
+sieveSource(uint32_t limit, uint64_t)
+{
+    return strfmt(
+        "    .equ LIMIT, %u\n"
+        "    la s2, flags\n"
+        "    li s0, 2\n"            // candidate
+        "    li s5, 0\n"            // prime count
+        "outer:\n"
+        "    add t0, s2, s0\n"
+        "    lw t1, 0(t0)\n"
+        "    bnez t1, composite\n"
+        "    addi s5, s5, 1\n"      // s0 is prime
+        "    add t2, s0, s0\n"      // first multiple
+        "mark:\n"
+        "    li t3, LIMIT\n"
+        "    bge t2, t3, composite\n"
+        "    add t4, s2, t2\n"
+        "    li t5, 1\n"
+        "    sw t5, 0(t4)\n"
+        "    add t2, t2, s0\n"
+        "    j mark\n"
+        "composite:\n"
+        "    addi s0, s0, 1\n"
+        "    li t3, LIMIT\n"
+        "    blt s0, t3, outer\n"
+        "    out s5, 1\n"
+        "    halt\n"
+        ".org 0x8000\n"
+        "flags: .space %u\n",
+        limit, limit + 2);
+}
+
+std::string
+matmulSource(uint32_t reps, uint64_t seed)
+{
+    Rng rng(seed);
+    constexpr uint32_t Dim = 8;
+    std::vector<uint32_t> a = wl::randomWords(rng, Dim * Dim, 64);
+    std::vector<uint32_t> b = wl::randomWords(rng, Dim * Dim, 64);
+
+    std::string src = strfmt(
+        "    .equ DIM, %u\n"
+        "    li s0, %u\n"           // repetitions
+        "    la s2, mata\n"
+        "    la s3, matb\n"
+        "    la s4, matc\n"
+        "    li s5, 0\n"            // checksum
+        "rep:\n"
+        "    li t0, 0\n"            // i
+        "rowi:\n"
+        "    li t1, 0\n"            // j
+        "colj:\n"
+        "    li t2, 0\n"            // k
+        "    li t3, 0\n"            // acc
+        "dot:\n"
+        "    li a0, DIM\n"
+        "    mul a1, t0, a0\n"
+        "    add a1, a1, t2\n"
+        "    add a1, s2, a1\n"
+        "    lw a2, 0(a1)\n"        // A[i][k]
+        "    mul a3, t2, a0\n"
+        "    add a3, a3, t1\n"
+        "    add a3, s3, a3\n"
+        "    lw a4, 0(a3)\n"        // B[k][j]
+        "    mul a5, a2, a4\n"
+        "    add t3, t3, a5\n"
+        "    addi t2, t2, 1\n"
+        "    li a0, DIM\n"
+        "    blt t2, a0, dot\n"
+        "    li a0, DIM\n"
+        "    mul a1, t0, a0\n"
+        "    add a1, a1, t1\n"
+        "    add a1, s4, a1\n"
+        "    sw t3, 0(a1)\n"        // C[i][j]
+        "    add s5, s5, t3\n"
+        "    addi t1, t1, 1\n"
+        "    li a0, DIM\n"
+        "    blt t1, a0, colj\n"
+        "    addi t0, t0, 1\n"
+        "    li a0, DIM\n"
+        "    blt t0, a0, rowi\n"
+        "    addi s0, s0, -1\n"
+        "    bnez s0, rep\n"
+        "    out s5, 1\n"
+        "    halt\n"
+        ".org 0x8000\nmata:\n",
+        Dim, reps);
+    src += wl::wordBlock(a);
+    src += ".org 0x8100\nmatb:\n";
+    src += wl::wordBlock(b);
+    src += ".org 0x8200\nmatc: .space 64\n";
+    return src;
+}
+
+std::string
+qsortSource(uint32_t elems, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> data = wl::randomWords(rng, elems, 1 << 16);
+
+    std::string src = strfmt(
+        "    .equ N, %u\n"
+        "    li sp, 0xf00000\n"     // word-addressed stack top
+        "    la s2, arr\n"
+        "    li a0, 0\n"
+        "    li a1, N\n"
+        "    addi a1, a1, -1\n"
+        "    call qsort\n"
+        // Verify sortedness and emit a position-weighted checksum.
+        "    li t0, 1\n"
+        "    li s5, 0\n"
+        "    lw s6, 0(s2)\n"
+        "vrfy:\n"
+        "    li t1, N\n"
+        "    bge t0, t1, vdone\n"
+        "    add t2, s2, t0\n"
+        "    lw t3, 0(t2)\n"
+        "    bgeu t3, s6, inorder\n"
+        "    out zero, 9\n"         // sorted-order violation marker
+        "inorder:\n"
+        "    mv s6, t3\n"
+        "    mul t4, t3, t0\n"
+        "    add s5, s5, t4\n"
+        "    addi t0, t0, 1\n"
+        "    j vrfy\n"
+        "vdone:\n"
+        "    out s5, 1\n"
+        "    halt\n"
+        // --- recursive quicksort: qsort(a0 = lo, a1 = hi) ----------
+        "qsort:\n"
+        "    bge a0, a1, qret\n"
+        "    subi sp, sp, 3\n"
+        "    sw ra, 0(sp)\n"
+        "    sw a0, 1(sp)\n"
+        "    sw a1, 2(sp)\n"
+        // Lomuto partition, pivot = arr[hi].
+        "    add t0, s2, a1\n"
+        "    lw t1, 0(t0)\n"        // pivot
+        "    mv t2, a0\n"           // i
+        "    mv t3, a0\n"           // j
+        "part:\n"
+        "    bge t3, a1, pdone\n"
+        "    add t4, s2, t3\n"
+        "    lw t5, 0(t4)\n"
+        "    bgeu t5, t1, pskip\n"
+        "    add t6, s2, t2\n"
+        "    lw a2, 0(t6)\n"
+        "    sw t5, 0(t6)\n"
+        "    sw a2, 0(t4)\n"
+        "    addi t2, t2, 1\n"
+        "pskip:\n"
+        "    addi t3, t3, 1\n"
+        "    j part\n"
+        "pdone:\n"
+        "    add t4, s2, t2\n"      // swap arr[i], arr[hi]
+        "    lw t5, 0(t4)\n"
+        "    add t6, s2, a1\n"
+        "    lw a2, 0(t6)\n"
+        "    sw a2, 0(t4)\n"
+        "    sw t5, 0(t6)\n"
+        "    sw t2, 1(sp)\n"        // frame slot 1 := pivot index
+        // Left recursion: qsort(lo, i-1). a0 still holds lo.
+        "    mv a1, t2\n"
+        "    subi a1, a1, 1\n"
+        "    call qsort\n"
+        // Right recursion: qsort(i+1, hi) from the frame.
+        "    lw t2, 1(sp)\n"
+        "    addi a0, t2, 1\n"
+        "    lw a1, 2(sp)\n"
+        "    call qsort\n"
+        "    lw ra, 0(sp)\n"
+        "    addi sp, sp, 3\n"
+        "qret:\n"
+        "    ret\n",
+        elems);
+    src += ".org 0x8000\narr:\n";
+    src += wl::wordBlock(data);
+    return src;
+}
+
+std::string
+crcSource(uint32_t words, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> data = wl::randomWords(rng, words,
+                                                 0xffffffffu);
+    std::string src = strfmt(
+        "    .equ N, %u\n"
+        "    la s2, data\n"
+        "    li s0, 0\n"            // index
+        "    li s5, -1\n"           // crc register
+        "    li s7, 0xEDB88320\n"   // reflected polynomial
+        "word:\n"
+        "    add t0, s2, s0\n"
+        "    lw t1, 0(t0)\n"
+        "    xor s5, s5, t1\n"
+        "    li t2, 32\n"
+        "bit:\n"
+        "    andi t3, s5, 1\n"
+        "    srli s5, s5, 1\n"
+        "    beqz t3, nopoly\n"
+        "    xor s5, s5, s7\n"
+        "nopoly:\n"
+        "    addi t2, t2, -1\n"
+        "    bnez t2, bit\n"
+        "    addi s0, s0, 1\n"
+        "    li t4, N\n"
+        "    blt s0, t4, word\n"
+        "    xori t5, s5, 0xffff\n"
+        "    out t5, 1\n"
+        "    out s5, 2\n"
+        "    halt\n"
+        ".org 0x8000\ndata:\n",
+        words);
+    src += wl::wordBlock(data);
+    return src;
+}
+
+std::string
+bsearchSource(uint32_t queries, uint64_t seed)
+{
+    Rng rng(seed);
+    constexpr uint32_t TableSize = 512;
+    std::vector<uint32_t> table(TableSize);
+    uint32_t v = 0;
+    for (auto &x : table) {
+        v += 1 + static_cast<uint32_t>(rng.below(50));
+        x = v;
+    }
+    std::vector<uint32_t> keys(queries);
+    for (auto &k : keys)
+        k = table[rng.below(TableSize)] + (rng.chance(0.5) ? 0 : 1);
+
+    std::string src = strfmt(
+        "    .equ Q, %u\n"
+        "    .equ TS, %u\n"
+        "    la s2, table\n"
+        "    la s3, keys\n"
+        "    li s0, 0\n"            // query index
+        "    li s5, 0\n"            // hit count
+        "    li s6, 0\n"            // probe count
+        "query:\n"
+        "    add t0, s3, s0\n"
+        "    lw t1, 0(t0)\n"        // key
+        "    li t2, 0\n"            // lo
+        "    li t3, TS\n"           // hi (exclusive)
+        "probe:\n"
+        "    bge t2, t3, miss\n"
+        "    add t4, t2, t3\n"
+        "    srli t4, t4, 1\n"      // mid
+        "    add t5, s2, t4\n"
+        "    lw t6, 0(t5)\n"
+        "    addi s6, s6, 1\n"
+        "    beq t6, t1, hit\n"
+        "    bltu t6, t1, golo\n"
+        "    mv t3, t4\n"           // hi = mid
+        "    j probe\n"
+        "golo:\n"
+        "    addi t2, t4, 1\n"      // lo = mid + 1
+        "    j probe\n"
+        "hit:\n"
+        "    addi s5, s5, 1\n"
+        "miss:\n"
+        "    addi s0, s0, 1\n"
+        "    li t6, Q\n"
+        "    blt s0, t6, query\n"
+        "    out s5, 1\n"
+        "    out s6, 2\n"
+        "    halt\n"
+        ".org 0x8000\ntable:\n",
+        queries, TableSize);
+    src += wl::wordBlock(table);
+    src += ".org 0x9000\nkeys:\n";
+    src += wl::wordBlock(keys);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+microFib(uint32_t steps)
+{
+    return makePair("fib", "iterative fibonacci", fibSource, steps);
+}
+
+Workload
+microSieve(uint32_t limit)
+{
+    return makePair("sieve", "sieve of Eratosthenes", sieveSource,
+                    limit);
+}
+
+Workload
+microMatmul(uint32_t reps)
+{
+    return makePair("matmul", "8x8 integer matrix multiply",
+                    matmulSource, reps);
+}
+
+Workload
+microQsort(uint32_t elems)
+{
+    return makePair("qsort", "recursive quicksort", qsortSource,
+                    elems);
+}
+
+Workload
+microCrc(uint32_t words)
+{
+    return makePair("crc", "bitwise CRC-32", crcSource, words);
+}
+
+Workload
+microBsearch(uint32_t queries)
+{
+    return makePair("bsearch", "binary search batch", bsearchSource,
+                    queries);
+}
+
+std::vector<Workload>
+microWorkloads()
+{
+    return {microFib(),  microSieve(),   microMatmul(),
+            microQsort(), microCrc(),    microBsearch()};
+}
+
+} // namespace mssp

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Micro-workloads: six classic kernels (fibonacci, sieve, matrix
+ * multiply, recursive quicksort, CRC, binary search) written in
+ * μRISC assembly. They complement the SPECint analogues as quick
+ * regression workloads, documentation-grade examples of the ISA, and
+ * MSSP stress cases (quicksort exercises true recursion, so task
+ * live-ins include stack state).
+ */
+
+#ifndef MSSP_WORKLOADS_MICRO_HH
+#define MSSP_WORKLOADS_MICRO_HH
+
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+Workload microFib(uint32_t steps = 2000);
+Workload microSieve(uint32_t limit = 2000);
+Workload microMatmul(uint32_t reps = 40);
+Workload microQsort(uint32_t elems = 180);
+Workload microCrc(uint32_t words = 1500);
+Workload microBsearch(uint32_t queries = 800);
+
+/** All six micro-workloads at default sizes. */
+std::vector<Workload> microWorkloads();
+
+} // namespace mssp
+
+#endif // MSSP_WORKLOADS_MICRO_HH

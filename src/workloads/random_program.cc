@@ -1,0 +1,167 @@
+#include "workloads/random_program.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+/** Registers the generator is allowed to clobber freely. */
+const char *kPool[] = {"t0", "t1", "t2", "t3", "t4", "t5"};
+constexpr unsigned kPoolSize = 6;
+
+const char *
+pick(Rng &rng)
+{
+    return kPool[rng.below(kPoolSize)];
+}
+
+/** Emit one random ALU op over the register pool into @p out. */
+void
+emitAluOp(Rng &rng, std::string &out, const char *acc)
+{
+    static const char *ops[] = {"add", "sub", "xor", "and", "or",
+                                "mul", "slt", "sltu", "sll", "srl"};
+    const char *op = ops[rng.below(10)];
+    const char *a = pick(rng);
+    const char *b = pick(rng);
+    // Shift amounts must stay small: mask the operand first.
+    if (op[0] == 's' && (op[1] == 'l' || op[1] == 'r')) {
+        out += strfmt("    andi %s, %s, 7\n", b, b);
+    }
+    out += strfmt("    %s %s, %s, %s\n", op, pick(rng), a, b);
+    out += strfmt("    add %s, %s, %s\n", acc, acc, a);
+}
+
+} // anonymous namespace
+
+std::string
+randomProgramSource(uint64_t seed, const RandomProgramOptions &opts)
+{
+    Rng rng(seed);
+    MSSP_ASSERT((opts.dataWords & (opts.dataWords - 1)) == 0);
+    uint32_t mask = opts.dataWords - 1;
+
+    std::string src;
+    src += "; random program, seed " + std::to_string(seed) + "\n";
+
+    unsigned phases = static_cast<unsigned>(
+        rng.range(opts.minPhases, opts.maxPhases));
+    bool use_call = opts.allowCalls && rng.chance(0.7);
+
+    // s0 = loop counter, s1 = accumulator/checksum, s2 = data base,
+    // s3 = phase-local scratch index.
+    src += "    la s2, data\n";
+    src += "    li s1, 1\n";
+
+    for (unsigned ph = 0; ph < phases; ++ph) {
+        unsigned iters = static_cast<unsigned>(
+            rng.range(opts.minIters, opts.maxIters));
+        unsigned body_ops = static_cast<unsigned>(
+            rng.range(opts.minBodyOps, opts.maxBodyOps));
+
+        src += strfmt("    li s0, %u\n", iters);
+        src += strfmt("    li s3, %u\n",
+                      static_cast<unsigned>(rng.below(opts.dataWords)));
+        src += strfmt("phase%u:\n", ph);
+
+        // Seed the pool from the array so values vary.
+        src += strfmt("    andi s3, s3, %u\n", mask);
+        src += "    add t0, s2, s3\n";
+        src += "    lw t1, 0(t0)\n";
+
+        for (unsigned i = 0; i < body_ops; ++i) {
+            if (opts.allowMmio && rng.chance(0.08)) {
+                // A rare device access: read the non-idempotent
+                // counter or emit an observable device write.
+                src += "    lui t5, 0xffff\n";
+                if (rng.chance(0.5)) {
+                    src += "    lw t4, 0(t5)\n";
+                    src += "    add s1, s1, t4\n";
+                } else {
+                    src += "    sw s1, 8(t5)\n";
+                }
+                continue;
+            }
+            switch (rng.below(6)) {
+              case 0:
+              case 1:
+              case 2:
+                emitAluOp(rng, src, "s1");
+                break;
+              case 3: {
+                // Array load with masked index.
+                const char *idx = pick(rng);
+                src += strfmt("    andi %s, %s, %u\n", idx, idx, mask);
+                src += strfmt("    add t5, s2, %s\n", idx);
+                src += strfmt("    lw %s, 0(t5)\n", pick(rng));
+                break;
+              }
+              case 4: {
+                if (!opts.allowStores) {
+                    emitAluOp(rng, src, "s1");
+                    break;
+                }
+                const char *idx = pick(rng);
+                src += strfmt("    andi %s, %s, %u\n", idx, idx, mask);
+                src += strfmt("    add t5, s2, %s\n", idx);
+                src += strfmt("    sw s1, 0(t5)\n");
+                break;
+              }
+              default: {
+                if (!opts.allowRareBranches) {
+                    emitAluOp(rng, src, "s1");
+                    break;
+                }
+                // A biased branch: fires when s0 % P == 0.
+                unsigned prime = 31 + 2 * static_cast<unsigned>(
+                    rng.below(20));
+                src += strfmt("    li t5, %u\n", prime);
+                src += "    rem t5, s0, t5\n";
+                src += strfmt("    bnez t5, ph%u_skip%u\n", ph, i);
+                src += strfmt("    addi s1, s1, %d\n",
+                              static_cast<int>(rng.range(1, 99)));
+                src += strfmt("ph%u_skip%u:\n", ph, i);
+                break;
+              }
+            }
+        }
+
+        if (use_call && rng.chance(0.5)) {
+            src += "    mv a0, s1\n";
+            src += "    call mixer\n";
+            src += "    mv s1, a0\n";
+        }
+
+        src += "    addi s3, s3, 1\n";
+        src += "    addi s0, s0, -1\n";
+        src += strfmt("    bnez s0, phase%u\n", ph);
+        src += strfmt("    out s1, %u\n", ph + 1);
+    }
+
+    src += "    out s1, 0\n";
+    src += "    halt\n";
+
+    if (use_call) {
+        src += "mixer:\n";
+        src += "    slli t6, a0, 3\n";
+        src += "    xor a0, a0, t6\n";
+        src += "    srli t6, a0, 7\n";
+        src += "    add a0, a0, t6\n";
+        src += "    ret\n";
+    }
+
+    src += ".org 0x8000\ndata:\n";
+    for (unsigned i = 0; i < opts.dataWords; ++i) {
+        src += strfmt(".word %u\n",
+                      static_cast<uint32_t>(rng.below(1u << 16)));
+    }
+    return src;
+}
+
+} // namespace mssp

@@ -1,0 +1,29 @@
+#include "workloads/workloads.hh"
+
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+std::vector<Workload>
+specAnalogues(double scale)
+{
+    return {
+        wlGzip(scale),   wlVpr(scale),    wlGcc(scale),
+        wlMcf(scale),    wlCrafty(scale), wlParser(scale),
+        wlEon(scale),    wlPerlbmk(scale), wlGap(scale),
+        wlVortex(scale), wlBzip2(scale),  wlTwolf(scale),
+    };
+}
+
+Workload
+workloadByName(const std::string &name, double scale)
+{
+    for (auto &w : specAnalogues(scale)) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace mssp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * bzip2 analogue: run-length coding followed by block sorting passes.
+ * Character: two phases with different branch structure — an RLE scan
+ * with a run-continue branch, then bubble passes whose swap branch
+ * converges from 50/50 toward not-taken as blocks get sorted.
+ */
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t n, uint32_t sort_passes, uint64_t seed)
+{
+    Rng rng(seed);
+    // Runs of symbols: RLE-friendly.
+    std::vector<uint32_t> block;
+    block.reserve(n);
+    while (block.size() < n) {
+        uint32_t sym = static_cast<uint32_t>(rng.below(64));
+        uint32_t run = 1 + static_cast<uint32_t>(rng.below(6));
+        for (uint32_t i = 0; i < run && block.size() < n; ++i)
+            block.push_back(sym);
+    }
+
+    std::string src;
+    src +=
+        "    la s2, block\n"
+        "    la s4, params\n"
+        "    lw s0, 0(s4)\n"          // N
+        "    li s5, 0\n"              // rle checksum
+        "    li s6, 0\n"              // run count
+        // ---- Phase 1: RLE scan --------------------------------------
+        "    li s1, 1\n"              // i
+        "    lw t1, 0(s2)\n"          // current symbol
+        "    li t2, 1\n";             // run length
+    src += wl::fatInit();
+    src += "rle:\n";
+    src += wl::fatBody("r", "s1");
+    src +=
+        "    add t0, s2, s1\n"
+        "    lw t3, 0(t0)\n"
+        "    bne t3, t1, runend\n"    // run-continue is common
+        "    addi t2, t2, 1\n"
+        "    j rlenext\n"
+        "runend:\n"
+        "    mul t4, t1, t2\n"
+        "    add s5, s5, t4\n"
+        "    addi s6, s6, 1\n"
+        "    mv t1, t3\n"
+        "    li t2, 1\n"
+        "rlenext:\n"
+        "    addi s1, s1, 1\n"
+        "    blt s1, s0, rle\n"
+        "    out s5, 1\n"
+        "    out s6, 2\n"
+        // ---- Phase 2: bubble passes over the block -------------------
+        "    lw s7, 1(s4)\n"          // passes
+        "sortpass:\n"
+        "    li s1, 0\n"
+        "    addi s3, s0, -1\n"
+        "inner:\n";
+    src += wl::fatBody("i", "s1");
+    src += strfmt(
+        "    add t0, s2, s1\n"
+        "    lw t1, 0(t0)\n"
+        "    lw t2, 1(t0)\n"
+        "    bge t2, t1, nosw\n"      // converges toward taken
+        "    sw t2, 0(t0)\n"
+        "    sw t1, 1(t0)\n"
+        "nosw:\n"
+        "    addi s1, s1, 1\n"
+        "    blt s1, s3, inner\n"
+        "    addi s7, s7, -1\n"
+        "    bnez s7, sortpass\n"
+        // ---- Checksum of the (partially) sorted block ----------------
+        "    li s1, 0\n"
+        "    li s5, 0\n"
+        "cksum:\n"
+        "    add t0, s2, s1\n"
+        "    lw t1, 0(t0)\n"
+        "    slli t2, s5, 1\n"
+        "    xor s5, t2, t1\n"
+        "    addi s1, s1, 1\n"
+        "    blt s1, s0, cksum\n"
+        "    out s5, 3\n"
+        "    halt\n"
+        ".org 0x7000\n"
+        "params: .word %u, %u\n",
+        n, sort_passes);
+    src += wl::fatData();
+    src += ".org 0x8000\nblock:\n";
+    src += wl::wordBlock(block);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlBzip2(double scale)
+{
+    Workload w;
+    w.name = "bzip2";
+    w.description = "run-length coding + block sort";
+    w.refSource = source(wl::scaled(scale, 2600, 64),
+                         wl::scaled(scale, 24, 2), 0xB219);
+    w.trainSource = source(wl::scaled(scale, 1000, 32),
+                           wl::scaled(scale, 8, 2), 0x2222);
+    return w;
+}
+
+} // namespace mssp

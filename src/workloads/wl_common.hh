@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Internal helpers shared by the workload generators.
+ */
+
+#ifndef MSSP_WORKLOADS_WL_COMMON_HH
+#define MSSP_WORKLOADS_WL_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace mssp::wl
+{
+
+/** Emit a .word data block (8 values per line). */
+inline std::string
+wordBlock(const std::vector<uint32_t> &values)
+{
+    std::string out;
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i % 8 == 0)
+            out += ".word ";
+        out += std::to_string(values[i]);
+        out += (i % 8 == 7 || i + 1 == values.size()) ? "\n" : ", ";
+    }
+    return out;
+}
+
+/** Random vector of n values in [0, bound). */
+inline std::vector<uint32_t>
+randomWords(Rng &rng, size_t n, uint32_t bound)
+{
+    std::vector<uint32_t> v(n);
+    for (auto &x : v)
+        x = static_cast<uint32_t>(rng.below(bound));
+    return v;
+}
+
+/** Scale helper: max(lo, round(base * scale)). */
+inline uint32_t
+scaled(double scale, uint32_t base, uint32_t lo = 8)
+{
+    auto v = static_cast<uint32_t>(static_cast<double>(base) * scale);
+    return v < lo ? lo : v;
+}
+
+/**
+ * Hot-loop "fat": the per-iteration overhead real programs carry and
+ * the paper's distiller removes — a bounds assertion (never fires), a
+ * debug-mode guard (flag is invariant zero) and a status-word store
+ * (always silent). Together they are the honest distillation headroom
+ * of the workload suite: branch pruning + DCE deletes the assertion
+ * and debug guard, and the paper-preset memory speculation removes
+ * the status store.
+ *
+ * Contract: registers t8, t9 and s9 are reserved for fat; the kernel
+ * must call fatInit() once before its hot loop, include fatBody()
+ * inside the loop (tag must be unique per call site; idx_reg is any
+ * register holding a value < 2^31), and append fatData() to its data
+ * section.
+ */
+inline std::string
+fatInit()
+{
+    return "    la s9, fatdata\n";
+}
+
+inline std::string
+fatBody(const std::string &tag, const char *idx_reg)
+{
+    return strfmt(
+        "    lw t8, 0(s9)\n"             // bounds limit (invariant)
+        "    bltu %s, t8, fat_ok_%s\n"   // assertion: always passes
+        "    addi t9, zero, 1\n"         // never executed
+        "    sw t9, 3(s9)\n"
+        "fat_ok_%s:\n"
+        "    lw t9, 1(s9)\n"             // debug flag (invariant 0)
+        "    beqz t9, fat_nodbg_%s\n"
+        "    slli t9, t9, 2\n"           // never executed: trace
+        "    sw t9, 3(s9)\n"
+        "fat_nodbg_%s:\n"
+        "    lw t8, 2(s9)\n"             // status template (invariant)
+        "    sw t8, 3(s9)\n",            // silent status store
+        idx_reg, tag.c_str(), tag.c_str(), tag.c_str(), tag.c_str());
+}
+
+inline std::string
+fatData()
+{
+    // limit, debug flag, status template, status word (preset to the
+    // template so the status store is silent from the first write).
+    return ".org 0x5f00\nfatdata: .word 0x7fffffff, 0, 7, 7\n";
+}
+
+} // namespace mssp::wl
+
+#endif // MSSP_WORKLOADS_WL_COMMON_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * crafty analogue: bitboard move generation. Character: a bit-
+ * extraction inner loop (isolate LSB, clear, evaluate) over a stream
+ * of position masks, with a rare "special square" branch.
+ */
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t positions, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> boards(positions);
+    for (auto &b : boards)
+        b = static_cast<uint32_t>(rng.next());   // dense masks
+
+    std::string src;
+    src +=
+        "    la s2, boards\n"
+        "    la s4, params\n"
+        "    lw s0, 0(s4)\n"          // positions
+        "    li s1, 0\n"              // index
+        "    li s5, 0\n"              // eval checksum
+        "    li s6, 0\n"              // move count
+        "    li s7, 0x00010000\n";    // the special square
+    src += wl::fatInit();
+    src +=
+        "pos:\n"
+        "    add t0, s2, s1\n"
+        "    lw t1, 0(t0)\n"          // board mask
+        "bits:\n"
+        "    beqz t1, posdone\n";
+    src += wl::fatBody("c", "s6");
+    src += strfmt(
+        "    sub t2, zero, t1\n"
+        "    and t3, t1, t2\n"        // isolate LSB
+        "    xor t1, t1, t3\n"        // clear it
+        "    addi s6, s6, 1\n"
+        "    add s5, s5, t3\n"
+        "    bne t3, s7, plain\n"     // rare: special square
+        "    slli t4, s5, 2\n"        // extra evaluation
+        "    xor s5, s5, t4\n"
+        "    addi s5, s5, 99\n"
+        "plain:\n"
+        "    srli t4, t3, 3\n"
+        "    xor s5, s5, t4\n"
+        "    j bits\n"
+        "posdone:\n"
+        "    addi s1, s1, 1\n"
+        "    blt s1, s0, pos\n"
+        "    out s5, 1\n"
+        "    out s6, 2\n"
+        "    halt\n"
+        ".org 0x7000\n"
+        "params: .word %u\n",
+        positions);
+    src += wl::fatData();
+    src += ".org 0x8000\nboards:\n";
+    src += wl::wordBlock(boards);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlCrafty(double scale)
+{
+    Workload w;
+    w.name = "crafty";
+    w.description = "bitboard move generation";
+    w.refSource = source(wl::scaled(scale, 1700, 32), 0xB0A2D);
+    w.trainSource = source(wl::scaled(scale, 600, 16), 0xCAFE);
+    return w;
+}
+
+} // namespace mssp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * eon analogue: fixed-point ray marching. Character: almost pure ALU
+ * (very little memory traffic), a rare reflection branch — the kind
+ * of program distillation can barely shorten, keeping the suite's
+ * distillability spread realistic.
+ */
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t rays, uint64_t seed)
+{
+    Rng rng(seed);
+    // Per-ray initial positions/directions (fixed point, 8.8).
+    std::vector<uint32_t> origins(2 * rays);
+    for (auto &v : origins)
+        v = static_cast<uint32_t>(rng.below(1 << 12));
+
+    std::string src;
+    src += strfmt(
+        "    la s2, origins\n"
+        "    la s4, params\n"
+        "    lw s0, 0(s4)\n"          // rays
+        "    li s1, 0\n"
+        "    li s5, 0\n"              // accumulated radiance
+        "ray:\n"
+        "    slli t0, s1, 1\n"
+        "    add t0, s2, t0\n"
+        "    lw t1, 0(t0)\n"          // x
+        "    lw t2, 1(t0)\n"          // y
+        "    li t3, 37\n"             // dx
+        "    li t4, 23\n"             // dy
+        "    li a0, 48\n"             // march steps
+        "march:\n"
+        "    add t1, t1, t3\n"
+        "    add t2, t2, t4\n"
+        "    andi t1, t1, 0x3fff\n"
+        "    andi t2, t2, 0x3fff\n"
+        "    mul a1, t1, t1\n"
+        "    mul a2, t2, t2\n"
+        "    add a3, a1, a2\n"
+        "    srli a3, a3, 8\n"        // dist^2 >> 8
+        "    li a4, 900\n"
+        "    bge a3, a4, nomiss\n"    // biased taken: no hit
+        "    sub t3, zero, t3\n"      // rare: reflect
+        "    addi t4, t4, 7\n"
+        "    addi s5, s5, 64\n"
+        "nomiss:\n"
+        "    srli a5, a3, 6\n"
+        "    add s5, s5, a5\n"
+        "    addi a0, a0, -1\n"
+        "    bnez a0, march\n"
+        "    addi s1, s1, 1\n"
+        "    blt s1, s0, ray\n"
+        "    out s5, 1\n"
+        "    halt\n"
+        ".org 0x7000\n"
+        "params: .word %u\n"
+        ".org 0x8000\n"
+        "origins:\n",
+        rays);
+    src += wl::wordBlock(origins);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlEon(double scale)
+{
+    Workload w;
+    w.name = "eon";
+    w.description = "fixed-point ray marching";
+    w.refSource = source(wl::scaled(scale, 420, 16), 0xE01);
+    w.trainSource = source(wl::scaled(scale, 150, 8), 0xE02);
+    return w;
+}
+
+} // namespace mssp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * gap analogue: multi-word (bignum) arithmetic. Character: carry-
+ * chain loops over 16-word numbers, a rare normalization branch, and
+ * a function call in the hot path.
+ */
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t rounds, uint64_t seed)
+{
+    Rng rng(seed);
+    constexpr uint32_t Limbs = 16;
+    // 16.16-style limbs kept below 2^16 so carries are explicit.
+    std::vector<uint32_t> a = wl::randomWords(rng, Limbs, 1 << 16);
+    std::vector<uint32_t> b = wl::randomWords(rng, Limbs, 1 << 16);
+
+    std::string src;
+    src +=
+        "    la s2, numa\n"
+        "    la s3, numb\n"
+        "    la s4, params\n"
+        "    lw s0, 0(s4)\n"          // rounds
+        "    li s5, 0\n";             // checksum
+    src += wl::fatInit();
+    src += strfmt(
+        "round:\n"
+        "    call bigadd\n"
+        "    andi t0, s5, 255\n"
+        "    bnez t0, noscale\n"      // biased taken
+        "    li t1, 0\n"              // rare: halve every limb
+        "shrink:\n"
+        "    add t2, s2, t1\n"
+        "    lw t3, 0(t2)\n"
+        "    srli t3, t3, 1\n"
+        "    sw t3, 0(t2)\n"
+        "    addi t1, t1, 1\n"
+        "    li t4, %u\n"
+        "    blt t1, t4, shrink\n"
+        "noscale:\n"
+        "    addi s0, s0, -1\n"
+        "    bnez s0, round\n"
+        "    out s5, 1\n"
+        "    halt\n"
+        // a += b with carry propagation; limbs stay < 2^16.
+        "bigadd:\n"
+        "    li a0, 0\n"              // limb index
+        "    li a1, 0\n"              // carry
+        "addlimb:\n",
+        Limbs);
+    src += wl::fatBody("b", "a0");
+    src += strfmt(
+        "    add t0, s2, a0\n"
+        "    lw t1, 0(t0)\n"
+        "    add t2, s3, a0\n"
+        "    lw t3, 0(t2)\n"
+        "    add t4, t1, t3\n"
+        "    add t4, t4, a1\n"
+        "    srli a1, t4, 16\n"       // carry out
+        "    andi t4, t4, 0xffff\n"
+        "    sw t4, 0(t0)\n"
+        "    add s5, s5, t4\n"
+        "    addi a0, a0, 1\n"
+        "    li t5, %u\n"
+        "    blt a0, t5, addlimb\n"
+        "    ret\n"
+        ".org 0x7000\n"
+        "params: .word %u\n",
+        Limbs, rounds);
+    src += wl::fatData();
+    src += ".org 0x7800\nnuma:\n";
+    src += wl::wordBlock(a);
+    src += ".org 0x7900\nnumb:\n";
+    src += wl::wordBlock(b);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlGap(double scale)
+{
+    Workload w;
+    w.name = "gap";
+    w.description = "multi-word bignum arithmetic";
+    w.refSource = source(wl::scaled(scale, 1500, 32), 0x6A9);
+    w.trainSource = source(wl::scaled(scale, 550, 16), 0x6AA);
+    return w;
+}
+
+} // namespace mssp

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * gcc analogue: worklist dataflow analysis over an array-encoded CFG.
+ * Character: a pop/compute/push worklist loop whose "value changed"
+ * branch starts hot and converges to strongly not-taken — the profile
+ * structure optimizing compilers exhibit.
+ */
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t pops, uint64_t seed)
+{
+    Rng rng(seed);
+    constexpr uint32_t Nodes = 256;
+    // Each node: two successors; meet = AND of successor values, so
+    // values converge monotonically toward zero.
+    std::vector<uint32_t> edges(2 * Nodes);
+    for (auto &e : edges)
+        e = static_cast<uint32_t>(rng.below(Nodes));
+    std::vector<uint32_t> vals = wl::randomWords(rng, Nodes,
+                                                 0xffffffffu);
+    std::vector<uint32_t> queue(Nodes);
+    for (uint32_t i = 0; i < Nodes; ++i)
+        queue[i] = i;
+
+    std::string src;
+    src +=
+        "    la s2, edges\n"
+        "    la s3, vals\n"
+        "    la s4, params\n"
+        "    la s8, wq\n"
+        "    lw s0, 0(s4)\n"          // pop budget
+        "    li s5, 0\n"              // head
+        "    lw s6, 1(s4)\n"          // tail (preseeded queue)
+        "    li s7, 0\n";             // checksum
+    src += wl::fatInit();
+    src += "work:\n";
+    src += wl::fatBody("w", "s0");
+    src += strfmt(
+        "    andi t0, s5, 1023\n"
+        "    add t0, s8, t0\n"
+        "    lw t1, 0(t0)\n"          // node
+        "    addi s5, s5, 1\n"
+        "    slli t2, t1, 1\n"
+        "    add t2, s2, t2\n"
+        "    lw t3, 0(t2)\n"          // succ a
+        "    lw t4, 1(t2)\n"          // succ b
+        "    add a0, s3, t3\n"
+        "    lw a1, 0(a0)\n"
+        "    add a2, s3, t4\n"
+        "    lw a3, 0(a2)\n"
+        "    and a4, a1, a3\n"        // meet
+        "    add a5, s3, t1\n"
+        "    lw a6, 0(a5)\n"
+        "    beq a4, a6, nochange\n"  // converges to strongly taken
+        "    sw a4, 0(a5)\n"
+        "    andi t5, s6, 1023\n"     // push both successors
+        "    add t5, s8, t5\n"
+        "    sw t3, 0(t5)\n"
+        "    addi s6, s6, 1\n"
+        "    andi t5, s6, 1023\n"
+        "    add t5, s8, t5\n"
+        "    sw t4, 0(t5)\n"
+        "    addi s6, s6, 1\n"
+        "    add s7, s7, a4\n"
+        "nochange:\n"
+        "    addi s0, s0, -1\n"
+        "    bnez s0, work\n"
+        "    out s7, 1\n"
+        "    out s6, 2\n"
+        "    halt\n"
+        ".org 0x6000\n"
+        "params: .word %u, %u\n",
+        pops, Nodes);
+    src += wl::fatData();
+    src += ".org 0x6800\nwq:\n";
+    src += wl::wordBlock(queue);
+    src += ".space 800\n";            // queue capacity headroom
+    src += ".org 0x7800\nedges:\n";
+    src += wl::wordBlock(edges);
+    src += ".org 0x8800\nvals:\n";
+    src += wl::wordBlock(vals);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlGcc(double scale)
+{
+    Workload w;
+    w.name = "gcc";
+    w.description = "worklist dataflow over an array CFG";
+    w.refSource = source(wl::scaled(scale, 13000, 64), 0xCC0FFEE);
+    w.trainSource = source(wl::scaled(scale, 5000, 32), 0xC0DE);
+    return w;
+}
+
+} // namespace mssp

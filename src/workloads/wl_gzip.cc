@@ -1,0 +1,110 @@
+/**
+ * @file
+ * gzip analogue: LZ-style compression with a hash-chain match search.
+ * Character: medium-biased match branches, small hash-table working
+ * set, one hot loop with a short nested match-length loop.
+ */
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    // Compressible input: runs of repeated symbols over a small
+    // alphabet, so matches are found but misses stay common.
+    std::vector<uint32_t> input;
+    input.reserve(n);
+    while (input.size() < n) {
+        uint32_t sym = static_cast<uint32_t>(rng.below(48));
+        uint32_t run = 1 + static_cast<uint32_t>(rng.below(4));
+        for (uint32_t i = 0; i < run && input.size() < n; ++i)
+            input.push_back(sym);
+    }
+
+    std::string src;
+    src +=
+        "    la s2, input\n"
+        "    la s3, htab\n"
+        "    la s4, params\n"
+        "    lw s0, 0(s4)\n"          // N
+        "    li s1, 0\n"              // i
+        "    li s5, 0\n"              // checksum
+        "    li s6, 0\n";             // total match length
+    src += wl::fatInit();
+    src += "main:\n";
+    src += wl::fatBody("g", "s1");
+    src += strfmt(
+        "    add t0, s2, s1\n"
+        "    lw t1, 0(t0)\n"          // in[i]
+        "    lw t2, 1(t0)\n"          // in[i+1]
+        "    li t3, 31\n"
+        "    mul t3, t1, t3\n"
+        "    add t3, t3, t2\n"
+        "    andi t3, t3, 255\n"      // h
+        "    add t4, s3, t3\n"
+        "    lw t5, 0(t4)\n"          // cand+1
+        "    addi t6, s1, 1\n"
+        "    sw t6, 0(t4)\n"          // htab[h] = i+1
+        "    add s5, s5, t1\n"        // literal checksum
+        "    beqz t5, nomatch\n"
+        "    addi t5, t5, -1\n"       // cand
+        "    add t6, s2, t5\n"
+        "    lw t6, 0(t6)\n"
+        "    bne t6, t1, nomatch\n"   // first-symbol probe
+        "    li a0, 0\n"              // match length
+        "mlen:\n"
+        "    add t0, s2, s1\n"
+        "    add t0, t0, a0\n"
+        "    lw t1, 0(t0)\n"
+        "    add t2, s2, t5\n"
+        "    add t2, t2, a0\n"
+        "    lw t2, 0(t2)\n"
+        "    bne t1, t2, mdone\n"
+        "    addi a0, a0, 1\n"
+        "    li t3, 8\n"
+        "    blt a0, t3, mlen\n"
+        "mdone:\n"
+        "    add s6, s6, a0\n"
+        "    slli t3, a0, 4\n"
+        "    xor s5, s5, t3\n"
+        "nomatch:\n"
+        "    addi s1, s1, 1\n"
+        "    lw t0, 0(s4)\n"
+        "    addi t0, t0, -9\n"
+        "    blt s1, t0, main\n"
+        "    out s5, 1\n"
+        "    out s6, 2\n"
+        "    halt\n"
+        ".org 0x7000\n"
+        "params: .word %u\n"
+        ".org 0x7800\n"
+        "htab: .space 256\n",
+        n);
+    src += wl::fatData();
+    src += ".org 0x8000\ninput:\n";
+    src += wl::wordBlock(input);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlGzip(double scale)
+{
+    Workload w;
+    w.name = "gzip";
+    w.description = "LZ-style hash-match compression";
+    w.refSource = source(wl::scaled(scale, 9000, 64), 0xA11CE);
+    w.trainSource = source(wl::scaled(scale, 3000, 32), 0x7EA1);
+    return w;
+}
+
+} // namespace mssp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * mcf analogue: network-simplex-style pointer chasing. Character:
+ * serial dependent loads over a linked node structure, large-ish
+ * working set, a rare store on a cost threshold.
+ */
+
+#include <numeric>
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t nodes, uint32_t passes, uint64_t seed)
+{
+    Rng rng(seed);
+    // Random single-cycle permutation (next pointers) with costs.
+    std::vector<uint32_t> perm(nodes);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (uint32_t i = nodes - 1; i > 0; --i) {
+        auto j = static_cast<uint32_t>(rng.below(i + 1));
+        std::swap(perm[i], perm[j]);
+    }
+    // next[perm[k]] = perm[k+1]: one big cycle.
+    std::vector<uint32_t> layout(2 * nodes);
+    for (uint32_t k = 0; k < nodes; ++k) {
+        uint32_t from = perm[k];
+        uint32_t to = perm[(k + 1) % nodes];
+        layout[2 * from] = to;
+        layout[2 * from + 1] =
+            static_cast<uint32_t>(rng.below(512)) + 1;
+    }
+
+    std::string src;
+    src +=
+        "    la s2, nodes\n"
+        "    la s4, params\n"
+        "    lw s3, 0(s4)\n"            // passes
+        "    li s5, 0\n";               // cost accumulator
+    src += wl::fatInit();
+    src +=
+        "pass:\n"
+        "    li s0, 0\n"                // current node
+        "    lw s6, 1(s4)\n"            // hops per pass
+        "hop:\n";
+    src += wl::fatBody("h", "s6");
+    src += strfmt(
+        "    slli t0, s0, 1\n"
+        "    add t0, s2, t0\n"
+        "    lw s0, 0(t0)\n"            // follow next pointer
+        "    lw t1, 1(t0)\n"            // edge cost
+        "    add s5, s5, t1\n"
+        "    andi t2, s5, 1023\n"
+        "    bnez t2, nohit\n"          // biased taken
+        "    addi t3, t1, 3\n"          // rare: rebalance the edge
+        "    sw t3, 1(t0)\n"
+        "nohit:\n"
+        "    addi s6, s6, -1\n"
+        "    bnez s6, hop\n"
+        "    addi s3, s3, -1\n"
+        "    bnez s3, pass\n"
+        "    out s5, 1\n"
+        "    out s0, 2\n"
+        "    halt\n"
+        ".org 0x7000\n"
+        "params: .word %u, %u\n",
+        passes, nodes);
+    src += wl::fatData();
+    src += ".org 0x8000\nnodes:\n";
+    src += wl::wordBlock(layout);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlMcf(double scale)
+{
+    Workload w;
+    w.name = "mcf";
+    w.description = "linked-list network pointer chasing";
+    w.refSource = source(1024, wl::scaled(scale, 26, 2), 0x5CA1E);
+    w.trainSource = source(1024, wl::scaled(scale, 9, 2), 0x7A21);
+    return w;
+}
+
+} // namespace mssp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * parser analogue: a finite-state tokenizer over a character-class
+ * stream. Character: a skewed multi-way branch per input symbol, a
+ * small state machine in registers, rare expensive escape handling.
+ */
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    // Character classes: 0 letter (70%), 1 space (20%), 2 digit (7%),
+    // 3 punctuation (3%, expensive path).
+    std::vector<uint32_t> text(n);
+    for (auto &c : text) {
+        double u = rng.uniform();
+        c = u < 0.70 ? 0 : u < 0.90 ? 1 : u < 0.97 ? 2 : 3;
+    }
+
+    std::string src;
+    src +=
+        "    la s2, text\n"
+        "    la s4, params\n"
+        "    lw s0, 0(s4)\n"           // N
+        "    li s1, 0\n"               // i
+        "    li s5, 0\n"               // state
+        "    li s6, 0\n"               // token count
+        "    li s7, 0\n";              // checksum
+    src += wl::fatInit();
+    src += "scan:\n";
+    src += wl::fatBody("p", "s1");
+    src += strfmt(
+        "    add t0, s2, s1\n"
+        "    lw t1, 0(t0)\n"           // class
+        "    beqz t1, cl_letter\n"     // 70% taken
+        "    li t2, 1\n"
+        "    beq t1, t2, cl_space\n"
+        "    li t2, 2\n"
+        "    beq t1, t2, cl_digit\n"
+        // punctuation: expensive escape handling (rare).
+        "    li t3, 6\n"
+        "esc:\n"
+        "    slli t4, s7, 1\n"
+        "    xor s7, t4, t1\n"
+        "    addi t3, t3, -1\n"
+        "    bnez t3, esc\n"
+        "    li s5, 0\n"
+        "    j next\n"
+        "cl_letter:\n"
+        "    bnez s5, in_word\n"       // continuing a word
+        "    addi s6, s6, 1\n"         // new token
+        "in_word:\n"
+        "    li s5, 1\n"
+        "    addi s7, s7, 13\n"
+        "    j next\n"
+        "cl_space:\n"
+        "    li s5, 0\n"
+        "    j next\n"
+        "cl_digit:\n"
+        "    li s5, 2\n"
+        "    slli t4, s7, 1\n"
+        "    add s7, t4, t1\n"
+        "next:\n"
+        "    addi s1, s1, 1\n"
+        "    blt s1, s0, scan\n"
+        "    out s6, 1\n"
+        "    out s7, 2\n"
+        "    halt\n"
+        ".org 0x7000\n"
+        "params: .word %u\n",
+        n);
+    src += wl::fatData();
+    src += ".org 0x8000\ntext:\n";
+    src += wl::wordBlock(text);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlParser(double scale)
+{
+    Workload w;
+    w.name = "parser";
+    w.description = "finite-state tokenizer";
+    w.refSource = source(wl::scaled(scale, 16000, 64), 0x9A55);
+    w.trainSource = source(wl::scaled(scale, 6000, 32), 0x3A3A);
+    return w;
+}
+
+} // namespace mssp

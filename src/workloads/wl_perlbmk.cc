@@ -1,0 +1,97 @@
+/**
+ * @file
+ * perlbmk analogue: string pattern matching. Character: an outer scan
+ * loop whose first-character probe is heavily mismatch-biased, with a
+ * short nested full-compare loop on probe hits.
+ */
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    constexpr uint32_t PatLen = 8;
+    std::vector<uint32_t> pattern(PatLen);
+    for (auto &c : pattern)
+        c = static_cast<uint32_t>(rng.below(26));
+    std::vector<uint32_t> text(n);
+    for (auto &c : text)
+        c = static_cast<uint32_t>(rng.below(26));
+    // Plant the pattern every ~500 symbols so matches exist.
+    for (uint32_t at = 100; at + PatLen < n; at += 500) {
+        for (uint32_t k = 0; k < PatLen; ++k)
+            text[at + k] = pattern[k];
+    }
+
+    std::string src;
+    src +=
+        "    la s2, text\n"
+        "    la s3, pattern\n"
+        "    la s4, params\n"
+        "    lw s0, 0(s4)\n"          // N - PatLen
+        "    li s1, 0\n"              // i
+        "    li s5, 0\n"              // match count
+        "    li s6, 0\n"              // checksum
+        "    lw s7, 0(s3)\n";         // pat[0]
+    src += wl::fatInit();
+    src += "scan:\n";
+    src += wl::fatBody("m", "s1");
+    src += strfmt(
+        "    add t0, s2, s1\n"
+        "    lw t1, 0(t0)\n"
+        "    add s6, s6, t1\n"
+        "    bne t1, s7, miss\n"      // heavily biased taken
+        "    li t2, 1\n"              // full compare
+        "cmp:\n"
+        "    add t3, s2, s1\n"
+        "    add t3, t3, t2\n"
+        "    lw t4, 0(t3)\n"
+        "    add t5, s3, t2\n"
+        "    lw t6, 0(t5)\n"
+        "    bne t4, t6, miss\n"
+        "    addi t2, t2, 1\n"
+        "    li t3, %u\n"
+        "    blt t2, t3, cmp\n"
+        "    addi s5, s5, 1\n"        // full match
+        "    slli t4, s5, 5\n"
+        "    xor s6, s6, t4\n"
+        "miss:\n"
+        "    addi s1, s1, 1\n"
+        "    blt s1, s0, scan\n"
+        "    out s5, 1\n"
+        "    out s6, 2\n"
+        "    halt\n"
+        ".org 0x7000\n"
+        "params: .word %u\n"
+        ".org 0x7800\n"
+        "pattern:\n",
+        PatLen, n - PatLen);
+    src += wl::wordBlock(pattern);
+    src += wl::fatData();
+    src += ".org 0x8000\ntext:\n";
+    src += wl::wordBlock(text);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlPerlbmk(double scale)
+{
+    Workload w;
+    w.name = "perlbmk";
+    w.description = "string pattern matching";
+    w.refSource = source(wl::scaled(scale, 22000, 128), 0x9E71);
+    w.trainSource = source(wl::scaled(scale, 8000, 64), 0x9E72);
+    return w;
+}
+
+} // namespace mssp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * twolf analogue: standard-cell placement on a grid. Character: an
+ * annealing move loop that evaluates a 4-neighborhood (several
+ * dependent loads with wraparound index arithmetic) and accepts
+ * improvements rarely.
+ */
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t moves, uint64_t seed)
+{
+    Rng rng(seed);
+    constexpr uint32_t Grid = 256;    // 16x16 cells, mask 255
+    std::vector<uint32_t> grid = wl::randomWords(rng, Grid, 4096);
+
+    std::string src;
+    src +=
+        "    la s2, grid\n"
+        "    la s4, params\n"
+        "    lw s0, 0(s4)\n"          // moves
+        "    li s1, 99991\n"          // LCG state
+        "    li s5, 0\n"              // total cost
+        "    li s6, 0\n"              // accepted moves
+        "    li s7, 69069\n";
+    src += wl::fatInit();
+    src += "move:\n";
+    src += wl::fatBody("t", "s0");
+    src += strfmt(
+        "    mul s1, s1, s7\n"
+        "    addi s1, s1, 12345\n"
+        "    srli t0, s1, 10\n"
+        "    andi t0, t0, 255\n"      // cell c
+        // 4-neighborhood with wraparound (+-1, +-16).
+        "    addi t1, t0, 1\n"
+        "    andi t1, t1, 255\n"
+        "    addi t2, t0, -1\n"
+        "    andi t2, t2, 255\n"
+        "    addi t3, t0, 16\n"
+        "    andi t3, t3, 255\n"
+        "    addi t4, t0, -16\n"
+        "    andi t4, t4, 255\n"
+        "    add t5, s2, t0\n"
+        "    lw a0, 0(t5)\n"          // v(c)
+        "    add t6, s2, t1\n"
+        "    lw a1, 0(t6)\n"
+        "    add t6, s2, t2\n"
+        "    lw a2, 0(t6)\n"
+        "    add t6, s2, t3\n"
+        "    lw a3, 0(t6)\n"
+        "    add t6, s2, t4\n"
+        "    lw a4, 0(t6)\n"
+        "    add a5, a1, a2\n"
+        "    add a5, a5, a3\n"
+        "    add a5, a5, a4\n"
+        "    srli a5, a5, 2\n"        // neighborhood mean
+        "    sub a6, a0, a5\n"        // divergence
+        "    add s5, s5, a6\n"
+        "    li a7, 900\n"
+        "    blt a6, a7, rejectm\n"   // biased taken: keep placement
+        "    sw a5, 0(t5)\n"          // rare: smooth the cell
+        "    addi s6, s6, 1\n"
+        "rejectm:\n"
+        "    addi s0, s0, -1\n"
+        "    bnez s0, move\n"
+        "    out s5, 1\n"
+        "    out s6, 2\n"
+        "    halt\n"
+        ".org 0x7000\n"
+        "params: .word %u\n",
+        moves);
+    src += wl::fatData();
+    src += ".org 0x8000\ngrid:\n";
+    src += wl::wordBlock(grid);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlTwolf(double scale)
+{
+    Workload w;
+    w.name = "twolf";
+    w.description = "grid placement cost annealing";
+    w.refSource = source(wl::scaled(scale, 9500, 64), 0x2017);
+    w.trainSource = source(wl::scaled(scale, 3400, 32), 0x2018);
+    return w;
+}
+
+} // namespace mssp

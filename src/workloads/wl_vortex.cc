@@ -1,0 +1,109 @@
+/**
+ * @file
+ * vortex analogue: an object-database of hash-table operations.
+ * Character: a lookup/insert op stream over chained buckets, probe
+ * loops that usually terminate on the first node, rare chain walks.
+ */
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t ops, uint64_t seed)
+{
+    Rng rng(seed);
+    // Op stream: key in low bits, op in bit 20 (1 = insert).
+    std::vector<uint32_t> stream(ops);
+    for (auto &op : stream) {
+        uint32_t key = static_cast<uint32_t>(rng.below(4096));
+        bool insert = rng.chance(0.25);
+        op = key | (insert ? (1u << 20) : 0);
+    }
+
+    std::string src;
+    src +=
+        "    la s2, stream\n"
+        "    la s3, buckets\n"        // 512 head indices (0 = empty)
+        "    la s8, pool\n"           // node pool: {key, next} pairs
+        "    la s4, params\n"
+        "    lw s0, 0(s4)\n"          // ops
+        "    li s1, 0\n"              // op index
+        "    li s6, 1\n"              // next free node (1-based)
+        "    li s5, 0\n"              // hit counter
+        "    li s7, 0\n";             // checksum
+    src += wl::fatInit();
+    src += "op:\n";
+    src += wl::fatBody("x", "s1");
+    src += strfmt(
+        "    add t0, s2, s1\n"
+        "    lw t1, 0(t0)\n"          // op word
+        "    li t2, 0xfffff\n"
+        "    and t2, t1, t2\n"        // key
+        "    andi t3, t2, 511\n"      // bucket
+        "    add t3, s3, t3\n"
+        "    lw t4, 0(t3)\n"          // head node (1-based, 0 empty)
+        "probe:\n"
+        "    beqz t4, notfound\n"
+        "    addi t5, t4, -1\n"
+        "    slli t5, t5, 1\n"
+        "    add t5, s8, t5\n"
+        "    lw t6, 0(t5)\n"          // node key
+        "    beq t6, t2, found\n"
+        "    lw t4, 1(t5)\n"          // next
+        "    j probe\n"
+        "found:\n"
+        "    addi s5, s5, 1\n"
+        "    add s7, s7, t2\n"
+        "    j opdone\n"
+        "notfound:\n"
+        "    srli t6, t1, 20\n"
+        "    beqz t6, opdone\n"       // lookup miss: nothing to do
+        "    lw t4, 0(t3)\n"          // insert at head
+        "    addi t5, s6, -1\n"
+        "    slli t5, t5, 1\n"
+        "    add t5, s8, t5\n"
+        "    sw t2, 0(t5)\n"          // node.key = key
+        "    sw t4, 1(t5)\n"          // node.next = old head
+        "    sw s6, 0(t3)\n"          // bucket head = new node
+        "    addi s6, s6, 1\n"
+        "    xor s7, s7, t2\n"
+        "opdone:\n"
+        "    addi s1, s1, 1\n"
+        "    blt s1, s0, op\n"
+        "    out s5, 1\n"
+        "    out s7, 2\n"
+        "    out s6, 3\n"
+        "    halt\n"
+        ".org 0x6000\n"
+        "params: .word %u\n"
+        ".org 0x6800\n"
+        "buckets: .space 512\n"
+        ".org 0x7000\n"
+        "pool: .space 8192\n",
+        ops);
+    src += wl::fatData();
+    src += ".org 0x9800\nstream:\n";
+    src += wl::wordBlock(stream);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlVortex(double scale)
+{
+    Workload w;
+    w.name = "vortex";
+    w.description = "hash-table database operations";
+    w.refSource = source(wl::scaled(scale, 3400, 64), 0x40E7);
+    w.trainSource = source(wl::scaled(scale, 1200, 32), 0x40E8);
+    return w;
+}
+
+} // namespace mssp

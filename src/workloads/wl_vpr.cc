@@ -1,0 +1,86 @@
+/**
+ * @file
+ * vpr analogue: simulated-annealing placement. Character: one hot
+ * accept/reject loop, heavily reject-biased branch, random-access
+ * working set, occasional stores on accept.
+ */
+
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+source(uint32_t iters, uint64_t seed)
+{
+    Rng rng(seed);
+    constexpr uint32_t Cells = 256;   // mask 255
+    std::vector<uint32_t> cells = wl::randomWords(rng, Cells, 1024);
+
+    std::string src;
+    src +=
+        "    la s2, cells\n"
+        "    la s4, params\n"
+        "    lw s0, 0(s4)\n"            // iterations
+        "    li s1, 12345\n"            // LCG state
+        "    li s5, 0\n"                // cost accumulator
+        "    li s6, 0\n"                // accepted swaps
+        "    li s7, 1103515245\n";
+    src += wl::fatInit();
+    src += "anneal:\n";
+    src += wl::fatBody("v", "s0");
+    src += strfmt(
+        "    mul s1, s1, s7\n"
+        "    addi s1, s1, 12345\n"
+        "    srli t1, s1, 8\n"
+        "    andi t1, t1, 255\n"        // i
+        "    mul s1, s1, s7\n"
+        "    addi s1, s1, 12345\n"
+        "    srli t2, s1, 8\n"
+        "    andi t2, t2, 255\n"        // j
+        "    add t3, s2, t1\n"
+        "    lw t4, 0(t3)\n"            // c[i]
+        "    add t5, s2, t2\n"
+        "    lw t6, 0(t5)\n"            // c[j]
+        "    sub a0, t4, t6\n"
+        "    sub a1, t1, t2\n"
+        "    mul a2, a0, a1\n"          // delta
+        "    add s5, s5, a2\n"
+        "    li a3, -200000\n"
+        "    bge a2, a3, reject\n"      // heavily biased taken
+        "    sw t6, 0(t3)\n"            // accept: swap
+        "    sw t4, 0(t5)\n"
+        "    addi s6, s6, 1\n"
+        "reject:\n"
+        "    addi s0, s0, -1\n"
+        "    bnez s0, anneal\n"
+        "    out s5, 1\n"
+        "    out s6, 2\n"
+        "    halt\n"
+        ".org 0x7000\n"
+        "params: .word %u\n",
+        iters);
+    src += wl::fatData();
+    src += ".org 0x8000\ncells:\n";
+    src += wl::wordBlock(cells);
+    return src;
+}
+
+} // anonymous namespace
+
+Workload
+wlVpr(double scale)
+{
+    Workload w;
+    w.name = "vpr";
+    w.description = "annealing place-and-route accept loop";
+    w.refSource = source(wl::scaled(scale, 14000, 64), 0xF00D);
+    w.trainSource = source(wl::scaled(scale, 5000, 32), 0xBEEF);
+    return w;
+}
+
+} // namespace mssp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The workload suite: 12 synthetic analogues of SPEC CPU2000 INT.
+ *
+ * The paper evaluated MSSP on SPECint2000 Alpha binaries, which are
+ * not redistributable (and our substrate is μRISC); each kernel here
+ * reproduces the *control- and data-flow character* that makes its
+ * namesake interesting for MSSP — branch bias structure, working-set
+ * behaviour, loop nesting, call density (DESIGN.md §2).
+ *
+ * Every workload provides a ref source (evaluation input) and a train
+ * source (profiling input): identical code, different embedded data,
+ * mirroring SPEC's train/ref arrangement. All workloads emit checksum
+ * OUTs, making output equivalence a strong oracle.
+ */
+
+#ifndef MSSP_WORKLOADS_WORKLOADS_HH
+#define MSSP_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+namespace mssp
+{
+
+/** One benchmark: name + ref/train assembly sources. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    std::string refSource;
+    std::string trainSource;
+};
+
+/**
+ * All 12 SPECint-2000 analogues.
+ *
+ * @param scale size multiplier (1.0 = default evaluation size; tests
+ *              use smaller scales). Dynamic instruction counts scale
+ *              roughly linearly.
+ */
+std::vector<Workload> specAnalogues(double scale = 1.0);
+
+/** Look up one analogue by name ("gzip", "mcf", ...). */
+Workload workloadByName(const std::string &name, double scale = 1.0);
+
+// Individual generators --------------------------------------------------
+Workload wlGzip(double scale);     ///< LZ-style hash-match compression
+Workload wlVpr(double scale);      ///< annealing place-and-route accept loop
+Workload wlGcc(double scale);      ///< worklist dataflow over an array CFG
+Workload wlMcf(double scale);      ///< linked-list network pointer chasing
+Workload wlCrafty(double scale);   ///< bitboard move generation
+Workload wlParser(double scale);   ///< finite-state tokenizer
+Workload wlEon(double scale);      ///< fixed-point ray marching
+Workload wlPerlbmk(double scale);  ///< string pattern matching
+Workload wlGap(double scale);      ///< multi-word bignum arithmetic
+Workload wlVortex(double scale);   ///< hash-table database operations
+Workload wlBzip2(double scale);    ///< run-length coding + block sort
+Workload wlTwolf(double scale);    ///< grid placement cost annealing
+
+} // namespace mssp
+
+#endif // MSSP_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Machine-checking the companion paper's lemmas on the executable
+ * abstract model (src/formal): Lemma 2 (task evolution = seq),
+ * Definition 6/Theorem 2 (consistency + completeness => safety),
+ * Lemma 1/Theorem 1 (safe task sets commit to seq(S, #τ) in *any*
+ * safe order; poor orders only lose work, never correctness), and the
+ * jumping-refinement reading of commits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "asm/assembler.hh"
+#include "exec/seq_machine.hh"
+#include "formal/abstract_model.hh"
+#include "sim/rng.hh"
+
+namespace mssp::formal
+{
+namespace
+{
+
+/** Full machine state (all regs + nonzero memory + pc) of an arch. */
+State
+fullState(const ArchState &arch)
+{
+    State s;
+    for (unsigned r = 1; r < NumRegs; ++r)
+        s.set(makeRegCell(r), arch.readReg(r));
+    for (const auto &[addr, value] : arch.mem().nonzeroWords())
+        s.set(makeMemCell(addr), value);
+    s.set(PcCell, arch.pc());
+    return s;
+}
+
+/** Assemble + load, returning the initial full state. */
+State
+initialState(const std::string &src)
+{
+    Program p = assemble(src);
+    ArchState arch;
+    arch.loadProgram(p);
+    return fullState(arch);
+}
+
+const char *kProgram =
+    "    li t0, 12\n"
+    "    li s0, 0\n"
+    "loop:\n"
+    "    add s0, s0, t0\n"
+    "    addi t0, t0, -1\n"
+    "    bnez t0, loop\n"
+    "    out s0, 1\n"
+    "    halt\n";
+
+TEST(AbstractModel, SeqMatchesConcreteMachine)
+{
+    Program p = assemble(kProgram);
+    State s0 = initialState(kProgram);
+
+    auto s5 = seq(s0, 5);
+    ASSERT_TRUE(s5.has_value());
+
+    SeqMachine machine(p);
+    machine.run(5);
+    EXPECT_EQ(s5->get(PcCell).value(), machine.state().pc());
+    EXPECT_EQ(s5->get(makeRegCell(reg::T0)).value(),
+              machine.state().readReg(reg::T0));
+    EXPECT_EQ(s5->get(makeRegCell(reg::S0)).value(),
+              machine.state().readReg(reg::S0));
+}
+
+TEST(AbstractModel, SeqZeroIsIdentity)
+{
+    State s0 = initialState(kProgram);
+    auto s = seq(s0, 0);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(*s, s0);
+}
+
+TEST(AbstractModel, SeqComposes)
+{
+    // seq(seq(S, a), b) == seq(S, a+b).
+    State s0 = initialState(kProgram);
+    auto left = seq(*seq(s0, 7), 9);
+    auto right = seq(s0, 16);
+    ASSERT_TRUE(left && right);
+    EXPECT_EQ(*left, *right);
+}
+
+TEST(AbstractModel, IncompleteStateIsDetected)
+{
+    // A state missing the PC's instruction cell is not 1-complete.
+    State s;
+    s.set(PcCell, 0x1000);
+    EXPECT_FALSE(seq(s, 1).has_value());
+
+    // Missing a source register is detected too.
+    Program p = assemble("add t0, s5, s6\nhalt\n");
+    State s2;
+    s2.set(PcCell, p.entry());
+    s2.set(makeMemCell(p.entry()), p.word(p.entry()));
+    s2.set(makeMemCell(p.entry() + 1), p.word(p.entry() + 1));
+    s2.set(makeRegCell(reg::S5), 1);
+    // s6 unbound:
+    EXPECT_FALSE(seq(s2, 1).has_value());
+    s2.set(makeRegCell(reg::S6), 2);
+    EXPECT_TRUE(seq(s2, 1).has_value());
+}
+
+TEST(AbstractModel, Lemma2_EvolutionEqualsSeq)
+{
+    State s0 = initialState(kProgram);
+    AbstractTask t;
+    t.in = s0;
+    t.out = s0;     // newly created: <S_in, n, S_in, 0>
+    t.n = 10;
+    ASSERT_TRUE(evolveToCompletion(t));
+    EXPECT_EQ(t.k, 10u);
+    auto expected = seq(s0, 10);
+    ASSERT_TRUE(expected.has_value());
+    EXPECT_EQ(t.out, *expected);   // live_out = seq(live_in, #t)
+}
+
+TEST(AbstractModel, Theorem2_ConsistencyAndCompletenessImplySafety)
+{
+    // Build a task from a *partial* live-in set: the full state is a
+    // superset (t.in ⊑ S), and t.in is n-complete by construction.
+    State s_full = initialState(kProgram);
+    AbstractTask t;
+    t.in = s_full;   // (the paper allows S_in ⊆ S; equality is ⊑ too)
+    t.out = t.in;
+    t.n = 8;
+    ASSERT_TRUE(evolveToCompletion(t));
+
+    ASSERT_TRUE(consistentAndComplete(t, s_full));
+    EXPECT_TRUE(isSafe(t, s_full));
+}
+
+TEST(AbstractModel, StaleLiveInsAreUnsafe)
+{
+    // Advance into the loop so t0 is live, then corrupt it: a task
+    // evolved from the inconsistent state must be unsafe.
+    State s_mid = *seq(initialState(kProgram), 3);
+    State wrong = s_mid;
+    wrong.set(makeRegCell(reg::T0), 999);
+    AbstractTask t;
+    t.in = wrong;
+    t.out = wrong;
+    t.n = 6;
+    ASSERT_TRUE(evolveToCompletion(t));
+    EXPECT_FALSE(t.in.consistentWith(s_mid));
+    EXPECT_FALSE(isSafe(t, s_mid));
+}
+
+/** Build a chain of tasks covering [0, k*n) instructions. */
+std::vector<AbstractTask>
+taskChain(const State &s0, unsigned count, uint64_t n)
+{
+    std::vector<AbstractTask> tasks;
+    State cur = s0;
+    for (unsigned i = 0; i < count; ++i) {
+        AbstractTask t;
+        t.in = cur;
+        t.out = cur;
+        t.n = n;
+        EXPECT_TRUE(evolveToCompletion(t));
+        cur = t.out;
+        tasks.push_back(std::move(t));
+    }
+    return tasks;
+}
+
+TEST(AbstractModel, Lemma1_SafeChainCommitsInOrder)
+{
+    State s0 = initialState(kProgram);
+    auto tasks = taskChain(s0, 4, 6);
+    std::vector<size_t> order = {0, 1, 2, 3};
+    size_t committed = 0;
+    State final_state = msspRun(s0, tasks, order, &committed);
+    EXPECT_EQ(committed, 4u);
+    auto expected = seq(s0, 24);
+    ASSERT_TRUE(expected.has_value());
+    EXPECT_EQ(final_state, *expected);
+}
+
+TEST(AbstractModel, Theorem1_AnyOrderIsCorrectButMayLoseWork)
+{
+    // Every permutation of the commit order yields a state on the
+    // sequential trajectory; in-order commits everything, while a
+    // poor order discards the tasks it orphaned.
+    State s0 = initialState(kProgram);
+    const unsigned count = 4;
+    const uint64_t n = 5;
+    auto tasks = taskChain(s0, count, n);
+
+    // All sequential prefixes: seq(s0, 0), seq(s0, n), ...
+    std::vector<State> prefixes;
+    for (unsigned i = 0; i <= count; ++i)
+        prefixes.push_back(*seq(s0, i * n));
+
+    std::vector<size_t> order(count);
+    std::iota(order.begin(), order.end(), 0);
+    bool some_order_loses_work = false;
+    do {
+        size_t committed = 0;
+        State final_state = msspRun(s0, tasks, order, &committed);
+        // Correctness for *every* order: the result lies on the
+        // sequential trajectory, exactly committed*n insts along.
+        EXPECT_EQ(final_state, prefixes.at(committed));
+        // In-order commits everything.
+        if (std::is_sorted(order.begin(), order.end())) {
+            EXPECT_EQ(committed, count);
+        }
+        if (committed < count)
+            some_order_loses_work = true;
+    } while (std::next_permutation(order.begin(), order.end()));
+    // Efficiency, not correctness, depends on the order (Section 4.3).
+    EXPECT_TRUE(some_order_loses_work);
+}
+
+TEST(AbstractModel, OutOfOrderCommitCountIsPrefixLength)
+{
+    // Make the prefix property exact: with commit order starting at
+    // task j != 0, tasks 0..j-1 may still commit later iff they come
+    // in relative order before state advances past them. For a chain,
+    // the committed count equals the length of the longest prefix of
+    // the *task* sequence that appears as a subsequence in commit
+    // order before any later task... simplest exact oracle: replay.
+    State s0 = initialState(kProgram);
+    const unsigned count = 3;
+    const uint64_t n = 4;
+    auto tasks = taskChain(s0, count, n);
+
+    std::vector<size_t> order(count);
+    std::iota(order.begin(), order.end(), 0);
+    do {
+        size_t committed = 0;
+        State final_state = msspRun(s0, tasks, order, &committed);
+
+        // Oracle: simulate the same discipline directly.
+        size_t expect = 0;
+        {
+            State s = s0;
+            for (size_t idx : order) {
+                if (tasks[idx].in.consistentWith(s) &&
+                    isSafe(tasks[idx], s)) {
+                    s = StateDelta::superimposed(s, tasks[idx].out);
+                    ++expect;
+                }
+            }
+            EXPECT_EQ(final_state, s);
+        }
+        EXPECT_EQ(committed, expect);
+        // Correctness: the final state is always on the seq
+        // trajectory.
+        EXPECT_EQ(final_state, *seq(s0, committed * n));
+    } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(AbstractModel, HaltIsAFixedPoint)
+{
+    State s0 = initialState("halt\n");
+    auto s1 = seq(s0, 1);
+    auto s9 = seq(s0, 9);
+    ASSERT_TRUE(s1 && s9);
+    EXPECT_EQ(*s1, *s9);
+    EXPECT_EQ(*s1, s0);   // halt changes nothing
+}
+
+} // anonymous namespace
+} // namespace mssp::formal

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the two-pass assembler: syntax, directives, pseudo
+ * instructions, labels, error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "asm/program.hh"
+#include "isa/isa.hh"
+#include "sim/logging.hh"
+
+namespace mssp
+{
+namespace
+{
+
+Instruction
+instAt(const Program &p, uint32_t addr)
+{
+    return decode(p.word(addr));
+}
+
+TEST(Assembler, BasicRType)
+{
+    Program p = assemble("add a0, a1, a2\n");
+    EXPECT_EQ(p.entry(), DefaultCodeBase);
+    Instruction i = instAt(p, DefaultCodeBase);
+    EXPECT_EQ(i.op, Opcode::Add);
+    EXPECT_EQ(i.rd, reg::A0);
+    EXPECT_EQ(i.rs1, reg::A1);
+    EXPECT_EQ(i.rs2, reg::A2);
+}
+
+TEST(Assembler, NumericRegisterNames)
+{
+    Program p = assemble("add r5, r6, r7\n");
+    Instruction i = instAt(p, DefaultCodeBase);
+    EXPECT_EQ(i.rd, 5);
+    EXPECT_EQ(i.rs1, 6);
+    EXPECT_EQ(i.rs2, 7);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble(
+        "; leading comment\n"
+        "\n"
+        "  add a0, a0, a0  # trailing\n"
+        "  sub a0, a0, a0  // c++ style\n");
+    EXPECT_EQ(instAt(p, DefaultCodeBase).op, Opcode::Add);
+    EXPECT_EQ(instAt(p, DefaultCodeBase + 1).op, Opcode::Sub);
+}
+
+TEST(Assembler, LoadStoreSyntax)
+{
+    Program p = assemble(
+        "lw a0, 8(sp)\n"
+        "sw a0, -4(sp)\n"
+        "lw a1, (sp)\n");
+    Instruction lw = instAt(p, DefaultCodeBase);
+    EXPECT_EQ(lw.op, Opcode::Lw);
+    EXPECT_EQ(lw.rd, reg::A0);
+    EXPECT_EQ(lw.rs1, reg::Sp);
+    EXPECT_EQ(lw.imm, 8);
+    Instruction sw = instAt(p, DefaultCodeBase + 1);
+    EXPECT_EQ(sw.op, Opcode::Sw);
+    EXPECT_EQ(sw.rs1, reg::Sp);   // base
+    EXPECT_EQ(sw.rs2, reg::A0);   // source
+    EXPECT_EQ(sw.imm, -4);
+    EXPECT_EQ(instAt(p, DefaultCodeBase + 2).imm, 0);
+}
+
+TEST(Assembler, BranchToLabel)
+{
+    Program p = assemble(
+        "loop:\n"
+        "  addi t0, t0, -1\n"
+        "  bne t0, zero, loop\n");
+    Instruction b = instAt(p, DefaultCodeBase + 1);
+    EXPECT_EQ(b.op, Opcode::Bne);
+    // Target = loop (base), branch at base+1: offset = base - (base+2)
+    EXPECT_EQ(b.imm, -2);
+}
+
+TEST(Assembler, ForwardLabel)
+{
+    Program p = assemble(
+        "  beq a0, a1, done\n"
+        "  nop\n"
+        "done:\n"
+        "  halt\n");
+    EXPECT_EQ(instAt(p, DefaultCodeBase).imm, 1);
+}
+
+TEST(Assembler, LabelSharesLine)
+{
+    Program p = assemble("start: add a0, a0, a0\n");
+    uint32_t v = 0;
+    ASSERT_TRUE(p.lookupSymbol("start", v));
+    EXPECT_EQ(v, DefaultCodeBase);
+}
+
+TEST(Assembler, JumpAndCallPseudos)
+{
+    Program p = assemble(
+        "  j fwd\n"
+        "  call fwd\n"
+        "fwd:\n"
+        "  ret\n");
+    Instruction j = instAt(p, DefaultCodeBase);
+    EXPECT_EQ(j.op, Opcode::Jal);
+    EXPECT_EQ(j.rd, reg::Zero);
+    EXPECT_EQ(j.imm, 1);
+    Instruction call = instAt(p, DefaultCodeBase + 1);
+    EXPECT_EQ(call.rd, reg::Ra);
+    EXPECT_EQ(call.imm, 0);
+    Instruction ret = instAt(p, DefaultCodeBase + 2);
+    EXPECT_EQ(ret.op, Opcode::Jalr);
+    EXPECT_EQ(ret.rd, reg::Zero);
+    EXPECT_EQ(ret.rs1, reg::Ra);
+}
+
+TEST(Assembler, JalOneOperandDefaultsToRa)
+{
+    Program p = assemble(
+        "  jal target\n"
+        "target: halt\n");
+    EXPECT_EQ(instAt(p, DefaultCodeBase).rd, reg::Ra);
+}
+
+TEST(Assembler, LiSmallExpandsToAddi)
+{
+    Program p = assemble("li t0, 42\nhalt\n");
+    Instruction i = instAt(p, DefaultCodeBase);
+    EXPECT_EQ(i.op, Opcode::Addi);
+    EXPECT_EQ(i.rs1, reg::Zero);
+    EXPECT_EQ(i.imm, 42);
+    EXPECT_EQ(instAt(p, DefaultCodeBase + 1).op, Opcode::Halt);
+}
+
+TEST(Assembler, LiNegativeOneWord)
+{
+    Program p = assemble("li t0, -42\nhalt\n");
+    EXPECT_EQ(instAt(p, DefaultCodeBase).imm, -42);
+    EXPECT_EQ(instAt(p, DefaultCodeBase + 1).op, Opcode::Halt);
+}
+
+TEST(Assembler, LiLargeExpandsToLuiOri)
+{
+    Program p = assemble("li t0, 0x12345678\nhalt\n");
+    Instruction lui = instAt(p, DefaultCodeBase);
+    Instruction ori = instAt(p, DefaultCodeBase + 1);
+    EXPECT_EQ(lui.op, Opcode::Lui);
+    EXPECT_EQ(static_cast<uint32_t>(lui.imm) & 0xffff, 0x1234u);
+    EXPECT_EQ(ori.op, Opcode::Ori);
+    EXPECT_EQ(static_cast<uint32_t>(ori.imm) & 0xffff, 0x5678u);
+    EXPECT_EQ(instAt(p, DefaultCodeBase + 2).op, Opcode::Halt);
+}
+
+TEST(Assembler, LiUpperOnlyIsOneWord)
+{
+    Program p = assemble("li t0, 0x40000\nhalt\n");
+    EXPECT_EQ(instAt(p, DefaultCodeBase).op, Opcode::Lui);
+    EXPECT_EQ(instAt(p, DefaultCodeBase + 1).op, Opcode::Halt);
+}
+
+TEST(Assembler, LaAlwaysTwoWords)
+{
+    Program p = assemble(
+        "  la a0, data\n"
+        "  halt\n"
+        ".org 0x2000\n"
+        "data: .word 7\n");
+    EXPECT_EQ(instAt(p, DefaultCodeBase).op, Opcode::Lui);
+    EXPECT_EQ(instAt(p, DefaultCodeBase + 1).op, Opcode::Ori);
+    EXPECT_EQ(instAt(p, DefaultCodeBase + 2).op, Opcode::Halt);
+    EXPECT_EQ(p.word(0x2000), 7u);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    Program p = assemble(
+        ".org 0x3000\n"
+        "tab: .word 1, 2, 3\n"
+        "buf: .space 4\n"
+        "end: .word 0xffffffff\n");
+    EXPECT_EQ(p.word(0x3000), 1u);
+    EXPECT_EQ(p.word(0x3002), 3u);
+    uint32_t v = 0;
+    ASSERT_TRUE(p.lookupSymbol("buf", v));
+    EXPECT_EQ(v, 0x3003u);
+    ASSERT_TRUE(p.lookupSymbol("end", v));
+    EXPECT_EQ(v, 0x3007u);
+    EXPECT_EQ(p.word(0x3007), 0xffffffffu);
+}
+
+TEST(Assembler, WordWithSymbol)
+{
+    Program p = assemble(
+        "start: halt\n"
+        ".org 0x2000\n"
+        "ptr: .word start\n");
+    EXPECT_EQ(p.word(0x2000), DefaultCodeBase);
+}
+
+TEST(Assembler, EquConstants)
+{
+    Program p = assemble(
+        ".equ N, 64\n"
+        ".equ BASE, 0x2000\n"
+        "addi t0, zero, N\n"
+        "lw a0, N(sp)\n");
+    EXPECT_EQ(instAt(p, DefaultCodeBase).imm, 64);
+    EXPECT_EQ(instAt(p, DefaultCodeBase + 1).imm, 64);
+}
+
+TEST(Assembler, EntryDirectiveAndStartLabel)
+{
+    Program p = assemble(
+        "  nop\n"
+        "main: halt\n"
+        ".entry main\n");
+    EXPECT_EQ(p.entry(), DefaultCodeBase + 1);
+
+    Program q = assemble(
+        "  nop\n"
+        "_start: halt\n");
+    EXPECT_EQ(q.entry(), DefaultCodeBase + 1);
+}
+
+TEST(Assembler, OutAndFork)
+{
+    Program p = assemble(
+        "out a0, 3\n"
+        "fork 5\n");
+    Instruction o = instAt(p, DefaultCodeBase);
+    EXPECT_EQ(o.op, Opcode::Out);
+    EXPECT_EQ(o.rs1, reg::A0);
+    EXPECT_EQ(o.imm, 3);
+    Instruction f = instAt(p, DefaultCodeBase + 1);
+    EXPECT_EQ(f.op, Opcode::Fork);
+    EXPECT_EQ(f.imm, 5);
+}
+
+TEST(Assembler, SwappedBranchPseudos)
+{
+    Program p = assemble(
+        "x:\n"
+        "  bgt a0, a1, x\n"
+        "  ble a0, a1, x\n");
+    Instruction bgt = instAt(p, DefaultCodeBase);
+    EXPECT_EQ(bgt.op, Opcode::Blt);
+    EXPECT_EQ(bgt.rs1, reg::A1);   // swapped
+    EXPECT_EQ(bgt.rs2, reg::A0);
+    Instruction ble = instAt(p, DefaultCodeBase + 1);
+    EXPECT_EQ(ble.op, Opcode::Bge);
+    EXPECT_EQ(ble.rs1, reg::A1);
+}
+
+TEST(Assembler, BeqzBnez)
+{
+    Program p = assemble(
+        "x: beqz a0, x\n"
+        "   bnez a1, x\n");
+    EXPECT_EQ(instAt(p, DefaultCodeBase).op, Opcode::Beq);
+    EXPECT_EQ(instAt(p, DefaultCodeBase).rs2, reg::Zero);
+    EXPECT_EQ(instAt(p, DefaultCodeBase + 1).op, Opcode::Bne);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble("bogus a0, a1\n"), FatalError);
+    EXPECT_THROW(assemble("add a0, a1\n"), FatalError);       // arity
+    EXPECT_THROW(assemble("add a0, a1, qq\n"), FatalError);   // bad reg
+    EXPECT_THROW(assemble("beq a0, a1, nowhere\n"), FatalError);
+    EXPECT_THROW(assemble("lw a0, 99999999(sp)\n"), FatalError);
+    EXPECT_THROW(assemble(".space -1\n"), FatalError);
+    EXPECT_THROW(assemble(".bogus 1\n"), FatalError);
+}
+
+TEST(Assembler, ErrorMessageHasLineNumber)
+{
+    try {
+        assemble("nop\nnop\nbogus x\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+} // anonymous namespace
+} // namespace mssp

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache timing model and its
+ * integration as the slaves' speculative L1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "mem/cache.hh"
+
+namespace mssp
+{
+namespace
+{
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c;
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SpatialLocalityWithinLine)
+{
+    CacheConfig cfg;
+    cfg.lineWords = 8;
+    Cache c(cfg);
+    EXPECT_FALSE(c.access(0x1000));
+    for (uint32_t off = 1; off < 8; ++off)
+        EXPECT_TRUE(c.access(0x1000 + off)) << off;
+    EXPECT_FALSE(c.access(0x1008));   // next line
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache c;
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_FALSE(c.access(0x2000));
+    EXPECT_TRUE(c.probe(0x2000));
+    EXPECT_EQ(c.hits(), 0u);   // probe counts nothing
+}
+
+TEST(Cache, ConflictEvictionLru)
+{
+    // Direct-ish mapping: 2 ways; three lines mapping to one set.
+    CacheConfig cfg;
+    cfg.sets = 4;
+    cfg.ways = 2;
+    cfg.lineWords = 4;
+    Cache c(cfg);
+    // Set index = (addr >> 2) & 3. Lines A, B, C all map to set 0.
+    uint32_t a = 0 << 4, b = 1 << 4, d = 2 << 4;
+    EXPECT_FALSE(c.access(a));
+    EXPECT_FALSE(c.access(b));
+    EXPECT_TRUE(c.access(a));    // A is now MRU
+    EXPECT_FALSE(c.access(d));   // evicts LRU = B
+    EXPECT_EQ(c.evictions(), 1u);
+    EXPECT_TRUE(c.access(a));
+    EXPECT_FALSE(c.access(b));   // B was the victim
+}
+
+TEST(Cache, InvalidateAllDropsEverything)
+{
+    Cache c;
+    c.access(0x10);
+    c.access(0x20);
+    c.invalidateAll();
+    EXPECT_FALSE(c.probe(0x10));
+    EXPECT_FALSE(c.access(0x20));
+}
+
+TEST(Cache, BadGeometryIsFatal)
+{
+    CacheConfig cfg;
+    cfg.sets = 3;   // not a power of two
+    EXPECT_THROW(Cache c(cfg), FatalError);
+    cfg.sets = 4;
+    cfg.ways = 0;
+    EXPECT_THROW(Cache c2(cfg), FatalError);
+}
+
+TEST(Cache, FullSweepTouchesAllLinesWithoutEviction)
+{
+    CacheConfig cfg;
+    Cache c(cfg);
+    uint32_t words = cfg.sizeWords();
+    for (uint32_t addr = 0; addr < words; addr += cfg.lineWords)
+        EXPECT_FALSE(c.access(addr));
+    EXPECT_EQ(c.evictions(), 0u);
+    for (uint32_t addr = 0; addr < words; addr += cfg.lineWords)
+        EXPECT_TRUE(c.access(addr));
+}
+
+TEST(SlaveL1, ReducesArchStallsAndPreservesEquivalence)
+{
+    setQuiet(true);
+    std::string src = test::biasedSumSource(400, 7);
+    std::string train = test::biasedSumSource(256, 8);
+    PreparedWorkload w = prepare(src, train);
+
+    MsspConfig with_l1;
+    with_l1.archReadLatency = 8;
+    with_l1.useSlaveL1 = true;
+    MsspMachine m1(w.orig, w.dist, with_l1);
+    MsspResult r1 = m1.run(100000000ull);
+    test::expectEquivalent(w.orig, r1);
+    EXPECT_GT(m1.counters().l1Hits, 0u);
+
+    MsspConfig no_l1 = with_l1;
+    no_l1.useSlaveL1 = false;
+    MsspMachine m2(w.orig, w.dist, no_l1);
+    MsspResult r2 = m2.run(100000000ull);
+    test::expectEquivalent(w.orig, r2);
+    EXPECT_EQ(m2.counters().l1Hits, 0u);
+
+    // The L1 can only help (same work, fewer charged read-throughs).
+    EXPECT_LE(r1.cycles, r2.cycles);
+}
+
+TEST(SlaveL1, TimingOnlyNeverChangesValues)
+{
+    // Whatever the cache does, outputs and retired counts match SEQ
+    // across geometries.
+    setQuiet(true);
+    std::string src = test::callLoopSource(200, 9);
+    for (uint32_t sets : {4u, 16u, 256u}) {
+        MsspConfig cfg;
+        cfg.slaveL1.sets = sets;
+        cfg.slaveL1.ways = 2;
+        test::runAndCheck(src, src, cfg);
+    }
+}
+
+} // anonymous namespace
+} // namespace mssp

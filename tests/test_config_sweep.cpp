@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parameterized machine-configuration sweep: output equivalence must
+ * hold at every corner of the configuration space (slave counts,
+ * window sizes, latencies, IPCs, L1 on/off, fork intervals, tiny
+ * runaway caps). This is the coarse-grained counterpart of the
+ * adversarial suite: instead of attacking the distilled program, it
+ * attacks the machine's timing envelope.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "workloads/micro.hh"
+
+namespace mssp
+{
+namespace
+{
+
+struct SweepPoint
+{
+    const char *name;
+    MsspConfig cfg;
+};
+
+std::vector<SweepPoint>
+sweepPoints()
+{
+    std::vector<SweepPoint> pts;
+    {
+        MsspConfig c;
+        c.numSlaves = 1;
+        c.maxInFlightTasks = 2;
+        pts.push_back({"one_slave_tiny_window", c});
+    }
+    {
+        MsspConfig c;
+        c.numSlaves = 32;
+        c.maxInFlightTasks = 64;
+        pts.push_back({"many_slaves", c});
+    }
+    {
+        MsspConfig c;
+        c.forkLatency = 0;
+        c.commitLatency = 0;
+        c.squashPenalty = 0;
+        c.archReadLatency = 0;
+        pts.push_back({"zero_latency", c});
+    }
+    {
+        MsspConfig c;
+        c.forkLatency = 200;
+        c.commitLatency = 150;
+        c.squashPenalty = 500;
+        c.archReadLatency = 40;
+        pts.push_back({"huge_latency", c});
+    }
+    {
+        MsspConfig c;
+        c.masterIpc = 4.0;
+        c.slaveIpc = 0.5;
+        pts.push_back({"fast_master_slow_slaves", c});
+    }
+    {
+        MsspConfig c;
+        c.masterIpc = 0.25;
+        c.slaveIpc = 2.0;
+        pts.push_back({"slow_master_fast_slaves", c});
+    }
+    {
+        MsspConfig c;
+        c.maxTaskInsts = 64;   // constant overruns
+        c.watchdogCycles = 2000;
+        pts.push_back({"tiny_runaway_cap", c});
+    }
+    {
+        MsspConfig c;
+        c.useSlaveL1 = false;
+        c.archReadLatency = 10;
+        pts.push_back({"no_l1_slow_l2", c});
+    }
+    {
+        MsspConfig c;
+        c.slaveL1.sets = 2;
+        c.slaveL1.ways = 1;
+        c.slaveL1.lineWords = 2;
+        pts.push_back({"degenerate_l1", c});
+    }
+    {
+        MsspConfig c;
+        c.forkInterval = 7;
+        pts.push_back({"fork_interval_7", c});
+    }
+    {
+        MsspConfig c;
+        c.maxEngageFailures = 0;   // back off on every squash
+        c.seqBackoffInsts = 16;
+        pts.push_back({"hair_trigger_backoff", c});
+    }
+    return pts;
+}
+
+class ConfigSweep : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(ConfigSweep, BiasedLoopEquivalent)
+{
+    setQuiet(true);
+    const SweepPoint pt = sweepPoints().at(GetParam());
+    SCOPED_TRACE(pt.name);
+    test::runAndCheck(test::biasedSumSource(250, 71),
+                      test::biasedSumSource(150, 72), pt.cfg,
+                      DistillerOptions::paperPreset());
+}
+
+TEST_P(ConfigSweep, RecursiveQsortEquivalent)
+{
+    setQuiet(true);
+    const SweepPoint pt = sweepPoints().at(GetParam());
+    SCOPED_TRACE(pt.name);
+    Workload w = microQsort(80);
+    test::runAndCheck(w.refSource, w.trainSource, pt.cfg,
+                      DistillerOptions::paperPreset());
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, ConfigSweep,
+                         ::testing::Range<size_t>(0, 11),
+                         [](const auto &info) {
+                             return sweepPoints()[info.param].name;
+                         });
+
+} // anonymous namespace
+} // namespace mssp

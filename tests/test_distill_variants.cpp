@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Distiller-variant equivalence sweep (the test-suite analogue of
+ * bench E8): every workload analogue must be output-equivalent under
+ * MSSP for every distiller pass combination — from "fork markers
+ * only" to the fully aggressive preset with risky profile-value
+ * speculation and a low prune threshold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+namespace
+{
+
+constexpr double kScale = 0.08;
+
+struct Variant
+{
+    const char *name;
+    DistillerOptions opts;
+};
+
+std::vector<Variant>
+variants()
+{
+    DistillerOptions none;
+    none.enableBranchPrune = false;
+    none.enableConstFold = false;
+    none.enableDce = false;
+
+    DistillerOptions safe;   // defaults: prune(θ=1) + fold + dce
+
+    DistillerOptions paper = DistillerOptions::paperPreset();
+
+    DistillerOptions hot = paper;
+    hot.biasThreshold = 0.85;
+
+    DistillerOptions reckless = paper;
+    reckless.biasThreshold = 0.6;
+    reckless.valueSpecFromProfile = true;
+    reckless.valueSpecThreshold = 0.5;
+    reckless.silentStoreThreshold = 0.5;
+    reckless.minMemSamples = 4;
+    reckless.minBranchSamples = 4;
+
+    return {{"none", none},
+            {"safe", safe},
+            {"paper", paper},
+            {"hot", hot},
+            {"reckless", reckless}};
+}
+
+using Param = std::tuple<std::string, size_t>;
+
+class DistillVariants : public ::testing::TestWithParam<Param>
+{};
+
+TEST_P(DistillVariants, OutputEquivalent)
+{
+    setQuiet(true);
+    const auto &[wl_name, variant_idx] = GetParam();
+    const Variant variant = variants().at(variant_idx);
+    SCOPED_TRACE(variant.name);
+
+    Workload wl = workloadByName(wl_name, kScale);
+    MsspConfig cfg;
+    cfg.watchdogCycles = 5000;   // reckless variants squash a lot
+    cfg.maxTaskInsts = 3000;
+    test::runAndCheck(wl.refSource, wl.trainSource, cfg, variant.opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, DistillVariants,
+    ::testing::Combine(
+        ::testing::Values("gzip", "vpr", "gcc", "mcf", "crafty",
+                          "parser", "eon", "perlbmk", "gap", "vortex",
+                          "bzip2", "twolf"),
+        ::testing::Range<size_t>(0, 5)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               variants()[std::get<1>(info.param)].name;
+    });
+
+} // anonymous namespace
+} // namespace mssp

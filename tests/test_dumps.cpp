@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Smoke tests for the human-readable dump/formatting paths: CFG and
+ * IR dumps, program disassembly ranges, distill reports, state-delta
+ * dumps and the machine-config table. These are debugging surfaces;
+ * the tests pin their load-bearing content, not exact formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mssp_api.hh"
+#include "distill/ir.hh"
+#include "helpers.hh"
+
+namespace mssp
+{
+namespace
+{
+
+const char *kSrc =
+    "    li t0, 9\n"
+    "loop:\n"
+    "    addi t0, t0, -1\n"
+    "    bnez t0, loop\n"
+    "    out t0, 1\n"
+    "    halt\n";
+
+TEST(Dumps, CfgToString)
+{
+    Program p = assemble(kSrc);
+    Cfg cfg = Cfg::build(p, p.entry());
+    std::string s = cfg.toString();
+    EXPECT_NE(s.find("block 0x1000"), std::string::npos);
+    EXPECT_NE(s.find("[loop header]"), std::string::npos);
+    EXPECT_NE(s.find("condbranch"), std::string::npos);
+    EXPECT_NE(s.find("halt"), std::string::npos);
+}
+
+TEST(Dumps, IrToString)
+{
+    Program p = assemble(kSrc);
+    Cfg cfg = Cfg::build(p, p.entry());
+    DistillIr ir = DistillIr::build(cfg, nullptr);
+    std::string s = ir.toString();
+    EXPECT_NE(s.find("B0"), std::string::npos);
+    EXPECT_NE(s.find("term="), std::string::npos);
+}
+
+TEST(Dumps, ProgramDisassembleRange)
+{
+    Program p = assemble(kSrc);
+    std::string s = p.disassembleRange(p.entry(), 5);
+    EXPECT_NE(s.find("addi t0, zero, 9"), std::string::npos);
+    EXPECT_NE(s.find("bne t0, zero"), std::string::npos);
+    EXPECT_NE(s.find("halt"), std::string::npos);
+}
+
+TEST(Dumps, StateDeltaToString)
+{
+    StateDelta d;
+    d.set(makeRegCell(5), 0x2a);
+    d.set(makeMemCell(0x100), 7);
+    std::string s = d.toString();
+    EXPECT_NE(s.find("r5(a2)"), std::string::npos);
+    EXPECT_NE(s.find("mem[0x100]"), std::string::npos);
+    EXPECT_NE(s.find("0x2a"), std::string::npos);
+}
+
+TEST(Dumps, ConfigToString)
+{
+    MsspConfig cfg;
+    cfg.numSlaves = 5;
+    std::string s = cfg.toString();
+    EXPECT_NE(s.find("numSlaves"), std::string::npos);
+    EXPECT_NE(s.find("5"), std::string::npos);
+    EXPECT_NE(s.find("forkLatency"), std::string::npos);
+    EXPECT_NE(s.find("watchdogCycles"), std::string::npos);
+}
+
+TEST(Dumps, DistillReportMentionsAllPasses)
+{
+    setQuiet(true);
+    PreparedWorkload w = prepare(test::biasedSumSource(100, 1),
+                                 test::biasedSumSource(64, 2),
+                                 DistillerOptions::paperPreset());
+    std::string s = w.dist.report.toString();
+    for (const char *needle :
+         {"static insts", "branches pruned", "blocks removed",
+          "const-folded", "dce-removed", "stores elided",
+          "value-speculated", "fork sites"}) {
+        EXPECT_NE(s.find(needle), std::string::npos) << needle;
+    }
+}
+
+} // anonymous namespace
+} // namespace mssp

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the μRISC ISA: encodings, decodings, classification
+ * helpers, register naming and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/isa.hh"
+#include "sim/logging.hh"
+
+namespace mssp
+{
+namespace
+{
+
+TEST(IsaEncoding, RoundTripRType)
+{
+    Instruction inst = makeR(Opcode::Add, 5, 6, 7);
+    EXPECT_EQ(decode(encode(inst)), inst);
+}
+
+TEST(IsaEncoding, RoundTripITypePositiveImm)
+{
+    Instruction inst = makeI(Opcode::Addi, 1, 2, 1234);
+    EXPECT_EQ(decode(encode(inst)), inst);
+}
+
+TEST(IsaEncoding, RoundTripITypeNegativeImm)
+{
+    Instruction inst = makeI(Opcode::Addi, 1, 2, -1234);
+    EXPECT_EQ(decode(encode(inst)), inst);
+}
+
+TEST(IsaEncoding, RoundTripBType)
+{
+    Instruction inst = makeB(Opcode::Beq, 3, 4, -200);
+    EXPECT_EQ(decode(encode(inst)), inst);
+}
+
+TEST(IsaEncoding, RoundTripJTypeExtremes)
+{
+    Instruction far_fwd = makeJ(Opcode::Jal, 1, (1 << 20) - 1);
+    Instruction far_bwd = makeJ(Opcode::Jal, 1, -(1 << 20));
+    EXPECT_EQ(decode(encode(far_fwd)), far_fwd);
+    EXPECT_EQ(decode(encode(far_bwd)), far_bwd);
+}
+
+TEST(IsaEncoding, RoundTripAllOpcodes)
+{
+    for (unsigned i = 1;
+         i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+        auto op = static_cast<Opcode>(i);
+        Instruction inst;
+        switch (formatOf(op)) {
+          case Format::R: inst = makeR(op, 1, 2, 3); break;
+          case Format::I: inst = makeI(op, 4, 5, -7); break;
+          case Format::B: inst = makeB(op, 6, 7, 9); break;
+          case Format::J: inst = makeJ(op, 8, -12); break;
+          case Format::N: inst = makeN(op); break;
+        }
+        EXPECT_EQ(decode(encode(inst)), inst)
+            << "opcode " << opcodeName(op);
+    }
+}
+
+TEST(IsaEncoding, ZeroWordDecodesIllegal)
+{
+    EXPECT_EQ(decode(0).op, Opcode::Illegal);
+}
+
+TEST(IsaEncoding, GarbageOpcodeDecodesIllegal)
+{
+    EXPECT_EQ(decode(0xffffffffu).op, Opcode::Illegal);
+}
+
+TEST(IsaEncoding, ImmediateTooLargeIsFatal)
+{
+    EXPECT_THROW(encode(makeI(Opcode::Addi, 1, 2, 1 << 20)),
+                 FatalError);
+    EXPECT_THROW(encode(makeB(Opcode::Beq, 1, 2, 1 << 17)),
+                 FatalError);
+    EXPECT_THROW(encode(makeJ(Opcode::Jal, 1, 1 << 22)), FatalError);
+}
+
+TEST(IsaNames, OpcodeNamesRoundTrip)
+{
+    for (unsigned i = 1;
+         i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+        auto op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromName(opcodeName(op)), op);
+    }
+    EXPECT_EQ(opcodeFromName("bogus"), Opcode::Illegal);
+}
+
+TEST(IsaNames, RegisterNamesRoundTrip)
+{
+    for (unsigned r = 0; r < NumRegs; ++r) {
+        EXPECT_EQ(regFromName(regName(r)), static_cast<int>(r));
+        EXPECT_EQ(regFromName("r" + std::to_string(r)),
+                  static_cast<int>(r));
+    }
+    EXPECT_EQ(regFromName("bogus"), -1);
+}
+
+TEST(IsaClassify, Branches)
+{
+    EXPECT_TRUE(isCondBranch(Opcode::Beq));
+    EXPECT_TRUE(isCondBranch(Opcode::Bgeu));
+    EXPECT_FALSE(isCondBranch(Opcode::Jal));
+    EXPECT_TRUE(isControl(Opcode::Jal));
+    EXPECT_TRUE(isControl(Opcode::Jalr));
+    EXPECT_FALSE(isControl(Opcode::Add));
+}
+
+TEST(IsaClassify, WritesReg)
+{
+    EXPECT_TRUE(writesReg(makeR(Opcode::Add, 1, 2, 3)));
+    EXPECT_TRUE(writesReg(makeI(Opcode::Lw, 1, 2, 0)));
+    EXPECT_TRUE(writesReg(makeJ(Opcode::Jal, 1, 4)));
+    EXPECT_FALSE(writesReg(makeB(Opcode::Sw, 1, 2, 0)));
+    EXPECT_FALSE(writesReg(makeB(Opcode::Beq, 1, 2, 0)));
+    EXPECT_FALSE(writesReg(makeI(Opcode::Out, 0, 1, 0)));
+    EXPECT_FALSE(writesReg(makeJ(Opcode::Fork, 0, 0)));
+}
+
+TEST(IsaClassify, SourceRegs)
+{
+    uint8_t srcs[2];
+    EXPECT_EQ(sourceRegs(makeR(Opcode::Add, 1, 2, 3), srcs), 2u);
+    EXPECT_EQ(srcs[0], 2);
+    EXPECT_EQ(srcs[1], 3);
+    EXPECT_EQ(sourceRegs(makeI(Opcode::Addi, 1, 2, 5), srcs), 1u);
+    EXPECT_EQ(srcs[0], 2);
+    EXPECT_EQ(sourceRegs(makeB(Opcode::Sw, 0, 4, 8), srcs), 2u);
+    EXPECT_EQ(sourceRegs(makeI(Opcode::Lui, 1, 0, 5), srcs), 0u);
+    EXPECT_EQ(sourceRegs(makeI(Opcode::Out, 0, 9, 1), srcs), 1u);
+    EXPECT_EQ(srcs[0], 9);
+    EXPECT_EQ(sourceRegs(makeJ(Opcode::Jal, 1, 0), srcs), 0u);
+}
+
+TEST(IsaDisasm, BasicFormats)
+{
+    EXPECT_EQ(disassemble(makeR(Opcode::Add, 3, 4, 5)),
+              "add a0, a1, a2");
+    EXPECT_EQ(disassemble(makeI(Opcode::Addi, 11, 0, -3)),
+              "addi t0, zero, -3");
+    EXPECT_EQ(disassemble(makeI(Opcode::Lw, 3, 2, 8)), "lw a0, 8(sp)");
+    EXPECT_EQ(disassemble(makeB(Opcode::Sw, 2, 3, 8)), "sw a0, 8(sp)");
+    EXPECT_EQ(disassemble(makeN(Opcode::Halt)), "halt");
+    EXPECT_EQ(disassemble(makeI(Opcode::Out, 0, 3, 1)), "out a0, 1");
+    // Branch targets render absolute when a pc is supplied.
+    EXPECT_EQ(disassemble(makeB(Opcode::Beq, 3, 4, -2), 0x100),
+              "beq a0, a1, 0xff");
+    EXPECT_EQ(disassemble(makeJ(Opcode::Jal, 1, 10), 0x100),
+              "jal ra, 0x10b");
+}
+
+TEST(IsaDisasm, WordForm)
+{
+    uint32_t w = encode(makeR(Opcode::Xor, 1, 2, 3));
+    EXPECT_EQ(disassembleWord(w), "xor ra, sp, a0");
+    EXPECT_EQ(disassembleWord(0), "illegal");
+}
+
+} // anonymous namespace
+} // namespace mssp

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit tests for the MasterCore: restart semantics, write-delta
+ * tracking, checkpoint snapshots, fork-interval policy, indirect-
+ * target translation and the delta sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "core/pipeline.hh"
+#include "mssp/master.hh"
+#include "profile/profiler.hh"
+
+namespace mssp
+{
+namespace
+{
+
+/** Build a distilled program with explicit fork sites. */
+DistilledProgram
+distillWith(const Program &prog, std::vector<uint32_t> sites,
+            DistillerOptions opts = {})
+{
+    ProfileData prof = profileProgram(prog, 1000000);
+    opts.explicitForkSites = std::move(sites);
+    return distill(prog, prof, opts);
+}
+
+const char *kLoop =
+    "    li t0, 50\n"
+    "    li s0, 0\n"
+    "loop:\n"
+    "    add s0, s0, t0\n"
+    "    addi t0, t0, -1\n"
+    "    bnez t0, loop\n"
+    "    out s0, 1\n"
+    "    halt\n";
+
+TEST(Master, RestartOnlyAtEntryMapPcs)
+{
+    Program prog = assemble(kLoop);
+    uint32_t loop_pc = 0;
+    ASSERT_TRUE(prog.lookupSymbol("loop", loop_pc));
+    DistilledProgram dist = distillWith(prog, {loop_pc});
+
+    ArchState arch;
+    arch.loadProgram(prog);
+    MasterCore master(dist, arch);
+
+    EXPECT_FALSE(master.running());
+    EXPECT_TRUE(master.restart(prog.entry()));
+    EXPECT_TRUE(master.running());
+    EXPECT_TRUE(master.restart(loop_pc));
+    EXPECT_FALSE(master.restart(loop_pc + 1));   // not a restart point
+}
+
+TEST(Master, RestartSeedsRegistersFromArch)
+{
+    Program prog = assemble(kLoop);
+    DistilledProgram dist = distillWith(prog, {});
+    ArchState arch;
+    arch.loadProgram(prog);
+    arch.writeReg(reg::S5, 777);
+    MasterCore master(dist, arch);
+    ASSERT_TRUE(master.restart(prog.entry()));
+    EXPECT_EQ(master.readReg(reg::S5), 777u);
+    EXPECT_EQ(master.deltaSize(), 0u);
+}
+
+TEST(Master, FirstForkSpawnsAtRestartPc)
+{
+    Program prog = assemble(kLoop);
+    uint32_t loop_pc = 0;
+    ASSERT_TRUE(prog.lookupSymbol("loop", loop_pc));
+    DistilledProgram dist = distillWith(prog, {loop_pc});
+
+    ArchState arch;
+    arch.loadProgram(prog);
+    MasterCore master(dist, arch);
+    ASSERT_TRUE(master.restart(prog.entry()));
+
+    // The restart point is the block's FORK; it must spawn at once.
+    EXPECT_TRUE(master.nextForkWouldSpawn());
+    MasterCore::ForkInfo fi;
+    EXPECT_EQ(master.step(&fi), MasterStep::WantsFork);
+    EXPECT_EQ(fi.origPc, prog.entry());
+    ASSERT_NE(fi.checkpoint, nullptr);
+    EXPECT_TRUE(fi.checkpoint->empty());   // no writes yet
+}
+
+TEST(Master, WritesAccumulateInDelta)
+{
+    Program prog = assemble(kLoop);
+    DistilledProgram dist = distillWith(prog, {});
+    ArchState arch;
+    arch.loadProgram(prog);
+    MasterCore master(dist, arch);
+    ASSERT_TRUE(master.restart(prog.entry()));
+
+    MasterCore::ForkInfo fi;
+    master.step(&fi);   // entry FORK
+    // Execute a few instructions; registers t0/s0 get written.
+    for (int i = 0; i < 5; ++i)
+        master.step(&fi);
+    EXPECT_GT(master.deltaSize(), 0u);
+    EXPECT_TRUE(master.readMem(0x12345) == arch.readMem(0x12345))
+        << "unwritten memory reads through to arch";
+}
+
+TEST(Master, CheckpointIsSnapshotNotAlias)
+{
+    Program prog = assemble(
+        "    li t0, 3\n"
+        "loop:\n"
+        "    addi s0, s0, 5\n"
+        "    addi t0, t0, -1\n"
+        "    bnez t0, loop\n"
+        "    out s0, 1\n"      // keep s0 live so DCE preserves it
+        "    halt\n");
+    uint32_t loop_pc = 0;
+    ASSERT_TRUE(prog.lookupSymbol("loop", loop_pc));
+    DistilledProgram dist = distillWith(prog, {loop_pc});
+
+    ArchState arch;
+    arch.loadProgram(prog);
+    MasterCore master(dist, arch);
+    ASSERT_TRUE(master.restart(prog.entry()));
+
+    // Collect every checkpoint the master produces.
+    std::vector<std::shared_ptr<const StateDelta>> checkpoints;
+    MasterCore::ForkInfo fi;
+    while (master.running()) {
+        if (master.step(&fi) == MasterStep::WantsFork)
+            checkpoints.push_back(fi.checkpoint);
+    }
+    // Entry fork + one fork per loop iteration.
+    ASSERT_GE(checkpoints.size(), 3u);
+
+    // Successive snapshots must hold *different* s0 values: each is a
+    // copy taken at fork time, not an alias of the live delta.
+    auto s0_a = checkpoints[checkpoints.size() - 2]->get(
+        makeRegCell(reg::S0));
+    auto s0_b = checkpoints.back()->get(makeRegCell(reg::S0));
+    ASSERT_TRUE(s0_a.has_value());
+    ASSERT_TRUE(s0_b.has_value());
+    EXPECT_NE(*s0_a, *s0_b);
+}
+
+TEST(Master, ForkIntervalMergesTasks)
+{
+    Program prog = assemble(kLoop);
+    uint32_t loop_pc = 0;
+    ASSERT_TRUE(prog.lookupSymbol("loop", loop_pc));
+    DistilledProgram dist = distillWith(prog, {loop_pc});
+
+    ArchState arch;
+    arch.loadProgram(prog);
+    MasterCore master(dist, arch);
+    master.setForkInterval(3);
+    ASSERT_TRUE(master.restart(prog.entry()));
+
+    // Count spawns until the master halts.
+    unsigned spawns = 0;
+    MasterCore::ForkInfo fi;
+    std::vector<uint32_t> end_visits;
+    while (master.running()) {
+        if (master.step(&fi) == MasterStep::WantsFork) {
+            ++spawns;
+            end_visits.push_back(fi.endVisitsForPrev);
+        }
+    }
+    EXPECT_TRUE(master.halted());
+    // 50 loop-header visits at interval 3 plus the entry fork.
+    EXPECT_NEAR(static_cast<double>(spawns), 1.0 + 50.0 / 3.0, 2.0);
+    // Steady-state spawns report 3 end-visits for their predecessor.
+    ASSERT_GT(end_visits.size(), 3u);
+    EXPECT_EQ(end_visits[2], 3u);
+}
+
+TEST(Master, JalrThroughOriginalAddressTranslates)
+{
+    // A function whose return address is *seeded from architected
+    // state* (restart inside the callee): ret must translate.
+    Program prog = assemble(
+        "    li s0, 5\n"
+        "loop:\n"
+        "    call fn\n"
+        "    addi s0, s0, -1\n"
+        "    bnez s0, loop\n"
+        "    out a0, 1\n"
+        "    halt\n"
+        "fn:\n"
+        "    addi a0, a0, 1\n"
+        "    ret\n");
+    uint32_t fnloop_pc = 0;
+    ASSERT_TRUE(prog.lookupSymbol("fn", fnloop_pc));
+    DistilledProgram dist = distillWith(prog, {fnloop_pc});
+    ASSERT_NE(dist.distilledPcFor(fnloop_pc), UINT32_MAX);
+
+    ArchState arch;
+    arch.loadProgram(prog);
+    // Simulate a commit that left pc at fnloop with the *original*
+    // return address in ra.
+    uint32_t ret_pc = 0;
+    ASSERT_TRUE(prog.lookupSymbol("loop", ret_pc));
+    arch.writeReg(reg::Ra, ret_pc + 1);   // original return point
+    arch.writeReg(reg::S0, 3);
+    arch.setPc(fnloop_pc);
+
+    MasterCore master(dist, arch);
+    ASSERT_TRUE(master.restart(fnloop_pc));
+    // Run; the master must survive the ret (translated) and halt.
+    MasterCore::ForkInfo fi;
+    for (int i = 0; i < 200 && master.running(); ++i)
+        master.step(&fi);
+    EXPECT_TRUE(master.halted());
+    EXPECT_FALSE(master.faulted());
+}
+
+TEST(Master, JalrToUnmappedAddressFaults)
+{
+    Program prog = assemble(kLoop);
+    DistilledProgram dist = distillWith(prog, {});
+    ArchState arch;
+    arch.loadProgram(prog);
+    arch.writeReg(reg::Ra, 0xdead);   // not a block leader
+    MasterCore master(dist, arch);
+    ASSERT_TRUE(master.restart(prog.entry()));
+    // Inject a ret at the master's pc by corrupting the image.
+    DistilledProgram corrupt = dist;
+    corrupt.prog.setWord(dist.prog.entry(),
+                         encode(makeI(Opcode::Jalr, 0, reg::Ra, 0)));
+    MasterCore master2(corrupt, arch);
+    ASSERT_TRUE(master2.restart(prog.entry()));
+    MasterCore::ForkInfo fi;
+    EXPECT_EQ(master2.step(&fi), MasterStep::Faulted);
+    EXPECT_TRUE(master2.faulted());
+}
+
+TEST(Master, SweepDropsArchEqualCells)
+{
+    Program prog = assemble(kLoop);
+    DistilledProgram dist = distillWith(prog, {});
+    ArchState arch;
+    arch.loadProgram(prog);
+    MasterCore master(dist, arch);
+    ASSERT_TRUE(master.restart(prog.entry()));
+
+    master.writeMem(0x9000, 42);
+    master.writeMem(0x9001, 43);
+    EXPECT_EQ(master.deltaSize(), 2u);
+
+    // Arch catches up on one cell.
+    arch.writeMem(0x9000, 42);
+    master.sweepDeltaAgainstArch(0);   // force a sweep
+    EXPECT_EQ(master.deltaSize(), 1u);
+    EXPECT_EQ(master.readMem(0x9001), 43u);
+}
+
+TEST(Master, CorruptForkIndexFaults)
+{
+    Program prog = assemble(kLoop);
+    DistilledProgram dist = distillWith(prog, {});
+    DistilledProgram corrupt = dist;
+    corrupt.prog.setWord(dist.prog.entry(),
+                         encode(makeJ(Opcode::Fork, 0, 999)));
+    ArchState arch;
+    arch.loadProgram(prog);
+    MasterCore master(corrupt, arch);
+    ASSERT_TRUE(master.restart(prog.entry()));
+    MasterCore::ForkInfo fi;
+    EXPECT_EQ(master.step(&fi), MasterStep::Faulted);
+}
+
+} // anonymous namespace
+} // namespace mssp

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the micro-workload suite: functional correctness of each
+ * kernel (known answers where computable), and MSSP output
+ * equivalence — quicksort in particular stresses recursion, so task
+ * live-ins include return addresses and spilled stack frames.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "workloads/micro.hh"
+
+namespace mssp
+{
+namespace
+{
+
+OutputStream
+runSeqOutputs(const std::string &src)
+{
+    SeqMachine m(assemble(src));
+    m.run(50000000ull);
+    EXPECT_TRUE(m.halted());
+    EXPECT_FALSE(m.faulted());
+    return m.outputs();
+}
+
+TEST(MicroWorkloads, FibKnownValues)
+{
+    // fib: out = fib(steps) computed iteratively (fib(0)=0, fib(1)=1,
+    // after k loop steps t0 = fib(k)).
+    Workload w = microFib(10);
+    auto outs = runSeqOutputs(w.refSource);
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_EQ(outs[0].value, 55u);   // fib(10)
+}
+
+TEST(MicroWorkloads, SieveCountsPrimes)
+{
+    Workload w = microSieve(100);
+    auto outs = runSeqOutputs(w.refSource);
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_EQ(outs[0].value, 25u);   // primes below 100
+}
+
+TEST(MicroWorkloads, SieveLargerKnownCount)
+{
+    Workload w = microSieve(1000);
+    auto outs = runSeqOutputs(w.refSource);
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_EQ(outs[0].value, 168u);  // primes below 1000
+}
+
+TEST(MicroWorkloads, QsortProducesSortedOutput)
+{
+    // Port 9 marks a sorted-order violation; its absence is the
+    // in-program verification passing.
+    Workload w = microQsort(120);
+    auto outs = runSeqOutputs(w.refSource);
+    for (const auto &o : outs)
+        EXPECT_NE(o.port, 9) << "array not sorted";
+    ASSERT_FALSE(outs.empty());
+}
+
+TEST(MicroWorkloads, CrcIsDeterministicAndSeedSensitive)
+{
+    auto a = runSeqOutputs(microCrc(100).refSource);
+    auto b = runSeqOutputs(microCrc(100).refSource);
+    EXPECT_EQ(a, b);
+    auto c = runSeqOutputs(microCrc(100).trainSource);
+    EXPECT_NE(a, c);   // different data
+}
+
+TEST(MicroWorkloads, BsearchProbesAreLogarithmic)
+{
+    Workload w = microBsearch(200);
+    auto outs = runSeqOutputs(w.refSource);
+    ASSERT_EQ(outs.size(), 2u);
+    uint32_t hits = outs[0].value;
+    uint32_t probes = outs[1].value;
+    EXPECT_GT(hits, 0u);
+    EXPECT_LT(hits, 200u);            // some misses planted
+    // 512-entry table: <= 10 probes per query on average.
+    EXPECT_LE(probes, 200u * 10u);
+    EXPECT_GE(probes, 200u * 5u);
+}
+
+class MicroMsspEquivalence
+    : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(MicroMsspEquivalence, OutputMatchesSeq)
+{
+    setQuiet(true);
+    auto all = microWorkloads();
+    const Workload &w = all.at(GetParam());
+    SCOPED_TRACE(w.name);
+    MsspConfig cfg;
+    test::runAndCheck(w.refSource, w.trainSource, cfg,
+                      DistillerOptions::paperPreset());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, MicroMsspEquivalence,
+                         ::testing::Range<size_t>(0, 6),
+                         [](const auto &info) {
+                             return microWorkloads()[info.param].name;
+                         });
+
+TEST(MicroWorkloads, RegistryHasSix)
+{
+    auto all = microWorkloads();
+    ASSERT_EQ(all.size(), 6u);
+    for (const auto &w : all) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_NE(w.refSource, w.trainSource);
+    }
+}
+
+} // anonymous namespace
+} // namespace mssp

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the non-idempotent (MMIO) region extension — the formal
+ * companion paper's closing future-work item: speculation must be
+ * precluded on device state; the machine imposes task boundaries and
+ * proceeds non-speculatively, as per SEQ.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/mmio.hh"
+#include "helpers.hh"
+
+namespace mssp
+{
+namespace
+{
+
+TEST(MmioDevice, CounterIsNonIdempotent)
+{
+    MmioDevice dev;
+    EXPECT_EQ(dev.read(MmioCounterAddr), 0u);
+    EXPECT_EQ(dev.read(MmioCounterAddr), 1u);
+    EXPECT_EQ(dev.read(MmioCounterAddr), 2u);
+    EXPECT_EQ(dev.readCount(), 3u);
+}
+
+TEST(MmioDevice, StatusIsConstant)
+{
+    MmioDevice dev;
+    EXPECT_EQ(dev.read(MmioStatusAddr), MmioStatusValue);
+    EXPECT_EQ(dev.read(MmioStatusAddr), MmioStatusValue);
+    EXPECT_EQ(dev.readCount(), 0u);   // status reads don't count
+}
+
+TEST(MmioDevice, WritesEmitOutputsAndLatch)
+{
+    MmioDevice dev;
+    OutputStream out;
+    dev.write(MmioBase + 8, 42, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].port, 0x8008);
+    EXPECT_EQ(out[0].value, 42u);
+    EXPECT_EQ(dev.read(MmioBase + 8), 42u);
+}
+
+TEST(MmioDevice, RangePredicate)
+{
+    EXPECT_FALSE(isMmio(0));
+    EXPECT_FALSE(isMmio(MmioBase - 1));
+    EXPECT_TRUE(isMmio(MmioBase));
+    EXPECT_TRUE(isMmio(0xffffffffu));
+}
+
+/** A program whose loop reads the device counter and writes a device
+ *  register each iteration, interleaved with normal computation. */
+std::string
+mmioLoopSource(unsigned iters)
+{
+    return strfmt(
+        "    li s0, %u\n"
+        "    li s1, 0\n"
+        "    lui s2, 0xffff\n"      // MMIO base
+        "loop:\n"
+        "    add s1, s1, s0\n"
+        "    andi t0, s0, 3\n"
+        "    bnez t0, nodev\n"
+        "    lw t1, 0(s2)\n"        // non-idempotent counter read
+        "    add s1, s1, t1\n"
+        "    sw s1, 8(s2)\n"        // device write (observable)
+        "nodev:\n"
+        "    addi s0, s0, -1\n"
+        "    bnez s0, loop\n"
+        "    out s1, 1\n"
+        "    halt\n",
+        iters);
+}
+
+TEST(MmioSeq, SequentialSemantics)
+{
+    Program p = assemble(mmioLoopSource(16));
+    SeqMachine m(p);
+    m.run(100000);
+    ASSERT_TRUE(m.halted());
+    // 4 device reads (s0 = 16, 12, 8, 4) and 4 device writes.
+    EXPECT_EQ(m.device().readCount(), 4u);
+    unsigned dev_writes = 0;
+    for (const auto &o : m.outputs())
+        dev_writes += (o.port & 0x8000) ? 1 : 0;
+    EXPECT_EQ(dev_writes, 4u);
+    // Final OUT carries the checksum that depends on counter values.
+    EXPECT_EQ(m.outputs().back().port, 1);
+}
+
+TEST(MmioMssp, OutputEquivalentToSeq)
+{
+    std::string src = mmioLoopSource(64);
+    MsspConfig cfg;
+    auto r = test::runAndCheck(src, mmioLoopSource(32), cfg);
+    EXPECT_TRUE(r.halted);
+}
+
+TEST(MmioMssp, SerializationsAreCountedAndTasksStopEarly)
+{
+    std::string src = mmioLoopSource(64);
+    PreparedWorkload w = prepare(src, mmioLoopSource(32));
+    MsspConfig cfg;
+    MsspMachine machine(w.orig, w.dist, cfg);
+    MsspResult r = machine.run(10000000);
+    test::expectEquivalent(w.orig, r);
+    // 16 device-read iterations -> at least one serialization each
+    // (reads and writes may share one serialized seq stretch).
+    EXPECT_GE(machine.counters().mmioSerializations, 1u);
+    EXPECT_GT(machine.counters().seqModeInsts, 0u);
+}
+
+TEST(MmioMssp, DeviceUntouchedBySquashedSpeculation)
+{
+    // The device read count must equal SEQ's exactly: squashed or
+    // aborted speculative work must never have touched the device.
+    std::string src = mmioLoopSource(64);
+    SeqMachine oracle(assemble(src));
+    oracle.run(1000000);
+
+    PreparedWorkload w = prepare(src, mmioLoopSource(32));
+    MsspConfig cfg;
+    MsspMachine machine(w.orig, w.dist, cfg);
+    MsspResult r = machine.run(10000000);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(r.outputs, oracle.outputs());
+}
+
+TEST(MmioMssp, AdversarialDistilledProgramStillSafe)
+{
+    // Corrupt the distilled binary: even a garbage master must not
+    // reach the device (its MMIO accesses are dropped/zero) and the
+    // output must stay identical.
+    std::string src = mmioLoopSource(48);
+    SeqMachine oracle(assemble(src));
+    oracle.run(1000000);
+
+    PreparedWorkload w = prepare(src, src);
+    Rng rng(1234);
+    DistilledProgram corrupt = w.dist;
+    std::vector<uint32_t> addrs;
+    for (const auto &[addr, word] : corrupt.prog.image())
+        addrs.push_back(addr);
+    for (int i = 0; i < 5; ++i) {
+        corrupt.prog.setWord(addrs[rng.below(addrs.size())],
+                             static_cast<uint32_t>(rng.next()));
+    }
+
+    MsspConfig cfg;
+    cfg.watchdogCycles = 3000;
+    cfg.maxTaskInsts = 3000;
+    MsspMachine machine(w.orig, corrupt, cfg);
+    MsspResult r = machine.run(100000000ull);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(r.outputs, oracle.outputs());
+}
+
+TEST(MmioMssp, DeviceAccessAtForkSiteDoesNotLivelock)
+{
+    // The device access is the *first* instruction of the hot loop
+    // header (a natural fork site): the machine must still make
+    // progress via forced sequential steps.
+    std::string src = strfmt(
+        "    li s0, 32\n"
+        "    lui s2, 0xffff\n"
+        "loop:\n"
+        "    lw t1, 0(s2)\n"        // device read at the header
+        "    add s1, s1, t1\n"
+        "    addi s0, s0, -1\n"
+        "    bnez s0, loop\n"
+        "    out s1, 1\n"
+        "    halt\n");
+    MsspConfig cfg;
+    test::runAndCheck(src, src, cfg, {}, 10000000);
+}
+
+TEST(MmioMssp, BaselineSeesTheDeviceToo)
+{
+    Program p = assemble(mmioLoopSource(16));
+    BaselineResult base = runBaseline(p, 1.0, 100000);
+    SeqMachine seq(p);
+    seq.run(100000);
+    EXPECT_EQ(base.outputs, seq.outputs());
+}
+
+} // anonymous namespace
+} // namespace mssp

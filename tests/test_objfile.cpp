@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for object-file serialization: Program and DistilledProgram
+ * round-trips, format validation, and an end-to-end check that a
+ * deserialized distilled program drives the MSSP machine identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/objfile.hh"
+#include "helpers.hh"
+
+namespace mssp
+{
+namespace
+{
+
+TEST(ObjFile, ProgramRoundTrip)
+{
+    Program p = assemble(
+        "    li t0, 42\n"
+        "    out t0, 1\n"
+        "lab:\n"
+        "    halt\n"
+        ".org 0x8000\n"
+        "data: .word 1, 2, 0xdeadbeef\n");
+    Program q = loadProgram(saveProgram(p));
+    EXPECT_EQ(q.entry(), p.entry());
+    EXPECT_EQ(q.image(), p.image());
+    EXPECT_EQ(q.symbols(), p.symbols());
+}
+
+TEST(ObjFile, DistilledRoundTrip)
+{
+    setQuiet(true);
+    PreparedWorkload w = prepare(test::biasedSumSource(150, 3),
+                                 test::biasedSumSource(100, 4),
+                                 DistillerOptions::paperPreset());
+    DistilledProgram d2 = loadDistilled(saveDistilled(w.dist));
+    EXPECT_EQ(d2.prog.image(), w.dist.prog.image());
+    EXPECT_EQ(d2.prog.entry(), w.dist.prog.entry());
+    EXPECT_EQ(d2.taskMap, w.dist.taskMap);
+    EXPECT_EQ(d2.taskIntervals, w.dist.taskIntervals);
+    EXPECT_EQ(d2.entryMap, w.dist.entryMap);
+    EXPECT_EQ(d2.addrMap, w.dist.addrMap);
+    EXPECT_EQ(d2.report.distilledStaticInsts,
+              w.dist.report.distilledStaticInsts);
+    EXPECT_EQ(d2.report.forkSites, w.dist.report.forkSites);
+}
+
+TEST(ObjFile, DeserializedDistilledDrivesTheMachine)
+{
+    setQuiet(true);
+    std::string src = test::biasedSumSource(200, 5);
+    PreparedWorkload w = prepare(src, test::biasedSumSource(128, 6),
+                                 DistillerOptions::paperPreset());
+    DistilledProgram d2 = loadDistilled(saveDistilled(w.dist));
+
+    MsspConfig cfg;
+    MsspMachine m1(w.orig, w.dist, cfg);
+    MsspMachine m2(w.orig, d2, cfg);
+    MsspResult r1 = m1.run(100000000ull);
+    MsspResult r2 = m2.run(100000000ull);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.outputs, r2.outputs);
+    EXPECT_EQ(r1.committedInsts, r2.committedInsts);
+}
+
+TEST(ObjFile, BadMagicIsFatal)
+{
+    EXPECT_THROW(loadProgram("garbage\n"), FatalError);
+    EXPECT_THROW(loadDistilled(saveProgram(Program{})), FatalError);
+}
+
+TEST(ObjFile, MalformedLineIsFatal)
+{
+    std::string good = saveProgram(Program{});
+    EXPECT_THROW(loadProgram(good + "word nonsense\n"), FatalError);
+    EXPECT_THROW(loadProgram(good + "frobnicate 1 2\n"), FatalError);
+}
+
+TEST(ObjFile, CommentsAndBlankLinesIgnored)
+{
+    Program p;
+    p.setWord(0x10, 7);
+    p.setEntry(0x10);
+    std::string text = saveProgram(p) + "\n; a comment\n\n";
+    Program q = loadProgram(text);
+    EXPECT_EQ(q.word(0x10), 7u);
+}
+
+} // anonymous namespace
+} // namespace mssp

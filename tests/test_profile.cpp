@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the profiler and fork-site selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "cfg/cfg.hh"
+#include "profile/fork_select.hh"
+#include "profile/profiler.hh"
+
+namespace mssp
+{
+namespace
+{
+
+TEST(Profiler, CountsAndBranchBias)
+{
+    Program p = assemble(
+        "    li t0, 10\n"
+        "loop:\n"
+        "    addi t0, t0, -1\n"
+        "    bnez t0, loop\n"
+        "    halt\n");
+    uint32_t loop_pc = 0;
+    ASSERT_TRUE(p.lookupSymbol("loop", loop_pc));
+
+    ProfileData prof = profileProgram(p, 1000000);
+    EXPECT_TRUE(prof.ranToCompletion);
+    EXPECT_EQ(prof.totalInsts, 1 + 10 * 2 + 1u);
+    EXPECT_EQ(prof.countAt(loop_pc), 10u);
+
+    const BranchProfile *bp = prof.branchAt(loop_pc + 1);
+    ASSERT_NE(bp, nullptr);
+    EXPECT_EQ(bp->total, 10u);
+    EXPECT_EQ(bp->taken, 9u);
+    EXPECT_NEAR(bp->bias(), 0.9, 1e-9);
+}
+
+TEST(Profiler, LoadInvariance)
+{
+    Program p = assemble(
+        "    li t0, 10\n"
+        "    la t1, konst\n"
+        "loop:\n"
+        "    lw t2, 0(t1)\n"       // always loads 42
+        "    addi t0, t0, -1\n"
+        "    bnez t0, loop\n"
+        "    halt\n"
+        ".org 0x2000\n"
+        "konst: .word 42\n");
+    uint32_t loop_pc = 0;
+    ASSERT_TRUE(p.lookupSymbol("loop", loop_pc));
+
+    ProfileData prof = profileProgram(p, 1000000);
+    const LoadProfile *lp = prof.loadAt(loop_pc);
+    ASSERT_NE(lp, nullptr);
+    EXPECT_EQ(lp->count, 10u);
+    EXPECT_EQ(lp->firstValue, 42u);
+    EXPECT_DOUBLE_EQ(lp->invariance(), 1.0);
+}
+
+TEST(Profiler, VaryingLoadIsNotInvariant)
+{
+    Program p = assemble(
+        "    li t0, 8\n"
+        "    la t1, cell\n"
+        "loop:\n"
+        "    lw t2, 0(t1)\n"
+        "    addi t2, t2, 1\n"
+        "    sw t2, 0(t1)\n"
+        "    addi t0, t0, -1\n"
+        "    bnez t0, loop\n"
+        "    halt\n"
+        ".org 0x2000\n"
+        "cell: .word 0\n");
+    uint32_t loop_pc = 0;
+    ASSERT_TRUE(p.lookupSymbol("loop", loop_pc));
+    ProfileData prof = profileProgram(p, 1000000);
+    const LoadProfile *lp = prof.loadAt(loop_pc);
+    ASSERT_NE(lp, nullptr);
+    EXPECT_EQ(lp->count, 8u);
+    EXPECT_EQ(lp->sameAsFirst, 1u);   // only the first iteration
+}
+
+TEST(Profiler, SilentStores)
+{
+    Program p = assemble(
+        "    li t0, 6\n"
+        "    la t1, cell\n"
+        "    li t2, 7\n"
+        "loop:\n"
+        "    sw t2, 0(t1)\n"        // silent after the first store
+        "    addi t0, t0, -1\n"
+        "    bnez t0, loop\n"
+        "    halt\n"
+        ".org 0x2000\n"
+        "cell: .word 0\n");
+    uint32_t loop_pc = 0;
+    ASSERT_TRUE(p.lookupSymbol("loop", loop_pc));
+    ProfileData prof = profileProgram(p, 1000000);
+    const StoreProfile *sp = prof.storeAt(loop_pc);
+    ASSERT_NE(sp, nullptr);
+    EXPECT_EQ(sp->count, 6u);
+    EXPECT_EQ(sp->silent, 5u);
+}
+
+TEST(Profiler, RespectsInstructionCap)
+{
+    Program p = assemble("loop: j loop\n");
+    ProfileData prof = profileProgram(p, 1000);
+    EXPECT_EQ(prof.totalInsts, 1000u);
+    EXPECT_FALSE(prof.ranToCompletion);
+}
+
+TEST(ForkSelect, PicksHotLoopHeader)
+{
+    Program p = assemble(
+        "    li t0, 1000\n"
+        "loop:\n"
+        "    addi t1, t1, 3\n"
+        "    addi t2, t2, 5\n"
+        "    add t3, t1, t2\n"
+        "    addi t0, t0, -1\n"
+        "    bnez t0, loop\n"
+        "    out t3, 0\n"
+        "    halt\n");
+    uint32_t loop_pc = 0;
+    ASSERT_TRUE(p.lookupSymbol("loop", loop_pc));
+
+    Cfg cfg = Cfg::build(p, p.entry());
+    ProfileData prof = profileProgram(p, 1000000);
+    ForkSelectOptions opts;
+    opts.targetTaskSize = 5;
+    ForkSelection sel = selectForkSites(cfg, prof, opts);
+    ASSERT_EQ(sel.sites.size(), 1u);
+    EXPECT_EQ(sel.sites[0], loop_pc);
+    EXPECT_NEAR(sel.expectedTaskSize, 5.0, 1.0);
+}
+
+TEST(ForkSelect, NestedLoopsPickByTarget)
+{
+    // Outer loop 100 iterations, inner loop 100 each: inner header
+    // visited ~10000 times, outer ~100 times.
+    Program p = assemble(
+        "    li s0, 100\n"
+        "outer:\n"
+        "    li s1, 100\n"
+        "inner:\n"
+        "    addi t0, t0, 1\n"
+        "    addi s1, s1, -1\n"
+        "    bnez s1, inner\n"
+        "    addi s0, s0, -1\n"
+        "    bnez s0, outer\n"
+        "    halt\n");
+    uint32_t outer_pc = 0, inner_pc = 0;
+    ASSERT_TRUE(p.lookupSymbol("outer", outer_pc));
+    ASSERT_TRUE(p.lookupSymbol("inner", inner_pc));
+
+    Cfg cfg = Cfg::build(p, p.entry());
+    ProfileData prof = profileProgram(p, 10000000);
+
+    // Both headers are selected; the fork *interval* adapts to the
+    // target task size: inner iterations are ~4 insts, so a target of
+    // 40 means the inner site forks every ~10th visit while the outer
+    // site forks every visit.
+    ForkSelectOptions opts;
+    opts.targetTaskSize = 40;
+    auto sel = selectForkSites(cfg, prof, opts);
+    ASSERT_EQ(sel.sites.size(), 2u);
+    size_t inner_i = sel.sites[0] == inner_pc ? 0 : 1;
+    size_t outer_i = 1 - inner_i;
+    EXPECT_EQ(sel.sites[inner_i], inner_pc);
+    EXPECT_EQ(sel.sites[outer_i], outer_pc);
+    EXPECT_GT(sel.intervals[inner_i], 5u);
+    EXPECT_LT(sel.intervals[inner_i], 20u);
+    EXPECT_EQ(sel.intervals[outer_i], 1u);
+
+    // A tiny target drives the inner interval to 1.
+    ForkSelectOptions tiny;
+    tiny.targetTaskSize = 4;
+    auto sel_tiny = selectForkSites(cfg, prof, tiny);
+    ASSERT_EQ(sel_tiny.sites.size(), 2u);
+    EXPECT_EQ(sel_tiny.intervals[inner_i], 1u);
+}
+
+TEST(ForkSelect, StraightLineFallsBackToHotBlocks)
+{
+    Program p = assemble(
+        "    li t0, 50\n"
+        "loop:\n"
+        "    call fn\n"
+        "    addi t0, t0, -1\n"
+        "    bnez t0, loop\n"
+        "    halt\n"
+        "fn:\n"
+        "    addi t1, t1, 1\n"
+        "    ret\n");
+    Cfg cfg = Cfg::build(p, p.entry());
+    ProfileData prof = profileProgram(p, 1000000);
+    ForkSelectOptions opts;
+    opts.targetTaskSize = 4;
+    auto sel = selectForkSites(cfg, prof, opts);
+    EXPECT_FALSE(sel.sites.empty());
+}
+
+TEST(ForkSelect, EmptyProfileYieldsNoSites)
+{
+    Program p = assemble("halt\n");
+    Cfg cfg = Cfg::build(p, p.entry());
+    ProfileData empty;
+    auto sel = selectForkSites(cfg, empty, ForkSelectOptions{});
+    EXPECT_TRUE(sel.sites.empty());
+}
+
+} // anonymous namespace
+} // namespace mssp

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Jumping-refinement tests under adversity — the paper's headline
+ * claim made executable: *nothing* the master or the distilled
+ * program does can affect program output. We fuzz random structured
+ * programs and run MSSP with (a) an honest distiller, (b) randomly
+ * corrupted distilled binaries, (c) corrupted task maps, and (d) a
+ * pathologically lying distiller. Every run must produce output
+ * identical to the SEQ oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mssp_api.hh"
+#include "helpers.hh"
+#include "sim/rng.hh"
+#include "workloads/random_program.hh"
+
+namespace mssp
+{
+namespace
+{
+
+/** Fast-converging config for adversarial runs. */
+MsspConfig
+adversarialConfig()
+{
+    MsspConfig cfg;
+    cfg.watchdogCycles = 3000;
+    cfg.maxTaskInsts = 3000;
+    cfg.maxEngageFailures = 4;
+    return cfg;
+}
+
+/** SEQ oracle outputs for a program (must halt). */
+OutputStream
+oracleOutputs(const Program &p, uint64_t *insts = nullptr)
+{
+    SeqMachine m(p);
+    m.run(50000000ull);
+    EXPECT_TRUE(m.halted()) << "oracle did not halt";
+    if (insts)
+        *insts = m.instCount();
+    return m.outputs();
+}
+
+class HonestFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(HonestFuzz, RandomProgramsAreEquivalent)
+{
+    uint64_t seed = GetParam();
+    std::string src = randomProgramSource(seed);
+    Program prog = assemble(src);
+
+    uint64_t oracle_insts = 0;
+    OutputStream expected = oracleOutputs(prog, &oracle_insts);
+
+    // Vary the machine shape with the seed.
+    MsspConfig cfg;
+    cfg.numSlaves = 1 + static_cast<unsigned>(seed % 8);
+    cfg.forkInterval = 1 + static_cast<unsigned>(seed % 3);
+    cfg.forkLatency = 1 + (seed % 16);
+    cfg.commitLatency = 1 + (seed % 8);
+
+    PreparedWorkload w = prepare(prog, prog);
+    MsspMachine machine(w.orig, w.dist, cfg);
+    MsspResult r = machine.run(100000000ull);
+
+    ASSERT_TRUE(r.halted) << "MSSP timed out, seed " << seed;
+    EXPECT_EQ(r.outputs, expected) << "seed " << seed;
+    EXPECT_EQ(r.committedInsts, oracle_insts) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HonestFuzz,
+                         ::testing::Range<uint64_t>(1, 25));
+
+class CorruptedBinary : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(CorruptedBinary, OutputUnaffectedByDistilledCorruption)
+{
+    uint64_t seed = GetParam();
+    std::string src = randomProgramSource(seed,
+                                          RandomProgramOptions{});
+    Program prog = assemble(src);
+    OutputStream expected = oracleOutputs(prog);
+
+    PreparedWorkload w = prepare(prog, prog);
+    Rng rng(seed * 7919 + 13);
+
+    // Corrupt a handful of distilled code words with random garbage.
+    DistilledProgram corrupt = w.dist;
+    std::vector<uint32_t> code_addrs;
+    for (const auto &[addr, word] : corrupt.prog.image())
+        code_addrs.push_back(addr);
+    ASSERT_FALSE(code_addrs.empty());
+    unsigned n_corrupt = 1 + static_cast<unsigned>(rng.below(6));
+    for (unsigned i = 0; i < n_corrupt; ++i) {
+        uint32_t addr = code_addrs[rng.below(code_addrs.size())];
+        corrupt.prog.setWord(addr,
+                             static_cast<uint32_t>(rng.next()));
+    }
+
+    MsspMachine machine(prog, corrupt, adversarialConfig());
+    MsspResult r = machine.run(100000000ull);
+    ASSERT_TRUE(r.halted) << "MSSP timed out, seed " << seed;
+    EXPECT_EQ(r.outputs, expected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptedBinary,
+                         ::testing::Range<uint64_t>(1, 25));
+
+class CorruptedTaskMap : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(CorruptedTaskMap, OutputUnaffectedByBogusForkTargets)
+{
+    uint64_t seed = GetParam();
+    std::string src = randomProgramSource(seed);
+    Program prog = assemble(src);
+    OutputStream expected = oracleOutputs(prog);
+
+    PreparedWorkload w = prepare(prog, prog);
+    Rng rng(seed * 104729 + 7);
+
+    DistilledProgram corrupt = w.dist;
+    // Point some fork sites at garbage original PCs (data, unmapped
+    // memory, mid-block code).
+    for (auto &orig_pc : corrupt.taskMap) {
+        if (rng.chance(0.5))
+            orig_pc = static_cast<uint32_t>(rng.below(0x10000));
+    }
+
+    MsspMachine machine(prog, corrupt, adversarialConfig());
+    MsspResult r = machine.run(100000000ull);
+    ASSERT_TRUE(r.halted) << "MSSP timed out, seed " << seed;
+    EXPECT_EQ(r.outputs, expected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptedTaskMap,
+                         ::testing::Range<uint64_t>(1, 13));
+
+class LyingDistiller : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(LyingDistiller, ValueSpeculateEverything)
+{
+    // Replace every profiled load with its first-seen value and prune
+    // every branch with the slightest bias: a maximally dishonest (but
+    // structurally valid) distilled program.
+    uint64_t seed = GetParam();
+    std::string src = randomProgramSource(seed);
+    Program prog = assemble(src);
+    OutputStream expected = oracleOutputs(prog);
+
+    DistillerOptions lying;
+    lying.enableValueSpec = true;
+    lying.valueSpecFromProfile = true;
+    lying.valueSpecThreshold = 0.0;
+    lying.minMemSamples = 1;
+    lying.enableSilentStoreElim = true;
+    lying.silentStoreThreshold = 0.0;
+    lying.biasThreshold = 0.55;
+    lying.minBranchSamples = 1;
+
+    PreparedWorkload w = prepare(prog, prog, lying);
+    MsspMachine machine(prog, w.dist, adversarialConfig());
+    MsspResult r = machine.run(100000000ull);
+    ASSERT_TRUE(r.halted) << "MSSP timed out, seed " << seed;
+    EXPECT_EQ(r.outputs, expected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LyingDistiller,
+                         ::testing::Range<uint64_t>(1, 13));
+
+class MmioFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(MmioFuzz, DeviceProgramsAreEquivalent)
+{
+    // Random programs with sprinkled non-idempotent device accesses:
+    // MSSP must serialize through each access and reproduce the exact
+    // output stream, including device write ordering and counter
+    // values.
+    uint64_t seed = GetParam();
+    RandomProgramOptions opts;
+    opts.allowMmio = true;
+    std::string src = randomProgramSource(seed, opts);
+    Program prog = assemble(src);
+    OutputStream expected = oracleOutputs(prog);
+
+    PreparedWorkload w = prepare(prog, prog);
+    MsspMachine machine(prog, w.dist, adversarialConfig());
+    MsspResult r = machine.run(100000000ull);
+    ASSERT_TRUE(r.halted) << "MSSP timed out, seed " << seed;
+    EXPECT_EQ(r.outputs, expected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MmioFuzz,
+                         ::testing::Range<uint64_t>(1, 17));
+
+TEST(Adversarial, AllZeroDistilledProgram)
+{
+    // The master faults on its first fetch; the machine must fall
+    // back to sequential execution and still finish correctly.
+    std::string src = randomProgramSource(3);
+    Program prog = assemble(src);
+    OutputStream expected = oracleOutputs(prog);
+
+    PreparedWorkload w = prepare(prog, prog);
+    DistilledProgram zeroed = w.dist;
+    for (const auto &[addr, word] : w.dist.prog.image())
+        zeroed.prog.setWord(addr, 0);
+
+    MsspMachine machine(prog, zeroed, adversarialConfig());
+    MsspResult r = machine.run(100000000ull);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(r.outputs, expected);
+    EXPECT_GT(machine.counters().seqModeInsts, 0u);
+}
+
+TEST(Adversarial, MasterLoopsWithoutForking)
+{
+    // Distilled program = infinite loop with no forks: the watchdog
+    // must fire and sequential mode must complete the program.
+    std::string src = randomProgramSource(5);
+    Program prog = assemble(src);
+    OutputStream expected = oracleOutputs(prog);
+
+    PreparedWorkload w = prepare(prog, prog);
+    DistilledProgram looping = w.dist;
+    // Overwrite the entry with a self-jump (offset -1).
+    uint32_t entry = looping.prog.entry();
+    looping.prog.setWord(entry,
+                         encode(makeJ(Opcode::Jal, 0, -1)));
+
+    MsspMachine machine(prog, looping, adversarialConfig());
+    MsspResult r = machine.run(100000000ull);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(r.outputs, expected);
+    EXPECT_GT(machine.counters().watchdogSquashes, 0u);
+}
+
+TEST(Adversarial, ForkStormIsContained)
+{
+    // Distilled program that forks in a tight loop: the task window
+    // cap must throttle it, and output must stay correct.
+    std::string src = randomProgramSource(7);
+    Program prog = assemble(src);
+    OutputStream expected = oracleOutputs(prog);
+
+    PreparedWorkload w = prepare(prog, prog);
+    DistilledProgram storm = w.dist;
+    uint32_t entry = storm.prog.entry();
+    // entry: fork 0; jal -2 (back to the fork).
+    storm.prog.setWord(entry, encode(makeJ(Opcode::Fork, 0, 0)));
+    storm.prog.setWord(entry + 1,
+                       encode(makeJ(Opcode::Jal, 0, -2)));
+
+    MsspMachine machine(prog, storm, adversarialConfig());
+    MsspResult r = machine.run(100000000ull);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(r.outputs, expected);
+}
+
+} // anonymous namespace
+} // namespace mssp

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for machine-state containers: cells, StateDelta, paged
+ * memory and ArchState. (The algebraic laws of superimposition get
+ * their own randomized suite in test_formal_properties.cpp.)
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/arch_state.hh"
+#include "arch/cell.hh"
+#include "arch/paged_mem.hh"
+#include "arch/state_delta.hh"
+#include "asm/program.hh"
+
+namespace mssp
+{
+namespace
+{
+
+TEST(Cell, PackUnpack)
+{
+    CellId r = makeRegCell(7);
+    EXPECT_EQ(cellKind(r), CellKind::Reg);
+    EXPECT_EQ(cellIndex(r), 7u);
+
+    CellId m = makeMemCell(0xdeadbeef);
+    EXPECT_EQ(cellKind(m), CellKind::Mem);
+    EXPECT_EQ(cellIndex(m), 0xdeadbeefu);
+
+    EXPECT_EQ(cellKind(PcCell), CellKind::Pc);
+    EXPECT_NE(makeRegCell(0), makeMemCell(0));
+}
+
+TEST(Cell, ToString)
+{
+    EXPECT_EQ(cellToString(makeRegCell(3)), "r3(a0)");
+    EXPECT_EQ(cellToString(makeMemCell(0x10)), "mem[0x10]");
+    EXPECT_EQ(cellToString(PcCell), "pc");
+}
+
+TEST(StateDelta, SetGetContains)
+{
+    StateDelta d;
+    EXPECT_TRUE(d.empty());
+    d.set(makeRegCell(1), 42);
+    EXPECT_TRUE(d.contains(makeRegCell(1)));
+    EXPECT_EQ(d.get(makeRegCell(1)).value(), 42u);
+    EXPECT_FALSE(d.get(makeRegCell(2)).has_value());
+    d.set(makeRegCell(1), 43);
+    EXPECT_EQ(d.get(makeRegCell(1)).value(), 43u);
+    EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(StateDelta, SetIfAbsentKeepsFirstBinding)
+{
+    StateDelta d;
+    d.setIfAbsent(makeMemCell(8), 1);
+    d.setIfAbsent(makeMemCell(8), 2);
+    EXPECT_EQ(d.get(makeMemCell(8)).value(), 1u);
+}
+
+TEST(StateDelta, SuperimposeOverwrites)
+{
+    StateDelta a, b;
+    a.set(makeRegCell(1), 10);
+    a.set(makeRegCell(2), 20);
+    b.set(makeRegCell(2), 99);
+    b.set(makeRegCell(3), 30);
+    StateDelta c = StateDelta::superimposed(a, b);
+    EXPECT_EQ(c.get(makeRegCell(1)).value(), 10u);
+    EXPECT_EQ(c.get(makeRegCell(2)).value(), 99u);
+    EXPECT_EQ(c.get(makeRegCell(3)).value(), 30u);
+    EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(StateDelta, ConsistentWithSubset)
+{
+    StateDelta small, big;
+    small.set(makeRegCell(1), 1);
+    big.set(makeRegCell(1), 1);
+    big.set(makeRegCell(2), 2);
+    EXPECT_TRUE(small.consistentWith(big));
+    EXPECT_FALSE(big.consistentWith(small));  // r2 missing from small
+    small.set(makeRegCell(2), 3);
+    EXPECT_FALSE(small.consistentWith(big));  // value mismatch
+}
+
+TEST(StateDelta, SortedDeterministic)
+{
+    StateDelta d;
+    d.set(makeMemCell(5), 50);
+    d.set(makeRegCell(9), 90);
+    d.set(makeMemCell(1), 10);
+    auto v = d.sorted();
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0].first, makeRegCell(9));
+    EXPECT_EQ(v[1].first, makeMemCell(1));
+    EXPECT_EQ(v[2].first, makeMemCell(5));
+}
+
+TEST(PagedMem, DefaultZeroAndWriteAllocates)
+{
+    PagedMem mem;
+    EXPECT_EQ(mem.read(0x12345), 0u);
+    EXPECT_EQ(mem.numPages(), 0u);
+    mem.write(0x12345, 7);
+    EXPECT_EQ(mem.read(0x12345), 7u);
+    EXPECT_EQ(mem.numPages(), 1u);
+    // Same page: no new allocation.
+    mem.write(0x12346, 8);
+    EXPECT_EQ(mem.numPages(), 1u);
+    // Different page.
+    mem.write(0x92345, 9);
+    EXPECT_EQ(mem.numPages(), 2u);
+}
+
+TEST(PagedMem, PageBoundary)
+{
+    PagedMem mem;
+    uint32_t last = PagedMem::PageWords - 1;
+    mem.write(last, 1);
+    mem.write(last + 1, 2);
+    EXPECT_EQ(mem.read(last), 1u);
+    EXPECT_EQ(mem.read(last + 1), 2u);
+    EXPECT_EQ(mem.numPages(), 2u);
+}
+
+TEST(PagedMem, NonzeroWordsSorted)
+{
+    PagedMem mem;
+    mem.write(100, 1);
+    mem.write(5, 2);
+    mem.write(0x50000, 3);
+    mem.write(7, 0);    // zero value: not reported
+    auto words = mem.nonzeroWords();
+    ASSERT_EQ(words.size(), 3u);
+    EXPECT_EQ(words[0], (std::pair<uint32_t, uint32_t>{5, 2}));
+    EXPECT_EQ(words[1], (std::pair<uint32_t, uint32_t>{100, 1}));
+    EXPECT_EQ(words[2], (std::pair<uint32_t, uint32_t>{0x50000, 3}));
+}
+
+TEST(ArchState, RegisterZeroHardwired)
+{
+    ArchState s;
+    s.writeReg(0, 99);
+    EXPECT_EQ(s.readReg(0), 0u);
+    s.writeCell(makeRegCell(0), 99);
+    EXPECT_EQ(s.readCell(makeRegCell(0)), 0u);
+}
+
+TEST(ArchState, CellRoundTrip)
+{
+    ArchState s;
+    s.writeCell(makeRegCell(4), 44);
+    s.writeCell(makeMemCell(0x200), 55);
+    s.writeCell(PcCell, 0x1000);
+    EXPECT_EQ(s.readReg(4), 44u);
+    EXPECT_EQ(s.readMem(0x200), 55u);
+    EXPECT_EQ(s.pc(), 0x1000u);
+    EXPECT_EQ(s.readCell(makeRegCell(4)), 44u);
+    EXPECT_EQ(s.readCell(makeMemCell(0x200)), 55u);
+    EXPECT_EQ(s.readCell(PcCell), 0x1000u);
+}
+
+TEST(ArchState, MatchesAndApply)
+{
+    ArchState s;
+    s.writeReg(1, 10);
+    s.writeMem(0x100, 20);
+
+    StateDelta live_in;
+    live_in.set(makeRegCell(1), 10);
+    live_in.set(makeMemCell(0x100), 20);
+    EXPECT_TRUE(s.matches(live_in));
+    EXPECT_EQ(s.countMismatches(live_in), 0u);
+
+    live_in.set(makeMemCell(0x104), 5);   // arch holds 0 there
+    EXPECT_FALSE(s.matches(live_in));
+    EXPECT_EQ(s.countMismatches(live_in), 1u);
+
+    StateDelta live_out;
+    live_out.set(makeRegCell(2), 222);
+    live_out.set(makeMemCell(0x104), 5);
+    s.apply(live_out);
+    EXPECT_EQ(s.readReg(2), 222u);
+    EXPECT_TRUE(s.matches(live_in));
+}
+
+TEST(ArchState, LoadProgramSetsImageAndEntry)
+{
+    Program prog;
+    prog.setWord(0x1000, 0xabcd);
+    prog.setWord(0x2000, 0x1234);
+    prog.setEntry(0x1000);
+    ArchState s;
+    s.loadProgram(prog);
+    EXPECT_EQ(s.readMem(0x1000), 0xabcdu);
+    EXPECT_EQ(s.readMem(0x2000), 0x1234u);
+    EXPECT_EQ(s.pc(), 0x1000u);
+}
+
+} // anonymous namespace
+} // namespace mssp

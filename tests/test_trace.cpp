@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the tracing facilities: ring-buffer bounds, instruction
+ * trace contents, and the MSSP task-event trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "trace/trace.hh"
+
+namespace mssp
+{
+namespace
+{
+
+TEST(TraceLog, AppendsAndDumps)
+{
+    TraceLog log(10);
+    log.append("one");
+    log.append("two");
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.text(), "one\ntwo\n");
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceLog, RingBufferDropsOldest)
+{
+    TraceLog log(3);
+    for (int i = 0; i < 5; ++i)
+        log.append(std::to_string(i));
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.dropped(), 2u);
+    EXPECT_EQ(log.lines().front(), "2");
+    EXPECT_EQ(log.lines().back(), "4");
+}
+
+TEST(ExecTracer, DisassemblesEveryStep)
+{
+    Program p = assemble(
+        "    li t0, 2\n"
+        "loop:\n"
+        "    addi t0, t0, -1\n"
+        "    bnez t0, loop\n"
+        "    halt\n");
+    TraceLog log;
+    ExecTracer tracer(log);
+    SeqMachine m(p);
+    m.setObserver(&tracer);
+    m.run(100);
+    EXPECT_EQ(log.size(), m.instCount());
+    std::string text = log.text();
+    EXPECT_NE(text.find("addi t0, t0, -1"), std::string::npos);
+    EXPECT_NE(text.find("[taken]"), std::string::npos);
+    EXPECT_NE(text.find("[not taken]"), std::string::npos);
+    EXPECT_NE(text.find("<halt>"), std::string::npos);
+}
+
+TEST(TaskTracer, RecordsCommitsAndSquashes)
+{
+    setQuiet(true);
+    PreparedWorkload w = prepare(test::biasedSumSource(200, 31),
+                                 test::biasedSumSource(128, 32),
+                                 DistillerOptions::paperPreset());
+    MsspConfig cfg;
+    MsspMachine machine(w.orig, w.dist, cfg);
+    TraceLog log(100000);
+    TaskTracer tracer(machine, log);
+    MsspResult r = machine.run(100000000ull);
+    test::expectEquivalent(w.orig, r);
+
+    EXPECT_EQ(tracer.commits(), machine.counters().tasksCommitted);
+    EXPECT_EQ(tracer.squashes(), machine.counters().squashEvents);
+    std::string text = log.text();
+    EXPECT_NE(text.find("commit  task"), std::string::npos);
+    EXPECT_NE(text.find("live-ins"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace mssp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Workload-suite tests: every SPECint analogue assembles, terminates
+ * under SEQ, runs output-equivalently under MSSP (ref and train), and
+ * the full pipeline produces a usable distilled program for it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mssp_api.hh"
+#include "helpers.hh"
+#include "workloads/random_program.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+namespace
+{
+
+constexpr double kTestScale = 0.15;
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    Workload
+    load() const
+    {
+        return workloadByName(GetParam(), kTestScale);
+    }
+};
+
+TEST_P(WorkloadSuite, AssemblesAndTerminates)
+{
+    Workload w = load();
+    for (const std::string *src : {&w.refSource, &w.trainSource}) {
+        Program p = assemble(*src);
+        SeqMachine m(p);
+        auto r = m.run(20000000);
+        EXPECT_TRUE(r.halted) << w.name;
+        EXPECT_FALSE(r.faulted) << w.name;
+        EXPECT_GT(m.outputs().size(), 0u) << w.name;
+        EXPECT_GT(m.instCount(), 1000u) << w.name << " too small";
+    }
+}
+
+TEST_P(WorkloadSuite, RefAndTrainProduceDifferentOutputs)
+{
+    // train/ref must actually be different inputs, or the profile
+    // would be an oracle rather than a prediction.
+    Workload w = load();
+    SeqMachine ref(assemble(w.refSource));
+    ref.run(20000000);
+    SeqMachine train(assemble(w.trainSource));
+    train.run(20000000);
+    EXPECT_NE(ref.outputs(), train.outputs()) << w.name;
+}
+
+TEST_P(WorkloadSuite, MsspIsOutputEquivalent)
+{
+    Workload w = load();
+    PreparedWorkload prepared = prepare(w.refSource, w.trainSource);
+    MsspConfig cfg;
+    MsspMachine machine(prepared.orig, prepared.dist, cfg);
+    MsspResult r = machine.run(200000000ull);
+    test::expectEquivalent(prepared.orig, r);
+}
+
+TEST_P(WorkloadSuite, DistillerFindsForkSites)
+{
+    Workload w = load();
+    PreparedWorkload prepared = prepare(w.refSource, w.trainSource);
+    EXPECT_GE(prepared.dist.taskMap.size(), 1u) << w.name;
+    EXPECT_GT(prepared.dist.report.distilledStaticInsts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Analogues, WorkloadSuite,
+    ::testing::Values("gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+                      "eon", "perlbmk", "gap", "vortex", "bzip2",
+                      "twolf"),
+    [](const auto &info) { return info.param; });
+
+TEST(WorkloadRegistry, TwelveAnalogues)
+{
+    auto all = specAnalogues(kTestScale);
+    EXPECT_EQ(all.size(), 12u);
+    for (const auto &w : all) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_FALSE(w.description.empty());
+    }
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(workloadByName("specfp"), FatalError);
+}
+
+TEST(RandomProgram, DeterministicPerSeed)
+{
+    EXPECT_EQ(randomProgramSource(42), randomProgramSource(42));
+    EXPECT_NE(randomProgramSource(42), randomProgramSource(43));
+}
+
+} // anonymous namespace
+} // namespace mssp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * mssp-asm: assemble μRISC source into an object file.
+ *
+ *   mssp-asm input.s [-o output.mo] [--disasm]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "asm/objfile.hh"
+#include "isa/disasm.hh"
+#include "sim/logging.hh"
+#include "util/file.hh"
+
+using namespace mssp;
+
+int
+main(int argc, char **argv)
+{
+    std::string input;
+    std::string output;
+    bool disasm = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+            output = argv[++i];
+        } else if (std::strcmp(argv[i], "--disasm") == 0) {
+            disasm = true;
+        } else if (argv[i][0] != '-' && input.empty()) {
+            input = argv[i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: mssp-asm input.s [-o out.mo] "
+                         "[--disasm]\n");
+            return 2;
+        }
+    }
+    if (input.empty()) {
+        std::fprintf(stderr, "mssp-asm: no input file\n");
+        return 2;
+    }
+    if (output.empty()) {
+        output = input;
+        size_t dot = output.rfind('.');
+        if (dot != std::string::npos)
+            output.resize(dot);
+        output += ".mo";
+    }
+
+    try {
+        Program prog = assemble(readFile(input));
+        writeFile(output, saveProgram(prog));
+        std::printf("%s: %zu words, entry 0x%x -> %s\n",
+                    input.c_str(), prog.sizeWords(), prog.entry(),
+                    output.c_str());
+        if (disasm) {
+            for (const auto &[addr, word] : prog.image()) {
+                std::printf("0x%06x:  %-10s %s\n", addr,
+                            strfmt("0x%08x", word).c_str(),
+                            disassembleWord(word, addr).c_str());
+            }
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "mssp-asm: %s: %s\n", input.c_str(),
+                     e.what());
+        return 1;
+    }
+    return 0;
+}

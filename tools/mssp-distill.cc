@@ -1,0 +1,103 @@
+/**
+ * @file
+ * mssp-distill: profile a training binary and distill a reference
+ * binary into an MSSP distilled object.
+ *
+ *   mssp-distill ref.{s,mo} [--train train.{s,mo}] [-o out.mdo]
+ *                [--theta T] [--no-valuespec] [--no-silentstores]
+ *                [--task-size N] [--report]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "asm/objfile.hh"
+#include "core/pipeline.hh"
+#include "sim/logging.hh"
+#include "util/file.hh"
+#include "util/string_utils.hh"
+
+using namespace mssp;
+
+namespace
+{
+
+Program
+loadAny(const std::string &path)
+{
+    std::string text = readFile(path);
+    if (startsWith(trim(text), "mssp-object"))
+        return loadProgram(text);
+    return assemble(text);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string ref_path, train_path, out_path;
+    DistillerOptions opts = DistillerOptions::paperPreset();
+    bool show_report = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--train" && i + 1 < argc) {
+            train_path = argv[++i];
+        } else if (arg == "-o" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--theta" && i + 1 < argc) {
+            opts.biasThreshold = std::atof(argv[++i]);
+        } else if (arg == "--no-valuespec") {
+            opts.enableValueSpec = false;
+        } else if (arg == "--no-silentstores") {
+            opts.enableSilentStoreElim = false;
+        } else if (arg == "--task-size" && i + 1 < argc) {
+            opts.forkSelect.targetTaskSize =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--report") {
+            show_report = true;
+        } else if (arg[0] != '-' && ref_path.empty()) {
+            ref_path = arg;
+        } else {
+            std::fprintf(stderr,
+                         "usage: mssp-distill ref.{s,mo} [--train t] "
+                         "[-o out.mdo] [--theta T] [--no-valuespec] "
+                         "[--no-silentstores] [--task-size N] "
+                         "[--report]\n");
+            return 2;
+        }
+    }
+    if (ref_path.empty()) {
+        std::fprintf(stderr, "mssp-distill: no input file\n");
+        return 2;
+    }
+    if (out_path.empty()) {
+        out_path = ref_path;
+        size_t dot = out_path.rfind('.');
+        if (dot != std::string::npos)
+            out_path.resize(dot);
+        out_path += ".mdo";
+    }
+
+    try {
+        Program ref = loadAny(ref_path);
+        Program train = train_path.empty() ? ref
+                                           : loadAny(train_path);
+        PreparedWorkload w = prepare(ref, train, opts);
+        writeFile(out_path, saveDistilled(w.dist));
+        std::printf("%s: %zu -> %zu static insts, %zu fork sites "
+                    "-> %s\n",
+                    ref_path.c_str(), w.dist.report.origStaticInsts,
+                    w.dist.report.distilledStaticInsts,
+                    w.dist.taskMap.size(), out_path.c_str());
+        if (show_report)
+            std::fputs(w.dist.report.toString().c_str(), stdout);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "mssp-distill: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * mssp-run: execute a program sequentially or on the MSSP machine.
+ *
+ *   mssp-run prog.{s,mo} [--mssp dist.mdo] [--slaves N]
+ *            [--fork-latency N] [--commit-latency N] [--stats]
+ *            [--max-cycles N] [--compare]
+ *
+ * With --mssp, runs the MSSP machine using the given distilled
+ * object; --compare additionally runs the sequential oracle and
+ * verifies output equivalence (exit status reflects it).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "asm/objfile.hh"
+#include "exec/seq_machine.hh"
+#include "mssp/machine.hh"
+#include "sim/logging.hh"
+#include "util/file.hh"
+#include "util/string_utils.hh"
+
+using namespace mssp;
+
+namespace
+{
+
+Program
+loadAny(const std::string &path)
+{
+    std::string text = readFile(path);
+    if (startsWith(trim(text), "mssp-object"))
+        return loadProgram(text);
+    return assemble(text);
+}
+
+void
+printOutputs(const OutputStream &outs)
+{
+    for (const auto &o : outs)
+        std::printf("out[%u] = %u (0x%x)\n", o.port, o.value, o.value);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string prog_path, dist_path;
+    MsspConfig cfg;
+    bool stats = false, compare = false;
+    uint64_t max_cycles = 1000000000ull;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--mssp" && i + 1 < argc) {
+            dist_path = argv[++i];
+        } else if (arg == "--slaves" && i + 1 < argc) {
+            cfg.numSlaves = static_cast<unsigned>(
+                std::atoi(argv[++i]));
+        } else if (arg == "--fork-latency" && i + 1 < argc) {
+            cfg.forkLatency = static_cast<Cycle>(
+                std::atoll(argv[++i]));
+        } else if (arg == "--commit-latency" && i + 1 < argc) {
+            cfg.commitLatency = static_cast<Cycle>(
+                std::atoll(argv[++i]));
+        } else if (arg == "--max-cycles" && i + 1 < argc) {
+            max_cycles = static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--compare") {
+            compare = true;
+        } else if (arg[0] != '-' && prog_path.empty()) {
+            prog_path = arg;
+        } else {
+            std::fprintf(stderr,
+                         "usage: mssp-run prog.{s,mo} "
+                         "[--mssp dist.mdo] [--slaves N] "
+                         "[--fork-latency N] [--commit-latency N] "
+                         "[--max-cycles N] [--stats] [--compare]\n");
+            return 2;
+        }
+    }
+    if (prog_path.empty()) {
+        std::fprintf(stderr, "mssp-run: no input file\n");
+        return 2;
+    }
+
+    try {
+        Program prog = loadAny(prog_path);
+
+        if (dist_path.empty()) {
+            SeqMachine machine(prog);
+            machine.run(max_cycles);
+            printOutputs(machine.outputs());
+            std::printf("%s: %s after %llu instructions\n",
+                        prog_path.c_str(),
+                        machine.halted()   ? "halted"
+                        : machine.faulted() ? "FAULTED"
+                                            : "cycle limit",
+                        static_cast<unsigned long long>(
+                            machine.instCount()));
+            return machine.halted() ? 0 : 1;
+        }
+
+        DistilledProgram dist = loadDistilled(readFile(dist_path));
+        MsspMachine machine(prog, dist, cfg);
+        MsspResult r = machine.run(max_cycles);
+        printOutputs(r.outputs);
+        std::printf("%s: %s after %llu cycles, %llu committed "
+                    "instructions\n",
+                    prog_path.c_str(),
+                    r.halted    ? "halted"
+                    : r.faulted ? "FAULTED"
+                                : "cycle limit",
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(
+                        r.committedInsts));
+        if (stats)
+            machine.dumpStats(std::cout);
+
+        if (compare) {
+            SeqMachine oracle(prog);
+            oracle.run(100000000ull);
+            bool same = r.halted && oracle.halted() &&
+                        r.outputs == oracle.outputs() &&
+                        r.committedInsts == oracle.instCount();
+            std::printf("equivalence with SEQ: %s\n",
+                        same ? "IDENTICAL" : "*** DIFFERS ***");
+            return same ? 0 : 1;
+        }
+        return r.halted ? 0 : 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "mssp-run: %s\n", e.what());
+        return 1;
+    }
+}
