@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_aggressiveness.dir/fig_aggressiveness.cpp.o"
+  "CMakeFiles/fig_aggressiveness.dir/fig_aggressiveness.cpp.o.d"
+  "fig_aggressiveness"
+  "fig_aggressiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_aggressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

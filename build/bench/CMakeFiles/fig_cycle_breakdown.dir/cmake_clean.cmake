@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_cycle_breakdown.dir/fig_cycle_breakdown.cpp.o"
+  "CMakeFiles/fig_cycle_breakdown.dir/fig_cycle_breakdown.cpp.o.d"
+  "fig_cycle_breakdown"
+  "fig_cycle_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_cycle_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

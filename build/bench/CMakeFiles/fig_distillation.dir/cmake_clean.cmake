@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_distillation.dir/fig_distillation.cpp.o"
+  "CMakeFiles/fig_distillation.dir/fig_distillation.cpp.o.d"
+  "fig_distillation"
+  "fig_distillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_distillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

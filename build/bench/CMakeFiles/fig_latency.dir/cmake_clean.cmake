@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_latency.dir/fig_latency.cpp.o"
+  "CMakeFiles/fig_latency.dir/fig_latency.cpp.o.d"
+  "fig_latency"
+  "fig_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_liveins.dir/fig_liveins.cpp.o"
+  "CMakeFiles/fig_liveins.dir/fig_liveins.cpp.o.d"
+  "fig_liveins"
+  "fig_liveins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_liveins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_liveins.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_scaling.dir/fig_scaling.cpp.o"
+  "CMakeFiles/fig_scaling.dir/fig_scaling.cpp.o.d"
+  "fig_scaling"
+  "fig_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_speedup.dir/fig_speedup.cpp.o"
+  "CMakeFiles/fig_speedup.dir/fig_speedup.cpp.o.d"
+  "fig_speedup"
+  "fig_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_task_size.dir/fig_task_size.cpp.o"
+  "CMakeFiles/fig_task_size.dir/fig_task_size.cpp.o.d"
+  "fig_task_size"
+  "fig_task_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_task_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_machine_config.dir/tab1_machine_config.cpp.o"
+  "CMakeFiles/tab1_machine_config.dir/tab1_machine_config.cpp.o.d"
+  "tab1_machine_config"
+  "tab1_machine_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_machine_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

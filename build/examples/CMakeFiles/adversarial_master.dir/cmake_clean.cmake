@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_master.dir/adversarial_master.cpp.o"
+  "CMakeFiles/adversarial_master.dir/adversarial_master.cpp.o.d"
+  "adversarial_master"
+  "adversarial_master.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

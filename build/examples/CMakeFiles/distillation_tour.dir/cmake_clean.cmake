@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distillation_tour.dir/distillation_tour.cpp.o"
+  "CMakeFiles/distillation_tour.dir/distillation_tour.cpp.o.d"
+  "distillation_tour"
+  "distillation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distillation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

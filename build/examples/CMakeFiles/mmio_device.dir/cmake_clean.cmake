@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmio_device.dir/mmio_device.cpp.o"
+  "CMakeFiles/mmio_device.dir/mmio_device.cpp.o.d"
+  "mmio_device"
+  "mmio_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmio_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/arch_state.cc" "src/CMakeFiles/mssp.dir/arch/arch_state.cc.o" "gcc" "src/CMakeFiles/mssp.dir/arch/arch_state.cc.o.d"
+  "/root/repo/src/arch/paged_mem.cc" "src/CMakeFiles/mssp.dir/arch/paged_mem.cc.o" "gcc" "src/CMakeFiles/mssp.dir/arch/paged_mem.cc.o.d"
+  "/root/repo/src/arch/state_delta.cc" "src/CMakeFiles/mssp.dir/arch/state_delta.cc.o" "gcc" "src/CMakeFiles/mssp.dir/arch/state_delta.cc.o.d"
+  "/root/repo/src/asm/assembler.cc" "src/CMakeFiles/mssp.dir/asm/assembler.cc.o" "gcc" "src/CMakeFiles/mssp.dir/asm/assembler.cc.o.d"
+  "/root/repo/src/asm/objfile.cc" "src/CMakeFiles/mssp.dir/asm/objfile.cc.o" "gcc" "src/CMakeFiles/mssp.dir/asm/objfile.cc.o.d"
+  "/root/repo/src/asm/program.cc" "src/CMakeFiles/mssp.dir/asm/program.cc.o" "gcc" "src/CMakeFiles/mssp.dir/asm/program.cc.o.d"
+  "/root/repo/src/cfg/cfg.cc" "src/CMakeFiles/mssp.dir/cfg/cfg.cc.o" "gcc" "src/CMakeFiles/mssp.dir/cfg/cfg.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/mssp.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/mssp.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/distill/ir.cc" "src/CMakeFiles/mssp.dir/distill/ir.cc.o" "gcc" "src/CMakeFiles/mssp.dir/distill/ir.cc.o.d"
+  "/root/repo/src/distill/layout.cc" "src/CMakeFiles/mssp.dir/distill/layout.cc.o" "gcc" "src/CMakeFiles/mssp.dir/distill/layout.cc.o.d"
+  "/root/repo/src/distill/passes.cc" "src/CMakeFiles/mssp.dir/distill/passes.cc.o" "gcc" "src/CMakeFiles/mssp.dir/distill/passes.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/mssp.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/mssp.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/mssp.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/mssp.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/seq_machine.cc" "src/CMakeFiles/mssp.dir/exec/seq_machine.cc.o" "gcc" "src/CMakeFiles/mssp.dir/exec/seq_machine.cc.o.d"
+  "/root/repo/src/formal/abstract_model.cc" "src/CMakeFiles/mssp.dir/formal/abstract_model.cc.o" "gcc" "src/CMakeFiles/mssp.dir/formal/abstract_model.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/mssp.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/mssp.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/mssp.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/mssp.dir/isa/isa.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/mssp.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/mssp.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mssp/baseline.cc" "src/CMakeFiles/mssp.dir/mssp/baseline.cc.o" "gcc" "src/CMakeFiles/mssp.dir/mssp/baseline.cc.o.d"
+  "/root/repo/src/mssp/config.cc" "src/CMakeFiles/mssp.dir/mssp/config.cc.o" "gcc" "src/CMakeFiles/mssp.dir/mssp/config.cc.o.d"
+  "/root/repo/src/mssp/machine.cc" "src/CMakeFiles/mssp.dir/mssp/machine.cc.o" "gcc" "src/CMakeFiles/mssp.dir/mssp/machine.cc.o.d"
+  "/root/repo/src/mssp/master.cc" "src/CMakeFiles/mssp.dir/mssp/master.cc.o" "gcc" "src/CMakeFiles/mssp.dir/mssp/master.cc.o.d"
+  "/root/repo/src/mssp/slave.cc" "src/CMakeFiles/mssp.dir/mssp/slave.cc.o" "gcc" "src/CMakeFiles/mssp.dir/mssp/slave.cc.o.d"
+  "/root/repo/src/profile/fork_select.cc" "src/CMakeFiles/mssp.dir/profile/fork_select.cc.o" "gcc" "src/CMakeFiles/mssp.dir/profile/fork_select.cc.o.d"
+  "/root/repo/src/profile/profiler.cc" "src/CMakeFiles/mssp.dir/profile/profiler.cc.o" "gcc" "src/CMakeFiles/mssp.dir/profile/profiler.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/mssp.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/mssp.dir/sim/logging.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/mssp.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/mssp.dir/stats/stats.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/mssp.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/mssp.dir/trace/trace.cc.o.d"
+  "/root/repo/src/util/file.cc" "src/CMakeFiles/mssp.dir/util/file.cc.o" "gcc" "src/CMakeFiles/mssp.dir/util/file.cc.o.d"
+  "/root/repo/src/util/string_utils.cc" "src/CMakeFiles/mssp.dir/util/string_utils.cc.o" "gcc" "src/CMakeFiles/mssp.dir/util/string_utils.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/mssp.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/random_program.cc" "src/CMakeFiles/mssp.dir/workloads/random_program.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/random_program.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/mssp.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/wl_bzip2.cc" "src/CMakeFiles/mssp.dir/workloads/wl_bzip2.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_bzip2.cc.o.d"
+  "/root/repo/src/workloads/wl_crafty.cc" "src/CMakeFiles/mssp.dir/workloads/wl_crafty.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_crafty.cc.o.d"
+  "/root/repo/src/workloads/wl_eon.cc" "src/CMakeFiles/mssp.dir/workloads/wl_eon.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_eon.cc.o.d"
+  "/root/repo/src/workloads/wl_gap.cc" "src/CMakeFiles/mssp.dir/workloads/wl_gap.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_gap.cc.o.d"
+  "/root/repo/src/workloads/wl_gcc.cc" "src/CMakeFiles/mssp.dir/workloads/wl_gcc.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_gcc.cc.o.d"
+  "/root/repo/src/workloads/wl_gzip.cc" "src/CMakeFiles/mssp.dir/workloads/wl_gzip.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_gzip.cc.o.d"
+  "/root/repo/src/workloads/wl_mcf.cc" "src/CMakeFiles/mssp.dir/workloads/wl_mcf.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_mcf.cc.o.d"
+  "/root/repo/src/workloads/wl_parser.cc" "src/CMakeFiles/mssp.dir/workloads/wl_parser.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_parser.cc.o.d"
+  "/root/repo/src/workloads/wl_perlbmk.cc" "src/CMakeFiles/mssp.dir/workloads/wl_perlbmk.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_perlbmk.cc.o.d"
+  "/root/repo/src/workloads/wl_twolf.cc" "src/CMakeFiles/mssp.dir/workloads/wl_twolf.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_twolf.cc.o.d"
+  "/root/repo/src/workloads/wl_vortex.cc" "src/CMakeFiles/mssp.dir/workloads/wl_vortex.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_vortex.cc.o.d"
+  "/root/repo/src/workloads/wl_vpr.cc" "src/CMakeFiles/mssp.dir/workloads/wl_vpr.cc.o" "gcc" "src/CMakeFiles/mssp.dir/workloads/wl_vpr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distill.dir/test_distill.cpp.o"
+  "CMakeFiles/test_distill.dir/test_distill.cpp.o.d"
+  "test_distill"
+  "test_distill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

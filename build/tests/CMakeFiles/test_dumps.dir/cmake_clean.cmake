@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dumps.dir/test_dumps.cpp.o"
+  "CMakeFiles/test_dumps.dir/test_dumps.cpp.o.d"
+  "test_dumps"
+  "test_dumps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dumps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

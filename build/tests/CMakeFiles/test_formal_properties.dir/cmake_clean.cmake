@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formal_properties.dir/test_formal_properties.cpp.o"
+  "CMakeFiles/test_formal_properties.dir/test_formal_properties.cpp.o.d"
+  "test_formal_properties"
+  "test_formal_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formal_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

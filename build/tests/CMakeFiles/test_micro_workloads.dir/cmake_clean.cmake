@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_micro_workloads.dir/test_micro_workloads.cpp.o"
+  "CMakeFiles/test_micro_workloads.dir/test_micro_workloads.cpp.o.d"
+  "test_micro_workloads"
+  "test_micro_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_micro_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmio.dir/test_mmio.cpp.o"
+  "CMakeFiles/test_mmio.dir/test_mmio.cpp.o.d"
+  "test_mmio"
+  "test_mmio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mssp_machine.dir/test_mssp_machine.cpp.o"
+  "CMakeFiles/test_mssp_machine.dir/test_mssp_machine.cpp.o.d"
+  "test_mssp_machine"
+  "test_mssp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mssp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_objfile.dir/test_objfile.cpp.o"
+  "CMakeFiles/test_objfile.dir/test_objfile.cpp.o.d"
+  "test_objfile"
+  "test_objfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_objfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slave.dir/test_slave.cpp.o"
+  "CMakeFiles/test_slave.dir/test_slave.cpp.o.d"
+  "test_slave"
+  "test_slave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mssp-asm.dir/mssp-asm.cc.o"
+  "CMakeFiles/mssp-asm.dir/mssp-asm.cc.o.d"
+  "mssp-asm"
+  "mssp-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mssp-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

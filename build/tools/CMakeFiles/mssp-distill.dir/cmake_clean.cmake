@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mssp-distill.dir/mssp-distill.cc.o"
+  "CMakeFiles/mssp-distill.dir/mssp-distill.cc.o.d"
+  "mssp-distill"
+  "mssp-distill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mssp-distill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mssp-distill.
+# This may be replaced when dependencies are built.

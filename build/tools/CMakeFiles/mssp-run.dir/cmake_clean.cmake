@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mssp-run.dir/mssp-run.cc.o"
+  "CMakeFiles/mssp-run.dir/mssp-run.cc.o.d"
+  "mssp-run"
+  "mssp-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mssp-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
