@@ -1,0 +1,276 @@
+#include "analysis/flow_graph.hh"
+
+#include <algorithm>
+
+#include "cfg/cfg.hh"
+#include "distill/ir.hh"
+#include "sim/logging.hh"
+
+namespace mssp::analysis
+{
+
+std::vector<int>
+FlowGraph::rpo() const
+{
+    std::vector<int> post;
+    if (succs.empty())
+        return post;
+    std::vector<uint8_t> seen(size(), 0);
+
+    struct Frame
+    {
+        int node;
+        size_t nextSucc;
+    };
+    std::vector<Frame> stack;
+
+    std::vector<int> all_roots{entry};
+    all_roots.insert(all_roots.end(), roots.begin(), roots.end());
+    for (int root : all_roots) {
+        if (seen[static_cast<size_t>(root)])
+            continue;
+        seen[static_cast<size_t>(root)] = 1;
+        stack.push_back({root, 0});
+        while (!stack.empty()) {
+            Frame &f = stack.back();
+            const auto &ss = succs[static_cast<size_t>(f.node)];
+            if (f.nextSucc < ss.size()) {
+                int s = ss[f.nextSucc++];
+                if (!seen[static_cast<size_t>(s)]) {
+                    seen[static_cast<size_t>(s)] = 1;
+                    stack.push_back({s, 0});
+                }
+            } else {
+                post.push_back(f.node);
+                stack.pop_back();
+            }
+        }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+FlowGraph
+graphOfCfg(const Cfg &cfg, std::vector<uint32_t> &starts)
+{
+    starts.clear();
+    std::vector<int> ids;
+    for (const auto &[start, bb] : cfg.blocks())
+        starts.push_back(start);
+
+    auto id_of = [&](uint32_t pc) -> int {
+        auto it = std::lower_bound(starts.begin(), starts.end(), pc);
+        if (it == starts.end() || *it != pc)
+            return -1;
+        return static_cast<int>(it - starts.begin());
+    };
+
+    FlowGraph g(starts.size());
+    g.entry = id_of(cfg.entry());
+    MSSP_ASSERT(g.entry >= 0);
+    for (uint32_t root : cfg.roots()) {
+        int id = id_of(root);
+        if (id >= 0 && id != g.entry)
+            g.roots.push_back(id);
+    }
+    for (const auto &[start, bb] : cfg.blocks()) {
+        int from = id_of(start);
+        for (uint32_t s : bb.succs) {
+            int to = id_of(s);
+            if (to >= 0)
+                g.addEdge(from, to);
+        }
+    }
+    return g;
+}
+
+FlowGraph
+graphOfIr(const DistillIr &ir)
+{
+    FlowGraph g(ir.blocks().size());
+    g.entry = ir.entryBlock();
+    for (const IrBlock &blk : ir.blocks()) {
+        if (!blk.alive)
+            continue;
+        for (int s : blk.succIds()) {
+            if (ir.block(s).alive)
+                g.addEdge(blk.id, s);
+        }
+    }
+    return g;
+}
+
+std::vector<int>
+computeIdom(const FlowGraph &g)
+{
+    std::vector<int> idom(g.size(), -1);
+    if (g.succs.empty())
+        return idom;
+    std::vector<int> order = g.rpo();
+
+    // rpoNum[n] = position of n in RPO (lower = earlier).
+    std::vector<int> rpo_num(g.size(), -1);
+    for (size_t i = 0; i < order.size(); ++i)
+        rpo_num[static_cast<size_t>(order[i])] = static_cast<int>(i);
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpo_num[static_cast<size_t>(a)] >
+                   rpo_num[static_cast<size_t>(b)]) {
+                a = idom[static_cast<size_t>(a)];
+            }
+            while (rpo_num[static_cast<size_t>(b)] >
+                   rpo_num[static_cast<size_t>(a)]) {
+                b = idom[static_cast<size_t>(b)];
+            }
+        }
+        return a;
+    };
+
+    idom[static_cast<size_t>(g.entry)] = g.entry;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int n : order) {
+            if (n == g.entry)
+                continue;
+            int new_idom = -1;
+            for (int p : g.preds[static_cast<size_t>(n)]) {
+                if (idom[static_cast<size_t>(p)] < 0)
+                    continue;   // pred not yet processed / unreachable
+                new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+            }
+            if (new_idom >= 0 &&
+                idom[static_cast<size_t>(n)] != new_idom) {
+                idom[static_cast<size_t>(n)] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+DomTree::DomTree(const FlowGraph &g)
+    : idom_(computeIdom(g)), depth_(g.size(), -1)
+{
+    // Depths via memoized idom walks (the tree is acyclic).
+    for (size_t n = 0; n < idom_.size(); ++n) {
+        if (idom_[n] < 0 || depth_[n] >= 0)
+            continue;
+        std::vector<size_t> chain;
+        size_t m = n;
+        while (depth_[m] < 0 &&
+               idom_[m] != static_cast<int>(m)) {
+            chain.push_back(m);
+            m = static_cast<size_t>(idom_[m]);
+        }
+        int base = idom_[m] == static_cast<int>(m) ? 0 : depth_[m];
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+            depth_[*it] = ++base;
+        if (idom_[m] == static_cast<int>(m))
+            depth_[m] = 0;
+    }
+}
+
+bool
+DomTree::dominates(int a, int b) const
+{
+    if (!reachable(a) || !reachable(b))
+        return false;
+    while (depth_[static_cast<size_t>(b)] >
+           depth_[static_cast<size_t>(a)]) {
+        b = idom_[static_cast<size_t>(b)];
+    }
+    return a == b;
+}
+
+SccResult
+computeSccs(const FlowGraph &g)
+{
+    SccResult res;
+    res.comp.assign(g.size(), -1);
+    if (g.succs.empty())
+        return res;
+
+    // Iterative Tarjan.
+    std::vector<int> index(g.size(), -1), lowlink(g.size(), 0);
+    std::vector<uint8_t> on_stack(g.size(), 0);
+    std::vector<int> scc_stack;
+    int next_index = 0;
+
+    struct Frame
+    {
+        int node;
+        size_t nextSucc;
+    };
+    std::vector<Frame> call_stack;
+
+    auto visit = [&](int root) {
+        call_stack.push_back({root, 0});
+        index[static_cast<size_t>(root)] =
+            lowlink[static_cast<size_t>(root)] = next_index++;
+        scc_stack.push_back(root);
+        on_stack[static_cast<size_t>(root)] = 1;
+
+        while (!call_stack.empty()) {
+            Frame &f = call_stack.back();
+            auto v = static_cast<size_t>(f.node);
+            if (f.nextSucc < g.succs[v].size()) {
+                int w = g.succs[v][f.nextSucc++];
+                auto wi = static_cast<size_t>(w);
+                if (index[wi] < 0) {
+                    index[wi] = lowlink[wi] = next_index++;
+                    scc_stack.push_back(w);
+                    on_stack[wi] = 1;
+                    call_stack.push_back({w, 0});
+                } else if (on_stack[wi]) {
+                    lowlink[v] = std::min(lowlink[v], index[wi]);
+                }
+            } else {
+                if (lowlink[v] == index[v]) {
+                    std::vector<int> members;
+                    int w;
+                    do {
+                        w = scc_stack.back();
+                        scc_stack.pop_back();
+                        on_stack[static_cast<size_t>(w)] = 0;
+                        res.comp[static_cast<size_t>(w)] = res.count;
+                        members.push_back(w);
+                    } while (w != f.node);
+                    res.members.push_back(std::move(members));
+                    ++res.count;
+                }
+                int done = f.node;
+                call_stack.pop_back();
+                if (!call_stack.empty()) {
+                    auto p =
+                        static_cast<size_t>(call_stack.back().node);
+                    lowlink[p] = std::min(
+                        lowlink[p], lowlink[static_cast<size_t>(done)]);
+                }
+            }
+        }
+    };
+
+    for (int n : g.rpo()) {
+        if (index[static_cast<size_t>(n)] < 0)
+            visit(n);
+    }
+
+    res.cyclic.assign(static_cast<size_t>(res.count), false);
+    for (int c = 0; c < res.count; ++c) {
+        const auto &members = res.members[static_cast<size_t>(c)];
+        if (members.size() > 1) {
+            res.cyclic[static_cast<size_t>(c)] = true;
+            continue;
+        }
+        int n = members[0];
+        for (int s : g.succs[static_cast<size_t>(n)]) {
+            if (s == n)
+                res.cyclic[static_cast<size_t>(c)] = true;
+        }
+    }
+    return res;
+}
+
+} // namespace mssp::analysis

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * computeLiveness(Cfg) and computeIrLiveness(DistillIr), both as thin
+ * gen/kill builders over the shared solver (see liveness.hh).
+ */
+
+#include "analysis/liveness.hh"
+
+#include "distill/ir.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+/** Accumulate one instruction into a block's gen/kill masks. */
+void
+foldDefUse(RegMask def, RegMask use, RegMask &gen, RegMask &kill)
+{
+    gen |= use & ~kill;
+    kill |= def;
+}
+
+} // anonymous namespace
+
+std::map<uint32_t, BlockLiveness>
+computeLiveness(const Cfg &cfg)
+{
+    using namespace analysis;
+
+    std::vector<uint32_t> starts;
+    FlowGraph g = graphOfCfg(cfg, starts);
+    MaskDomain dom(g.size());
+
+    for (size_t i = 0; i < starts.size(); ++i) {
+        const BasicBlock &bb = cfg.blockAt(starts[i]);
+        RegMask gen = 0, kill = 0;
+        for (const Instruction &inst : bb.insts) {
+            RegMask def, use;
+            instDefUse(inst, def, use);
+            foldDefUse(def, use, gen, kill);
+        }
+        dom.gen[i] = gen;
+        dom.kill[i] = kill;
+
+        switch (bb.term) {
+          case TermKind::IndirectJump:
+          case TermKind::Fault:
+            // Unknown continuation: everything may be read.
+            dom.boundaries[i] = AllRegsMask;
+            break;
+          case TermKind::Halt:
+            break;
+          default:
+            // Successors that are not blocks (jumps into unmapped
+            // memory) are exits with unknown reads.
+            for (uint32_t s : bb.succs) {
+                if (!cfg.hasBlock(s))
+                    dom.boundaries[i] = AllRegsMask;
+            }
+            break;
+        }
+    }
+
+    auto solved = solveRegLiveness(g, dom);
+    std::map<uint32_t, BlockLiveness> live;
+    for (size_t i = 0; i < starts.size(); ++i)
+        live[starts[i]] = {solved.out[i], solved.in[i]};
+    return live;
+}
+
+std::vector<BlockLiveness>
+computeIrLiveness(const DistillIr &ir)
+{
+    using namespace analysis;
+
+    FlowGraph g = graphOfIr(ir);
+    MaskDomain dom(g.size());
+
+    for (const IrBlock &blk : ir.blocks()) {
+        if (!blk.alive)
+            continue;
+        auto i = static_cast<size_t>(blk.id);
+        RegMask gen = 0, kill = 0;
+        for (const IrInst &iinst : blk.body) {
+            RegMask def, use;
+            irInstDefUse(iinst, def, use);
+            foldDefUse(def, use, gen, kill);
+        }
+        // Terminator uses (branch operands, jalr base) and the link
+        // register definition of calls.
+        if (blk.term == TermKind::CondBranch ||
+            blk.term == TermKind::IndirectJump) {
+            RegMask def, use;
+            instDefUse(blk.termInst, def, use);
+            foldDefUse(def, use, gen, kill);
+        } else if (blk.term == TermKind::Jump &&
+                   blk.termInst.rd != 0) {
+            foldDefUse(1u << blk.termInst.rd, 0, gen, kill);
+        }
+        dom.gen[i] = gen;
+        dom.kill[i] = kill;
+
+        switch (blk.term) {
+          case TermKind::IndirectJump:
+          case TermKind::Fault:
+            dom.boundaries[i] = AllRegsMask;
+            break;
+          case TermKind::Halt:
+            break;
+          default:
+            // graphOfIr drops edges into dead blocks; keep the old
+            // conservative treatment (dead successor = all live).
+            for (int s : blk.succIds()) {
+                if (!ir.block(s).alive)
+                    dom.boundaries[i] = AllRegsMask;
+            }
+            break;
+        }
+    }
+
+    auto solved = solveRegLiveness(g, dom);
+    std::vector<BlockLiveness> live(ir.blocks().size());
+    for (const IrBlock &blk : ir.blocks()) {
+        if (!blk.alive)
+            continue;
+        auto i = static_cast<size_t>(blk.id);
+        live[i] = {solved.out[i], solved.in[i]};
+    }
+    return live;
+}
+
+} // namespace mssp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Global register liveness on the generic dataflow solver.
+ *
+ * This is the one implementation behind both computeLiveness(Cfg)
+ * (declared in cfg/cfg.hh) and computeIrLiveness(DistillIr) (declared
+ * in distill/ir.hh); the distiller's DCE pass and the mssp-lint
+ * verifier therefore share a single analysis. Blocks ending in an
+ * indirect jump or a fault get an all-live boundary, halt blocks an
+ * empty one — the conservative rules documented in cfg/cfg.hh.
+ */
+
+#ifndef MSSP_ANALYSIS_LIVENESS_HH
+#define MSSP_ANALYSIS_LIVENESS_HH
+
+#include "analysis/dataflow.hh"
+#include "cfg/cfg.hh"
+
+namespace mssp::analysis
+{
+
+/** Every register except the hard-wired r0. */
+constexpr RegMask AllRegsMask = 0xfffffffeu;
+
+/**
+ * Solve backward register liveness over @p g given a MaskDomain whose
+ * gen masks hold each node's upward-exposed uses, kill masks its
+ * definitions, and boundaries any forced live-out (exits, indirect
+ * jumps). Result: in[n] = live-out, out[n] = live-in.
+ */
+inline DataflowResult<MaskDomain>
+solveRegLiveness(const FlowGraph &g, const MaskDomain &dom)
+{
+    return solveDataflow(g, dom, Direction::Backward);
+}
+
+} // namespace mssp::analysis
+
+#endif // MSSP_ANALYSIS_LIVENESS_HH

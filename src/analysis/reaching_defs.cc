@@ -1,0 +1,150 @@
+#include "analysis/reaching_defs.hh"
+
+#include "distill/ir.hh"
+#include "sim/logging.hh"
+
+namespace mssp::analysis
+{
+
+namespace
+{
+
+/** Destination register a block terminator writes (0 when none). */
+uint8_t
+termDestReg(const IrBlock &blk)
+{
+    if (blk.term == TermKind::Jump && blk.termInst.rd != 0)
+        return blk.termInst.rd;
+    return 0;
+}
+
+} // anonymous namespace
+
+ReachingDefs
+ReachingDefs::compute(const DistillIr &ir)
+{
+    ReachingDefs rd;
+    rd.by_reg_.resize(NumRegs);
+
+    // Entry pseudo-definitions first: index r-1 defines register r.
+    for (unsigned r = 1; r < NumRegs; ++r) {
+        rd.defs_.push_back(
+            DefSite{-1, -1, static_cast<uint8_t>(r), UINT32_MAX});
+        rd.by_reg_[r].push_back(static_cast<int>(r - 1));
+    }
+
+    // Real definition sites, in block/instruction order.
+    for (const IrBlock &blk : ir.blocks()) {
+        if (!blk.alive)
+            continue;
+        for (size_t i = 0; i < blk.body.size(); ++i) {
+            uint8_t dest = blk.body[i].destReg();
+            if (dest == 0)
+                continue;
+            rd.by_reg_[dest].push_back(
+                static_cast<int>(rd.defs_.size()));
+            rd.defs_.push_back(DefSite{blk.id, static_cast<int>(i),
+                                       dest, blk.body[i].origPc});
+        }
+        if (blk.isCall) {
+            // Conservative call clobber: the callee may define any
+            // register (see the header comment).
+            for (unsigned r = 1; r < NumRegs; ++r) {
+                rd.by_reg_[r].push_back(
+                    static_cast<int>(rd.defs_.size()));
+                rd.defs_.push_back(
+                    DefSite{blk.id, -1, static_cast<uint8_t>(r),
+                            UINT32_MAX});
+            }
+        } else if (uint8_t dest = termDestReg(blk)) {
+            rd.by_reg_[dest].push_back(
+                static_cast<int>(rd.defs_.size()));
+            rd.defs_.push_back(
+                DefSite{blk.id, -1, dest, blk.termOrigPc});
+        }
+    }
+
+    FlowGraph g = graphOfIr(ir);
+    BitsetDomain dom(g.size(), rd.defs_.size());
+
+    // Entry boundary: the pseudo-defs.
+    for (unsigned r = 1; r < NumRegs; ++r)
+        BitsetDomain::setBit(dom.boundaries[static_cast<size_t>(
+                                 g.entry)],
+                             static_cast<size_t>(r - 1));
+
+    // gen = downward-exposed defs; kill = all other defs (including
+    // pseudo-defs) of every register the block defines.
+    for (const IrBlock &blk : ir.blocks()) {
+        if (!blk.alive)
+            continue;
+        auto n = static_cast<size_t>(blk.id);
+        // Last def per register in this block wins.
+        int last_def[NumRegs] = {};
+        for (unsigned r = 0; r < NumRegs; ++r)
+            last_def[r] = -1;
+        for (size_t d = 0; d < rd.defs_.size(); ++d) {
+            if (rd.defs_[d].block == blk.id)
+                last_def[rd.defs_[d].reg] = static_cast<int>(d);
+        }
+        // A call clobber is ordered after body defs (it is the
+        // terminator), which the scan above already guarantees since
+        // terminator sites were appended last.
+        for (unsigned r = 1; r < NumRegs; ++r) {
+            if (last_def[r] < 0)
+                continue;
+            BitsetDomain::setBit(dom.gen[n],
+                                 static_cast<size_t>(last_def[r]));
+            for (int d : rd.by_reg_[r]) {
+                if (d != last_def[r])
+                    BitsetDomain::setBit(dom.kill[n],
+                                         static_cast<size_t>(d));
+            }
+        }
+    }
+
+    auto solved = solveDataflow(g, dom, Direction::Forward);
+    rd.in_ = std::move(solved.in);
+    rd.sweeps_ = solved.sweeps;
+    return rd;
+}
+
+bool
+ReachingDefs::reachesBlockEntry(int def_index, int block) const
+{
+    return BitsetDomain::testBit(in_[static_cast<size_t>(block)],
+                                 static_cast<size_t>(def_index));
+}
+
+std::vector<int>
+ReachingDefs::defsReachingUse(const DistillIr &ir, int block,
+                              int inst_index, uint8_t reg) const
+{
+    const IrBlock &blk = ir.block(block);
+    MSSP_ASSERT(inst_index >= 0 &&
+                static_cast<size_t>(inst_index) <= blk.body.size());
+
+    // The youngest in-block def of @p reg before the use shadows
+    // everything flowing in from the block entry.
+    int shadow = -1;
+    for (int i = 0; i < inst_index; ++i) {
+        if (blk.body[static_cast<size_t>(i)].destReg() == reg)
+            shadow = i;
+    }
+    std::vector<int> result;
+    if (shadow >= 0) {
+        for (int d : by_reg_[reg]) {
+            const DefSite &site = defs_[static_cast<size_t>(d)];
+            if (site.block == block && site.inst == shadow)
+                result.push_back(d);
+        }
+        return result;
+    }
+    for (int d : by_reg_[reg]) {
+        if (reachesBlockEntry(d, block))
+            result.push_back(d);
+    }
+    return result;
+}
+
+} // namespace mssp::analysis

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reaching definitions over the distiller IR.
+ *
+ * A forward may-analysis on the generic solver: which definition
+ * sites (block, instruction, register) can reach each block entry.
+ * Every register also gets an *entry pseudo-definition* representing
+ * the value architected state holds when the master (re)starts — a
+ * use reached only by its pseudo-def executes before any real def on
+ * some path, which is exactly the linter's use-before-def condition.
+ *
+ * Conservative treatment of indirect control flow (DESIGN.md §3.9):
+ * a call terminator is modeled as defining *every* register, because
+ * the graph's call-return edge short-circuits the callee (whose jalr
+ * ends the graph); without this, values produced inside the callee
+ * would appear undefined at the return point.
+ */
+
+#ifndef MSSP_ANALYSIS_REACHING_DEFS_HH
+#define MSSP_ANALYSIS_REACHING_DEFS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataflow.hh"
+
+namespace mssp
+{
+
+class DistillIr;
+
+namespace analysis
+{
+
+/** One definition site. */
+struct DefSite
+{
+    /** Block id; -1 for entry pseudo-definitions. */
+    int block = -1;
+    /** Body index; -1 for a terminator def (call link register or a
+     *  modeled call clobber) and for pseudo-definitions. */
+    int inst = -1;
+    uint8_t reg = 0;
+    /** Original PC of the defining instruction (UINT32_MAX for
+     *  pseudo-definitions and modeled clobbers). */
+    uint32_t origPc = UINT32_MAX;
+};
+
+class ReachingDefs
+{
+  public:
+    /** Run the analysis over the alive blocks of @p ir. */
+    static ReachingDefs compute(const DistillIr &ir);
+
+    const std::vector<DefSite> &defs() const { return defs_; }
+
+    /** Def-site index of register @p r's entry pseudo-definition. */
+    int pseudoDefOf(uint8_t r) const { return r - 1; }
+
+    bool isPseudo(int def_index) const
+    {
+        return defs_[static_cast<size_t>(def_index)].block < 0;
+    }
+
+    /** Does def site @p def_index reach the entry of @p block? */
+    bool reachesBlockEntry(int def_index, int block) const;
+
+    /** All def-site indices of @p reg reaching the point just before
+     *  body instruction @p inst_index of @p block. */
+    std::vector<int> defsReachingUse(const DistillIr &ir, int block,
+                                     int inst_index,
+                                     uint8_t reg) const;
+
+    unsigned solverSweeps() const { return sweeps_; }
+
+  private:
+    std::vector<DefSite> defs_;
+    /** Per-block bitset (indexed by def site) at block entry. */
+    std::vector<std::vector<uint64_t>> in_;
+    /** Def-site indices grouped by register. */
+    std::vector<std::vector<int>> by_reg_;
+    unsigned sweeps_ = 0;
+};
+
+} // namespace analysis
+} // namespace mssp
+
+#endif // MSSP_ANALYSIS_REACHING_DEFS_HH

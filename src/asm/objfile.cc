@@ -97,6 +97,12 @@ saveDistilled(const DistilledProgram &dist)
         out += strfmt("restart 0x%x 0x%x\n", orig, distilled);
     for (const auto &[orig, distilled] : dist.addrMap)
         out += strfmt("addr 0x%x 0x%x\n", orig, distilled);
+    for (const auto &[orig, mask] : dist.checkpointRegs)
+        out += strfmt("ckpt 0x%x 0x%x\n", orig, mask);
+    for (const DistillEdit &e : dist.report.edits) {
+        out += strfmt("edit %s 0x%x %u\n", distillPassName(e.pass),
+                      e.origPc, e.reg);
+    }
     const DistillReport &r = dist.report;
     out += strfmt("report %zu %zu %llu %llu %llu %llu %llu %llu %llu "
                   "%zu\n",
@@ -137,6 +143,22 @@ loadDistilled(const std::string &text)
         if (key == "addr" && toks.size() == 3) {
             dist.addrMap[want_int(toks[1], line_no)] =
                 want_int(toks[2], line_no);
+            return true;
+        }
+        if (key == "ckpt" && toks.size() == 3) {
+            dist.checkpointRegs[want_int(toks[1], line_no)] =
+                want_int(toks[2], line_no);
+            return true;
+        }
+        if (key == "edit" && toks.size() == 4) {
+            DistillEdit e;
+            if (!distillPassFromName(std::string(toks[1]), e.pass)) {
+                fatal("object line %d: unknown pass '%s'", line_no,
+                      std::string(toks[1]).c_str());
+            }
+            e.origPc = want_int(toks[2], line_no);
+            e.reg = static_cast<uint8_t>(want_int(toks[3], line_no));
+            dist.report.edits.push_back(e);
             return true;
         }
         if (key == "report" && toks.size() == 11) {

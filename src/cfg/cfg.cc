@@ -49,11 +49,16 @@ instSuccessors(uint32_t pc, const Instruction &inst,
 }
 
 Discovery
-discover(const Program &prog, uint32_t entry)
+discover(const Program &prog, uint32_t entry,
+         const std::vector<uint32_t> &extra_roots)
 {
     Discovery d;
     d.leaders.insert(entry);
     std::deque<uint32_t> work{entry};
+    for (uint32_t root : extra_roots) {
+        d.leaders.insert(root);
+        work.push_back(root);
+    }
     std::vector<uint32_t> succs;
     while (!work.empty()) {
         uint32_t pc = work.front();
@@ -79,12 +84,13 @@ discover(const Program &prog, uint32_t entry)
 } // anonymous namespace
 
 Cfg
-Cfg::build(const Program &prog, uint32_t entry)
+Cfg::build(const Program &prog, uint32_t entry,
+           const std::vector<uint32_t> &extra_roots)
 {
     Cfg cfg;
     cfg.entry_ = entry;
 
-    Discovery d = discover(prog, entry);
+    Discovery d = discover(prog, entry, extra_roots);
 
     // A leader is also needed where straight-line code flows into a
     // branch target from above.
@@ -175,6 +181,12 @@ Cfg::build(const Program &prog, uint32_t entry)
             if (cfg.blocks_.count(s))
                 cfg.preds_[s].push_back(start);
         }
+    }
+
+    cfg.roots_.push_back(entry);
+    for (uint32_t root : extra_roots) {
+        if (root != entry && cfg.blocks_.count(root))
+            cfg.roots_.push_back(root);
     }
 
     cfg.computeLoopHeaders();
@@ -285,61 +297,7 @@ liveBeforeInst(const Instruction &inst, RegMask live_after)
     return (live_after & ~def) | use;
 }
 
-std::map<uint32_t, BlockLiveness>
-computeLiveness(const Cfg &cfg)
-{
-    constexpr RegMask AllRegs = 0xfffffffeu;   // every reg but r0
-
-    std::map<uint32_t, BlockLiveness> live;
-    for (const auto &[start, bb] : cfg.blocks())
-        live[start] = BlockLiveness{};
-
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        // Backward problem: iterate blocks in reverse address order
-        // (a decent approximation of reverse topological order).
-        for (auto it = cfg.blocks().rbegin(); it != cfg.blocks().rend();
-             ++it) {
-            const BasicBlock &bb = it->second;
-            BlockLiveness &bl = live[bb.start];
-
-            RegMask out = 0;
-            switch (bb.term) {
-              case TermKind::IndirectJump:
-              case TermKind::Fault:
-                // Unknown continuation: everything may be read.
-                out = AllRegs;
-                break;
-              case TermKind::Halt:
-                out = 0;
-                break;
-              default:
-                for (uint32_t s : bb.succs) {
-                    auto ls = live.find(s);
-                    out |= ls == live.end() ? AllRegs
-                                            : ls->second.liveIn;
-                }
-                break;
-            }
-            // A call also "uses" whatever the callee needs; the callee
-            // is reachable through the jump edge, so bb.succs covers
-            // it, but the *return point* continuation is consumed by
-            // the callee's jalr (all-live), making calls conservative.
-
-            RegMask in = out;
-            for (auto inst_it = bb.insts.rbegin();
-                 inst_it != bb.insts.rend(); ++inst_it) {
-                in = liveBeforeInst(*inst_it, in);
-            }
-            if (in != bl.liveIn || out != bl.liveOut) {
-                bl.liveIn = in;
-                bl.liveOut = out;
-                changed = true;
-            }
-        }
-    }
-    return live;
-}
+// computeLiveness(Cfg) lives in src/analysis/liveness.cc, on the
+// shared dataflow solver.
 
 } // namespace mssp

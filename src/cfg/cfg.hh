@@ -72,8 +72,19 @@ struct BasicBlock
 class Cfg
 {
   public:
-    /** Build the CFG of @p prog starting at @p entry. */
-    static Cfg build(const Program &prog, uint32_t entry);
+    /**
+     * Build the CFG of @p prog starting at @p entry.
+     *
+     * @p extra_roots adds more discovery roots (and block leaders):
+     * code only reachable through an indirect transfer whose targets
+     * the caller knows, e.g. the restart points of a distilled image
+     * (mssp-lint) whose calls are laid out as plain jumps.
+     */
+    static Cfg build(const Program &prog, uint32_t entry,
+                     const std::vector<uint32_t> &extra_roots = {});
+
+    /** Entry plus the extra roots that named existing code. */
+    const std::vector<uint32_t> &roots() const { return roots_; }
 
     const std::map<uint32_t, BasicBlock> &blocks() const
     {
@@ -112,6 +123,7 @@ class Cfg
     std::map<uint32_t, BasicBlock> blocks_;
     std::map<uint32_t, std::vector<uint32_t>> preds_;
     std::set<uint32_t> loop_headers_;
+    std::vector<uint32_t> roots_;
     uint32_t entry_ = 0;
 
     void computeLoopHeaders();
@@ -132,7 +144,8 @@ struct BlockLiveness
  *
  * Indirect jumps and faults are treated as "all registers live";
  * halt blocks have empty live-out (memory effects are never subject
- * to liveness).
+ * to liveness). Implemented on the shared dataflow solver in
+ * src/analysis/liveness.cc.
  *
  * @return per-block live-in/live-out masks keyed by block start PC
  */

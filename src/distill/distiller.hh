@@ -96,6 +96,47 @@ struct DistillerOptions
     }
 };
 
+/**
+ * One recorded program edit, for pass provenance.
+ *
+ * The distiller logs every instruction-level change it makes:
+ * *approximate* edits deliberately change behaviour (MSSP's
+ * verify/commit unit makes that safe), *semantics-preserving* edits
+ * must not change any architected live-out. mssp-lint replays the
+ * log against the original binary to check each claim
+ * (analysis/verifier.hh; docs/LINT.md).
+ */
+struct DistillEdit
+{
+    enum class Pass : uint8_t
+    {
+        BranchPrune,        ///< approximate
+        UnreachableElim,    ///< semantics-preserving
+        ConstFold,          ///< semantics-preserving
+        Dce,                ///< semantics-preserving
+        SilentStoreElim,    ///< approximate
+        ValueSpec,          ///< approximate
+    };
+
+    Pass pass = Pass::ConstFold;
+    /** Original-program PC of the edited instruction (block leader
+     *  for UnreachableElim). */
+    uint32_t origPc = UINT32_MAX;
+    /** Destination register of the edited instruction, when it has
+     *  one (ConstFold/Dce/ValueSpec); 0 otherwise. */
+    uint8_t reg = 0;
+};
+
+/** Lower-case pass name ("branch-prune", "dce", ...). */
+const char *distillPassName(DistillEdit::Pass pass);
+
+/** Parse a pass name; @retval false when unknown. */
+bool distillPassFromName(const std::string &name,
+                         DistillEdit::Pass &pass);
+
+/** @return true for passes that may change program behaviour. */
+bool distillPassIsApproximate(DistillEdit::Pass pass);
+
 /** What the distiller did (one row of the E1/E8 tables). */
 struct DistillReport
 {
@@ -109,6 +150,10 @@ struct DistillReport
     uint64_t storesElided = 0;
     uint64_t loadsValueSpeced = 0;
     size_t forkSites = 0;
+
+    /** Every instruction-level edit, in pass order (provenance for
+     *  mssp-lint). */
+    std::vector<DistillEdit> edits;
 
     std::string toString() const;
 };
@@ -142,6 +187,19 @@ struct DistilledProgram
      * stack slot. (Standard dynamic-binary-translation machinery.)
      */
     std::map<uint32_t, uint32_t> addrMap;
+
+    /**
+     * Checkpoint map: original fork-site PC -> register live-in mask
+     * of the task starting there, computed from the original
+     * program's CFG liveness. This is the distiller's static claim
+     * of task completeness (formal spec, Definition 9): every
+     * register a task may read before writing is in the mask.
+     * mssp-lint recomputes the live-in sets independently and flags
+     * under-approximations as errors (they would guarantee
+     * misspeculation if the checkpoint were trusted) and
+     * over-approximations as wasted checkpoint bandwidth.
+     */
+    std::map<uint32_t, RegMask> checkpointRegs;
 
     DistillReport report;
 

@@ -134,66 +134,8 @@ irInstDefUse(const IrInst &iinst, RegMask &def, RegMask &use)
     instDefUse(iinst.inst, def, use);
 }
 
-std::vector<BlockLiveness>
-computeIrLiveness(const DistillIr &ir)
-{
-    constexpr RegMask AllRegs = 0xfffffffeu;
-    std::vector<BlockLiveness> live(ir.blocks().size());
-
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (auto it = ir.blocks().rbegin(); it != ir.blocks().rend();
-             ++it) {
-            const IrBlock &blk = *it;
-            if (!blk.alive)
-                continue;
-            BlockLiveness &bl = live[static_cast<size_t>(blk.id)];
-
-            RegMask out = 0;
-            switch (blk.term) {
-              case TermKind::IndirectJump:
-              case TermKind::Fault:
-                out = AllRegs;
-                break;
-              case TermKind::Halt:
-                out = 0;
-                break;
-              default:
-                for (int s : blk.succIds()) {
-                    const IrBlock &sb = ir.block(s);
-                    out |= sb.alive
-                               ? live[static_cast<size_t>(s)].liveIn
-                               : AllRegs;
-                }
-                break;
-            }
-
-            RegMask in = out;
-            // Terminator uses (branch operands, jalr base).
-            if (blk.term == TermKind::CondBranch ||
-                blk.term == TermKind::IndirectJump) {
-                RegMask def, use;
-                instDefUse(blk.termInst, def, use);
-                in = (in & ~def) | use;
-            } else if (blk.term == TermKind::Jump &&
-                       blk.termInst.rd != 0) {
-                in &= ~(1u << blk.termInst.rd);   // link register def
-            }
-            for (auto inst_it = blk.body.rbegin();
-                 inst_it != blk.body.rend(); ++inst_it) {
-                RegMask def, use;
-                irInstDefUse(*inst_it, def, use);
-                in = (in & ~def) | use;
-            }
-            if (in != bl.liveIn || out != bl.liveOut) {
-                bl.liveIn = in;
-                bl.liveOut = out;
-                changed = true;
-            }
-        }
-    }
-    return live;
-}
+// computeIrLiveness lives in src/analysis/liveness.cc, on the shared
+// dataflow solver (the same implementation serves the binary-level
+// Cfg liveness and the mssp-lint verifier).
 
 } // namespace mssp

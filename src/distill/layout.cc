@@ -8,6 +8,7 @@
  * PC) and entry map (original fork-site PC -> distilled PC).
  */
 
+#include "analysis/liveness.hh"
 #include "distill/distiller.hh"
 #include "sim/logging.hh"
 
@@ -271,7 +272,20 @@ distill(const Program &orig, const ProfileData &profile,
     }
     passMarkForkSites(ir, sites, intervals, report);
 
-    return layout(ir, report);
+    DistilledProgram out = layout(ir, report);
+
+    // Checkpoint map: the register live-in mask of every task, from
+    // the *original* program's liveness (the task runs original
+    // code). This is the distiller's static completeness claim; see
+    // DistilledProgram::checkpointRegs and mssp-lint's checks.
+    std::map<uint32_t, BlockLiveness> live = computeLiveness(cfg);
+    for (uint32_t orig_pc : out.taskMap) {
+        auto it = live.find(orig_pc);
+        out.checkpointRegs[orig_pc] = it != live.end()
+                                          ? it->second.liveIn
+                                          : analysis::AllRegsMask;
+    }
+    return out;
 }
 
 } // namespace mssp

@@ -48,12 +48,16 @@ passBranchPrune(DistillIr &ir, const ProfileData &profile,
             blk.termInst = makeJ(Opcode::Jal, reg::Zero, 0);
             blk.fallthrough = -1;
             ++report.branchesToJump;
+            report.edits.push_back({DistillEdit::Pass::BranchPrune,
+                                    blk.termOrigPc, 0});
         } else if (prune_taken) {
             // Hard-wire not-taken: branch disappears entirely.
             blk.term = TermKind::FallThrough;
             blk.termInst = Instruction{};
             blk.takenTarget = -1;
             ++report.branchesToFall;
+            report.edits.push_back({DistillEdit::Pass::BranchPrune,
+                                    blk.termOrigPc, 0});
         }
     }
 }
@@ -81,6 +85,9 @@ passUnreachableElim(DistillIr &ir, DistillReport &report)
         if (blk.alive && !reachable[static_cast<size_t>(blk.id)]) {
             blk.alive = false;
             ++report.blocksRemoved;
+            report.edits.push_back(
+                {DistillEdit::Pass::UnreachableElim, blk.origStart,
+                 0});
         }
     }
 }
@@ -168,8 +175,12 @@ passConstFold(DistillIr &ir, DistillReport &report)
                          inst.op == Opcode::Lui);
                     iinst = IrInst::loadImm(dest, value, iinst.origPc);
                     lattice.regs[dest] = value;
-                    if (!was_trivial)
+                    if (!was_trivial) {
                         ++report.constFolded;
+                        report.edits.push_back(
+                            {DistillEdit::Pass::ConstFold,
+                             iinst.origPc, dest});
+                    }
                     continue;
                 }
             }
@@ -188,6 +199,8 @@ passConstFold(DistillIr &ir, DistillReport &report)
             if (!eval.regs[0])
                 eval.regs[0] = 0;
             StepResult res = executeDecoded(0, blk.termInst, eval);
+            report.edits.push_back({DistillEdit::Pass::ConstFold,
+                                    blk.termOrigPc, 0});
             if (res.branchTaken) {
                 blk.term = TermKind::Jump;
                 blk.termInst = makeJ(Opcode::Jal, reg::Zero, 0);
@@ -239,6 +252,8 @@ passDce(DistillIr &ir, DistillReport &report)
                 if (pure && (dest == 0 ||
                              (after & (1u << dest)) == 0)) {
                     dead[i] = true;
+                    report.edits.push_back(
+                        {DistillEdit::Pass::Dce, iinst.origPc, dest});
                     continue;   // does not affect liveness
                 }
                 after = (after & ~def) | use;
@@ -276,6 +291,9 @@ passSilentStoreElim(DistillIr &ir, const ProfileData &profile,
                     sp->silentRatio() >= opts.silentStoreThreshold) {
                     drop = true;
                     ++report.storesElided;
+                    report.edits.push_back(
+                        {DistillEdit::Pass::SilentStoreElim,
+                         iinst.origPc, 0});
                 }
             }
             if (!drop)
@@ -307,19 +325,24 @@ passValueSpec(DistillIr &ir, const ProfileData &profile,
             // distilled (not the training run).
             if (lp->addrInvariance() >= opts.valueSpecThreshold &&
                 !profile.wasWritten(lp->firstAddr)) {
-                iinst = IrInst::loadImm(iinst.inst.rd,
-                                        orig.word(lp->firstAddr),
+                uint8_t rd = iinst.inst.rd;
+                iinst = IrInst::loadImm(rd, orig.word(lp->firstAddr),
                                         iinst.origPc);
                 ++report.loadsValueSpeced;
+                report.edits.push_back({DistillEdit::Pass::ValueSpec,
+                                        iinst.origPc, rd});
                 continue;
             }
 
             // Risky form: bake in the training-run value.
             if (opts.valueSpecFromProfile &&
                 lp->invariance() >= opts.valueSpecThreshold) {
-                iinst = IrInst::loadImm(iinst.inst.rd, lp->firstValue,
+                uint8_t rd = iinst.inst.rd;
+                iinst = IrInst::loadImm(rd, lp->firstValue,
                                         iinst.origPc);
                 ++report.loadsValueSpeced;
+                report.edits.push_back({DistillEdit::Pass::ValueSpec,
+                                        iinst.origPc, rd});
             }
         }
     }
@@ -350,6 +373,56 @@ passMarkForkSites(DistillIr &ir, const std::vector<uint32_t> &sites,
             mark(id, i < intervals.size() ? intervals[i] : 1);
     }
     report.forkSites = static_cast<size_t>(next_index);
+}
+
+const char *
+distillPassName(DistillEdit::Pass pass)
+{
+    switch (pass) {
+      case DistillEdit::Pass::BranchPrune: return "branch-prune";
+      case DistillEdit::Pass::UnreachableElim: return "unreachable";
+      case DistillEdit::Pass::ConstFold: return "const-fold";
+      case DistillEdit::Pass::Dce: return "dce";
+      case DistillEdit::Pass::SilentStoreElim: return "silent-store";
+      case DistillEdit::Pass::ValueSpec: return "value-spec";
+    }
+    return "?";
+}
+
+bool
+distillPassFromName(const std::string &name, DistillEdit::Pass &pass)
+{
+    static constexpr DistillEdit::Pass kAll[] = {
+        DistillEdit::Pass::BranchPrune,
+        DistillEdit::Pass::UnreachableElim,
+        DistillEdit::Pass::ConstFold,
+        DistillEdit::Pass::Dce,
+        DistillEdit::Pass::SilentStoreElim,
+        DistillEdit::Pass::ValueSpec,
+    };
+    for (DistillEdit::Pass p : kAll) {
+        if (name == distillPassName(p)) {
+            pass = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+distillPassIsApproximate(DistillEdit::Pass pass)
+{
+    switch (pass) {
+      case DistillEdit::Pass::BranchPrune:
+      case DistillEdit::Pass::SilentStoreElim:
+      case DistillEdit::Pass::ValueSpec:
+        return true;
+      case DistillEdit::Pass::UnreachableElim:
+      case DistillEdit::Pass::ConstFold:
+      case DistillEdit::Pass::Dce:
+        return false;
+    }
+    return false;
 }
 
 std::string

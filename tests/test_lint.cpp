@@ -1,0 +1,361 @@
+/**
+ * @file
+ * mssp-lint verifier tests: honest distilled programs are clean
+ * (every registry workload at default options), and each corruption
+ * class an adversary (or a distiller bug) could introduce is flagged
+ * with the right severity — bad control-flow targets, fork/task-map
+ * damage, checkpoint under-approximation, use-before-def, unsafe
+ * approximate edits, and inescapable loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/verifier.hh"
+#include "asm/objfile.hh"
+#include "core/pipeline.hh"
+#include "helpers.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+namespace
+{
+
+using analysis::LintCheck;
+using analysis::LintReport;
+using analysis::Severity;
+using analysis::verifyDistilled;
+
+constexpr double kTestScale = 0.15;
+
+/** Count findings of one check. */
+size_t
+countOf(const LintReport &rep, LintCheck check)
+{
+    size_t n = 0;
+    for (const auto &f : rep.findings)
+        n += f.check == check;
+    return n;
+}
+
+/** First finding of a check (must exist). */
+const analysis::Finding &
+findingOf(const LintReport &rep, LintCheck check)
+{
+    for (const auto &f : rep.findings) {
+        if (f.check == check)
+            return f;
+    }
+    ADD_FAILURE() << "no finding of check "
+                  << analysis::lintCheckName(check);
+    static analysis::Finding none;
+    return none;
+}
+
+/** A prepared micro workload the corruption tests mutate. */
+PreparedWorkload
+preparedLoop()
+{
+    return prepare(test::biasedSumSource(96, 1),
+                   test::biasedSumSource(96, 2),
+                   DistillerOptions::paperPreset());
+}
+
+} // anonymous namespace
+
+// -- Honest images are clean --------------------------------------------
+
+class LintWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(LintWorkloads, NoFindingsAtDefaultOptions)
+{
+    Workload w = workloadByName(GetParam(), kTestScale);
+    PreparedWorkload p =
+        prepare(w.refSource, w.trainSource, DistillerOptions{});
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    EXPECT_TRUE(rep.clean()) << rep.toText();
+}
+
+TEST_P(LintWorkloads, NoErrorsAtPaperPreset)
+{
+    Workload w = workloadByName(GetParam(), kTestScale);
+    PreparedWorkload p = prepare(w.refSource, w.trainSource,
+                                 DistillerOptions::paperPreset());
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    EXPECT_EQ(rep.errors(), 0u) << rep.toText();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, LintWorkloads,
+    ::testing::Values("gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+                      "eon", "perlbmk", "gap", "vortex", "bzip2",
+                      "twolf"),
+    [](const auto &info) { return info.param; });
+
+TEST(Lint, HonestMicroWorkloadsAreClean)
+{
+    for (uint64_t seed : {1, 2, 3}) {
+        PreparedWorkload p =
+            prepare(test::biasedSumSource(128, seed),
+                    test::biasedSumSource(128, seed + 10),
+                    DistillerOptions::paperPreset());
+        EXPECT_TRUE(verifyDistilled(p.orig, p.dist).clean());
+
+        PreparedWorkload c =
+            prepare(test::callLoopSource(64, seed),
+                    test::callLoopSource(64, seed + 10),
+                    DistillerOptions::paperPreset());
+        EXPECT_TRUE(verifyDistilled(c.orig, c.dist).clean());
+    }
+}
+
+TEST(Lint, SurvivesObjfileRoundTrip)
+{
+    PreparedWorkload p = preparedLoop();
+    DistilledProgram reloaded =
+        loadDistilled(saveDistilled(p.dist));
+    EXPECT_EQ(reloaded.checkpointRegs, p.dist.checkpointRegs);
+    EXPECT_EQ(reloaded.report.edits.size(),
+              p.dist.report.edits.size());
+    EXPECT_TRUE(verifyDistilled(p.orig, reloaded).clean());
+}
+
+// -- Corruption class 1: bad control-flow target ------------------------
+
+TEST(LintCorruption, BranchIntoUnmappedMemoryIsAnError)
+{
+    PreparedWorkload p = preparedLoop();
+    // Redirect the entry's first control transfer off the image by
+    // planting an unconditional jump far away.
+    uint32_t pc = p.dist.prog.entry() + 1;
+    p.dist.prog.setWord(pc, encode(makeJ(Opcode::Jal, reg::Zero,
+                                         0x80000)));
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    EXPECT_GT(rep.errors(), 0u);
+    const auto &f = findingOf(rep, LintCheck::DecodeFault);
+    EXPECT_EQ(f.severity, Severity::Error);
+}
+
+TEST(LintCorruption, UndecodableReachableWordIsAnError)
+{
+    PreparedWorkload p = preparedLoop();
+    p.dist.prog.setWord(p.dist.prog.entry() + 2, 0);   // opcode 0
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    EXPECT_GE(countOf(rep, LintCheck::DecodeFault), 1u);
+    EXPECT_GT(rep.errors(), 0u);
+}
+
+// -- Corruption class 2: fork / task-map damage -------------------------
+
+TEST(LintCorruption, ForkIndexOutOfRangeIsAnError)
+{
+    PreparedWorkload p = preparedLoop();
+    ASSERT_FALSE(p.dist.entryMap.empty());
+    uint32_t fork_pc = p.dist.entryMap.begin()->second;
+    p.dist.prog.setWord(fork_pc,
+                        encode(makeJ(Opcode::Fork, 0, 999)));
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    EXPECT_EQ(findingOf(rep, LintCheck::ForkIndex).severity,
+              Severity::Error);
+}
+
+TEST(LintCorruption, ForkTargetOffOriginalProgramIsAnError)
+{
+    PreparedWorkload p = preparedLoop();
+    ASSERT_FALSE(p.dist.taskMap.empty());
+    uint32_t orig_pc = p.dist.taskMap.back();
+    p.dist.taskMap.back() = 0xdead00;   // not original code
+    // Keep the restart map keyed consistently so only the task map
+    // is at fault.
+    auto node = p.dist.entryMap.extract(orig_pc);
+    node.key() = 0xdead00;
+    p.dist.entryMap.insert(std::move(node));
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    EXPECT_EQ(findingOf(rep, LintCheck::ForkTarget).severity,
+              Severity::Error);
+}
+
+TEST(LintCorruption, RestartMapMismatchIsAnError)
+{
+    PreparedWorkload p = preparedLoop();
+    ASSERT_FALSE(p.dist.entryMap.empty());
+    p.dist.entryMap.begin()->second += 1;   // no longer at the FORK
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    EXPECT_EQ(findingOf(rep, LintCheck::RestartMap).severity,
+              Severity::Error);
+}
+
+// -- Corruption class 3: checkpoint soundness ---------------------------
+
+TEST(LintCorruption, CheckpointUnderApproximationIsAnError)
+{
+    PreparedWorkload p = preparedLoop();
+    // Find a fork site with a nonempty claimed mask and drop one
+    // register from it.
+    auto it = p.dist.checkpointRegs.begin();
+    while (it != p.dist.checkpointRegs.end() && it->second == 0)
+        ++it;
+    ASSERT_NE(it, p.dist.checkpointRegs.end())
+        << "no fork site with live-in registers";
+    RegMask bit = it->second & ~(it->second - 1);   // lowest set bit
+    it->second &= ~bit;
+
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    const auto &f =
+        findingOf(rep, LintCheck::CheckpointUnderApprox);
+    EXPECT_EQ(f.severity, Severity::Error);
+    EXPECT_EQ(f.pc, it->first);
+}
+
+TEST(LintCorruption, CheckpointOverApproximationIsAWarning)
+{
+    PreparedWorkload p = preparedLoop();
+    // Claim a register no task ever reads before writing.
+    auto it = p.dist.checkpointRegs.begin();
+    ASSERT_NE(it, p.dist.checkpointRegs.end());
+    it->second |= 1u << reg::S10;
+
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    const auto &f =
+        findingOf(rep, LintCheck::CheckpointOverApprox);
+    EXPECT_EQ(f.severity, Severity::Warning);
+    EXPECT_EQ(rep.errors(), 0u);   // waste is not a contract breach
+    EXPECT_NE(f.message.find("s10"), std::string::npos);
+}
+
+TEST(LintCorruption, MissingCheckpointMaskIsAnError)
+{
+    PreparedWorkload p = preparedLoop();
+    ASSERT_FALSE(p.dist.checkpointRegs.empty());
+    p.dist.checkpointRegs.erase(p.dist.checkpointRegs.begin());
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    EXPECT_EQ(findingOf(rep, LintCheck::CheckpointMissing).severity,
+              Severity::Error);
+}
+
+// -- Corruption class 4: use-before-def ---------------------------------
+
+TEST(LintCorruption, UseBeforeDefOfUncheckpointedRegIsAWarning)
+{
+    PreparedWorkload p = preparedLoop();
+    // Drop a register that IS read by the task from the claim: the
+    // garbage analysis must find a read of it on some path from the
+    // restart before any write.
+    bool corrupted = false;
+    for (auto &[orig_pc, mask] : p.dist.checkpointRegs) {
+        if (mask) {
+            mask = 0;
+            corrupted = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(corrupted);
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    const auto &f = findingOf(rep, LintCheck::UseBeforeDef);
+    EXPECT_EQ(f.severity, Severity::Warning);
+    // The accompanying under-approximation is the error.
+    EXPECT_GE(countOf(rep, LintCheck::CheckpointUnderApprox), 1u);
+}
+
+// -- Corruption class 5: unsafe approximate edits -----------------------
+
+TEST(LintCorruption, ApproximateEditOnWrongInstructionIsAnError)
+{
+    PreparedWorkload p = preparedLoop();
+    // Claim a branch was pruned at a PC that holds no branch.
+    DistillEdit e;
+    e.pass = DistillEdit::Pass::BranchPrune;
+    e.origPc = p.orig.entry();   // `li`, not a branch
+    p.dist.report.edits.push_back(e);
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    const auto &f = findingOf(rep, LintCheck::EditTarget);
+    EXPECT_EQ(f.severity, Severity::Error);
+    EXPECT_TRUE(f.hasPass);
+    EXPECT_EQ(f.pass, DistillEdit::Pass::BranchPrune);
+}
+
+TEST(LintCorruption, SilentStoreEditOnNonStoreIsAnError)
+{
+    PreparedWorkload p = preparedLoop();
+    DistillEdit e;
+    e.pass = DistillEdit::Pass::SilentStoreElim;
+    e.origPc = p.orig.entry();
+    p.dist.report.edits.push_back(e);
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    EXPECT_GE(countOf(rep, LintCheck::EditTarget), 1u);
+}
+
+TEST(LintCorruption, EditOutsideReachableCodeIsAnError)
+{
+    PreparedWorkload p = preparedLoop();
+    DistillEdit e;
+    e.pass = DistillEdit::Pass::Dce;
+    e.origPc = 0x7fff0000;
+    e.reg = reg::T0;
+    p.dist.report.edits.push_back(e);
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    EXPECT_EQ(
+        findingOf(rep, LintCheck::EditOutsideProgram).severity,
+        Severity::Error);
+}
+
+// -- Corruption class 6: inescapable loop -------------------------------
+
+TEST(LintCorruption, InescapableLoopWithoutForkIsAnError)
+{
+    PreparedWorkload p = preparedLoop();
+    // Plant `j self` somewhere reachable: the entry block's second
+    // word becomes a tight self-loop with no fork inside.
+    uint32_t pc = p.dist.prog.entry() + 1;
+    p.dist.prog.setWord(pc, encode(makeJ(Opcode::Jal, reg::Zero,
+                                         -1)));
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    const auto &f = findingOf(rep, LintCheck::InescapableLoop);
+    EXPECT_EQ(f.severity, Severity::Error);
+    EXPECT_EQ(f.pc, pc);
+}
+
+// -- Reporting ----------------------------------------------------------
+
+TEST(LintReport, JsonAndTextCarryTheFindings)
+{
+    PreparedWorkload p = preparedLoop();
+    auto it = p.dist.checkpointRegs.begin();
+    while (it != p.dist.checkpointRegs.end() && it->second == 0)
+        ++it;
+    ASSERT_NE(it, p.dist.checkpointRegs.end());
+    it->second = 0;
+
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    ASSERT_FALSE(rep.clean());
+
+    std::string text = rep.toText();
+    EXPECT_NE(text.find("checkpoint-under-approx"),
+              std::string::npos);
+    EXPECT_NE(text.find("error["), std::string::npos);
+
+    std::string json = rep.toJson();
+    EXPECT_NE(json.find("\"severity\": \"error\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"check\": \"checkpoint-under-approx\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"findings\": ["), std::string::npos);
+    // The counts match the findings list.
+    EXPECT_NE(json.find(strfmt("\"errors\": %zu", rep.errors())),
+              std::string::npos);
+}
+
+TEST(LintReport, CleanRunIsEmpty)
+{
+    PreparedWorkload p = preparedLoop();
+    LintReport rep = verifyDistilled(p.orig, p.dist);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_EQ(rep.errors(), 0u);
+    EXPECT_EQ(rep.warnings(), 0u);
+    EXPECT_EQ(rep.toJson(),
+              "{\"errors\": 0, \"warnings\": 0, \"findings\": []}\n");
+}
+
+} // namespace mssp

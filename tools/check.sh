@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Repo health check: formatting (advisory), a normal build + ctest, a
+# lint-gate smoke test on a deliberately corrupted distilled object,
+# and a second build + ctest under ASan+UBSan (MSSP_SANITIZE).
+#
+#   tools/check.sh [--fast]     # --fast skips the sanitizer pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== format check (advisory)"
+tools/format.sh --check || echo "check.sh: formatting differs (advisory only)"
+
+echo "== build (default flags)"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+
+echo "== ctest (default flags)"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== lint gate smoke test"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cat > "$tmp/prog.s" <<'EOF'
+  addi t0, zero, 10
+  addi t1, zero, 0
+loop:
+  add t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, loop
+  out t1, 0
+  halt
+EOF
+build/tools/mssp-distill "$tmp/prog.s" -o "$tmp/prog.mdo" --verify
+build/tools/mssp-lint "$tmp/prog.s" --image "$tmp/prog.mdo"
+# Corrupt the restart map: the lint must reject the image.
+sed 's/^restart \(0x[0-9a-f]*\) 0x[0-9a-f]*/restart \1 0x999999/' \
+    "$tmp/prog.mdo" > "$tmp/bad.mdo"
+if build/tools/mssp-lint "$tmp/prog.s" --image "$tmp/bad.mdo" \
+       > /dev/null; then
+    echo "check.sh: lint accepted a corrupted image" >&2
+    exit 1
+fi
+echo "corrupted image rejected, as it should be"
+
+if [[ $fast == 1 ]]; then
+    echo "== skipping sanitizer pass (--fast)"
+    exit 0
+fi
+
+echo "== build (ASan+UBSan)"
+cmake -B build-san -S . -DMSSP_SANITIZE=address,undefined >/dev/null
+cmake --build build-san -j"$JOBS"
+
+echo "== ctest (ASan+UBSan)"
+ctest --test-dir build-san --output-on-failure -j"$JOBS"
+
+echo "== all checks passed"

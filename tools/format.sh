@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Format (or, with --check, verify the formatting of) the C++ tree
+# with clang-format using the repo's .clang-format. Degrades to a
+# no-op with a notice when clang-format is not installed, so CI
+# environments without it still run the rest of tools/check.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=format
+if [[ "${1:-}" == "--check" ]]; then
+    mode=check
+elif [[ $# -gt 0 ]]; then
+    echo "usage: tools/format.sh [--check]" >&2
+    exit 2
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "format.sh: clang-format not found; skipping" >&2
+    exit 0
+fi
+
+files=$(git ls-files '*.cc' '*.hh' '*.cpp')
+
+if [[ $mode == check ]]; then
+    # shellcheck disable=SC2086
+    if ! clang-format --dry-run --Werror $files; then
+        echo "format.sh: run tools/format.sh to fix" >&2
+        exit 1
+    fi
+    echo "format.sh: all files clean"
+else
+    # shellcheck disable=SC2086
+    clang-format -i $files
+fi

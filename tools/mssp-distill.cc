@@ -5,13 +5,17 @@
  *
  *   mssp-distill ref.{s,mo} [--train train.{s,mo}] [-o out.mdo]
  *                [--theta T] [--no-valuespec] [--no-silentstores]
- *                [--task-size N] [--report]
+ *                [--task-size N] [--report] [--verify]
+ *
+ * --verify runs the mssp-lint static checks on the freshly distilled
+ * image; on errors nothing is written and the exit status is 1.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "analysis/verifier.hh"
 #include "asm/assembler.hh"
 #include "asm/objfile.hh"
 #include "core/pipeline.hh"
@@ -41,6 +45,7 @@ main(int argc, char **argv)
     std::string ref_path, train_path, out_path;
     DistillerOptions opts = DistillerOptions::paperPreset();
     bool show_report = false;
+    bool verify = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -59,6 +64,8 @@ main(int argc, char **argv)
                 static_cast<uint64_t>(std::atoll(argv[++i]));
         } else if (arg == "--report") {
             show_report = true;
+        } else if (arg == "--verify") {
+            verify = true;
         } else if (arg[0] != '-' && ref_path.empty()) {
             ref_path = arg;
         } else {
@@ -66,7 +73,7 @@ main(int argc, char **argv)
                          "usage: mssp-distill ref.{s,mo} [--train t] "
                          "[-o out.mdo] [--theta T] [--no-valuespec] "
                          "[--no-silentstores] [--task-size N] "
-                         "[--report]\n");
+                         "[--report] [--verify]\n");
             return 2;
         }
     }
@@ -87,6 +94,19 @@ main(int argc, char **argv)
         Program train = train_path.empty() ? ref
                                            : loadAny(train_path);
         PreparedWorkload w = prepare(ref, train, opts);
+        if (verify) {
+            analysis::LintReport rep =
+                analysis::verifyDistilled(ref, w.dist);
+            if (!rep.clean())
+                std::fputs(rep.toText().c_str(), stderr);
+            if (rep.errors()) {
+                std::fprintf(stderr,
+                             "mssp-distill: verification failed; "
+                             "not writing %s\n",
+                             out_path.c_str());
+                return 1;
+            }
+        }
         writeFile(out_path, saveDistilled(w.dist));
         std::printf("%s: %zu -> %zu static insts, %zu fork sites "
                     "-> %s\n",

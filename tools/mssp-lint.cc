@@ -1,0 +1,109 @@
+/**
+ * @file
+ * mssp-lint: static verification of distilled programs.
+ *
+ *   mssp-lint ref.{s,mo} [--image img.mdo] [--train t] [--json]
+ *   mssp-lint --workload NAME [--json]
+ *
+ * With --image, verifies an existing distilled object against the
+ * reference program. Otherwise (or with --workload) the reference is
+ * profiled and distilled in-process first, so the tool doubles as a
+ * one-shot distiller health check.
+ *
+ * Exit codes: 0 clean or warnings only, 1 errors found, 2 bad usage
+ * or unreadable input. Checks and the JSON schema: docs/LINT.md.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/verifier.hh"
+#include "asm/assembler.hh"
+#include "asm/objfile.hh"
+#include "core/pipeline.hh"
+#include "sim/logging.hh"
+#include "util/file.hh"
+#include "util/string_utils.hh"
+#include "workloads/workloads.hh"
+
+using namespace mssp;
+
+namespace
+{
+
+Program
+loadAny(const std::string &path)
+{
+    std::string text = readFile(path);
+    if (startsWith(trim(text), "mssp-object"))
+        return loadProgram(text);
+    return assemble(text);
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mssp-lint ref.{s,mo} [--image img.mdo] "
+                 "[--train t.{s,mo}] [--json]\n"
+                 "       mssp-lint --workload NAME [--json]\n");
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string ref_path, image_path, train_path, workload;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--image" && i + 1 < argc) {
+            image_path = argv[++i];
+        } else if (arg == "--train" && i + 1 < argc) {
+            train_path = argv[++i];
+        } else if (arg == "--workload" && i + 1 < argc) {
+            workload = argv[++i];
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg[0] != '-' && ref_path.empty()) {
+            ref_path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (ref_path.empty() == workload.empty())
+        return usage();
+
+    try {
+        Program ref, train;
+        if (!workload.empty()) {
+            Workload w = workloadByName(workload);
+            ref = assemble(w.refSource);
+            train = assemble(w.trainSource);
+        } else {
+            ref = loadAny(ref_path);
+            train = train_path.empty() ? ref : loadAny(train_path);
+        }
+
+        DistilledProgram dist;
+        if (!image_path.empty())
+            dist = loadDistilled(readFile(image_path));
+        else
+            dist = prepare(ref, train,
+                           DistillerOptions::paperPreset())
+                       .dist;
+
+        analysis::LintReport rep =
+            analysis::verifyDistilled(ref, dist);
+        std::fputs(json ? rep.toJson().c_str()
+                        : rep.toText().c_str(),
+                   stdout);
+        return rep.errors() ? 1 : 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "mssp-lint: %s\n", e.what());
+        return 2;
+    }
+}
