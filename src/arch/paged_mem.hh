@@ -4,6 +4,10 @@
  *
  * The architected memory is a 2^32-word address space backed lazily by
  * 4K-word pages. Reads of unmapped words return zero; writes allocate.
+ * A one-entry MRU page cache short-circuits the hash lookup for the
+ * (overwhelmingly common) case of consecutive accesses to the same
+ * page, and copy assignment reuses already-allocated pages so
+ * snapshot-replay loops don't churn the allocator.
  */
 
 #ifndef MSSP_ARCH_PAGED_MEM_HH
@@ -23,8 +27,23 @@ class PagedMem
 {
   public:
     PagedMem() = default;
-    PagedMem(PagedMem &&) = default;
-    PagedMem &operator=(PagedMem &&) = default;
+
+    PagedMem(PagedMem &&other) noexcept
+        : pages(std::move(other.pages))
+    {
+        other.resetMru();
+    }
+
+    PagedMem &
+    operator=(PagedMem &&other) noexcept
+    {
+        if (this != &other) {
+            pages = std::move(other.pages);
+            resetMru();
+            other.resetMru();
+        }
+        return *this;
+    }
 
     /** Deep copy (snapshotting for oracles and replay tests). */
     PagedMem(const PagedMem &other)
@@ -33,14 +52,30 @@ class PagedMem
             pages.emplace(num, std::make_unique<Page>(*page));
     }
 
+    /** Deep copy that reuses this memory's existing page
+     *  allocations (snapshot-restore loops stay allocation-free once
+     *  warm). */
     PagedMem &
     operator=(const PagedMem &other)
     {
-        if (this != &other) {
-            pages.clear();
-            for (const auto &[num, page] : other.pages)
-                pages.emplace(num, std::make_unique<Page>(*page));
+        if (this == &other)
+            return *this;
+        // Drop pages the source doesn't have...
+        for (auto it = pages.begin(); it != pages.end();) {
+            if (other.pages.count(it->first) == 0)
+                it = pages.erase(it);
+            else
+                ++it;
         }
+        // ...and copy contents into reused (or fresh) allocations.
+        for (const auto &[num, page] : other.pages) {
+            auto &mine = pages[num];
+            if (!mine)
+                mine = std::make_unique<Page>(*page);
+            else
+                *mine = *page;
+        }
+        resetMru();
         return *this;
     }
 
@@ -52,27 +87,42 @@ class PagedMem
     uint32_t
     read(uint32_t addr) const
     {
-        auto it = pages.find(addr >> PageBits);
-        if (it == pages.end())
-            return 0;
-        return (*it->second)[addr & OffsetMask];
+        uint32_t num = addr >> PageBits;
+        if (num != mru_num_ || mru_ == nullptr) {
+            auto it = pages.find(num);
+            if (it == pages.end())
+                return 0;
+            mru_num_ = num;
+            mru_ = it->second.get();
+        }
+        return (*mru_)[addr & OffsetMask];
     }
 
     /** Write @p value at @p addr, allocating the page if needed. */
     void
     write(uint32_t addr, uint32_t value)
     {
-        auto &page = pages[addr >> PageBits];
-        if (!page)
-            page = std::make_unique<Page>();
-        (*page)[addr & OffsetMask] = value;
+        uint32_t num = addr >> PageBits;
+        if (num != mru_num_ || mru_ == nullptr) {
+            auto &page = pages[num];
+            if (!page)
+                page = std::make_unique<Page>();
+            mru_num_ = num;
+            mru_ = page.get();
+        }
+        (*mru_)[addr & OffsetMask] = value;
     }
 
     /** Number of resident pages. */
     size_t numPages() const { return pages.size(); }
 
     /** Drop all contents. */
-    void clear() { pages.clear(); }
+    void
+    clear()
+    {
+        pages.clear();
+        resetMru();
+    }
 
     /**
      * Enumerate all nonzero words (deterministic order), used by
@@ -82,7 +132,20 @@ class PagedMem
 
   private:
     using Page = std::array<uint32_t, PageWords>;
+
+    void
+    resetMru() const
+    {
+        mru_num_ = 0;
+        mru_ = nullptr;
+    }
+
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages;
+    // One-entry MRU over `pages` (a pure cache: mutable so const
+    // reads can refresh it; never dangles because pages are only
+    // removed by clear()/assignment, which reset it).
+    mutable uint32_t mru_num_ = 0;
+    mutable Page *mru_ = nullptr;
 };
 
 } // namespace mssp

@@ -5,11 +5,38 @@
 namespace mssp
 {
 
-std::vector<std::pair<CellId, uint32_t>>
+void
+StateDelta::rehash(size_t new_cap)
+{
+    std::vector<value_type> old = std::move(slots_);
+    slots_.assign(new_cap, {EmptyKey, 0});
+    tombstones_ = 0;
+    size_t mask = new_cap - 1;
+    for (const auto &[cell, value] : old) {
+        if (cell == EmptyKey || cell == TombKey)
+            continue;
+        size_t i = hashCell(cell) & mask;
+        while (slots_[i].first != EmptyKey)
+            i = (i + 1) & mask;
+        slots_[i] = {cell, value};
+    }
+}
+
+void
+StateDelta::growAndInsert(CellId cell, uint32_t value)
+{
+    rehash(capacityFor(size_ + 1));
+    // The key was absent (callers only grow on the insert path), the
+    // fresh table has no tombstones and cannot need another grow.
+    Cursor c = lookup(cell);
+    slots_[c.index] = {cell, value};
+    ++size_;
+}
+
+std::vector<StateDelta::value_type>
 StateDelta::sorted() const
 {
-    std::vector<std::pair<CellId, uint32_t>> out(map_.begin(),
-                                                 map_.end());
+    std::vector<value_type> out(begin(), end());
     std::sort(out.begin(), out.end());
     return out;
 }

@@ -11,17 +11,26 @@
  *    same value");
  *  - idempotency: S2 ⊑ S1 implies S1 ← S2 = S1.
  *
- * These laws are property-tested in tests/test_formal_properties.cpp.
+ * These laws are property-tested in tests/test_formal_properties.cpp,
+ * and the map implementation is model-checked against a reference
+ * std::unordered_map in tests/test_state.cpp.
  * StateDeltas serve as task live-in sets, live-out sets and master
- * checkpoints.
+ * checkpoints — every slave memory access probes one, so the storage
+ * is an open-addressing flat hash map (power-of-two capacity, linear
+ * probing, tombstone deletion): one contiguous allocation, no
+ * per-node indirection, and a find-then-insert cursor that lets
+ * live-in capture probe once instead of twice.
  */
 
 #ifndef MSSP_ARCH_STATE_DELTA_HH
 #define MSSP_ARCH_STATE_DELTA_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <optional>
-#include <unordered_map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/cell.hh"
@@ -33,41 +42,205 @@ namespace mssp
 class StateDelta
 {
   public:
-    using Map = std::unordered_map<CellId, uint32_t>;
+    using value_type = std::pair<CellId, uint32_t>;
 
     StateDelta() = default;
 
-    /** Bind @p cell to @p value, overwriting any previous binding. */
-    void set(CellId cell, uint32_t value) { map_[cell] = value; }
+    /**
+     * Result of a single hash probe, usable as an insert position.
+     * Valid until the next mutation of this delta.
+     */
+    struct Cursor
+    {
+        size_t index = SIZE_MAX;
+        bool found = false;
+    };
 
-    /** Bind @p cell only if it has no binding yet (live-in capture). */
+    /**
+     * Probe for @p cell: one scan that serves both lookup and a
+     * subsequent insertAt (the slave's live-in capture does
+     * lookup -> read-through -> insertAt, one probe total).
+     */
+    Cursor
+    lookup(CellId cell) const
+    {
+        if (slots_.empty())
+            return Cursor{};
+        size_t mask = slots_.size() - 1;
+        size_t i = hashCell(cell) & mask;
+        size_t insert_at = SIZE_MAX;
+        for (;; i = (i + 1) & mask) {
+            CellId k = slots_[i].first;
+            if (k == cell)
+                return Cursor{i, true};
+            if (k == EmptyKey) {
+                return Cursor{insert_at == SIZE_MAX ? i : insert_at,
+                              false};
+            }
+            if (k == TombKey && insert_at == SIZE_MAX)
+                insert_at = i;
+        }
+    }
+
+    /** Value at a found cursor. */
+    uint32_t valueAt(Cursor c) const { return slots_[c.index].second; }
+
+    /**
+     * Bind @p cell at a cursor obtained from lookup(cell) with no
+     * intervening mutation: overwrites when found, inserts otherwise
+     * without re-probing (unless the table must grow).
+     */
     void
+    insertAt(Cursor c, CellId cell, uint32_t value)
+    {
+        if (c.found) {
+            slots_[c.index].second = value;
+            return;
+        }
+        if (c.index == SIZE_MAX || mustGrow()) {
+            growAndInsert(cell, value);
+            return;
+        }
+        if (slots_[c.index].first == TombKey)
+            --tombstones_;
+        slots_[c.index] = {cell, value};
+        ++size_;
+    }
+
+    /** Bind @p cell to @p value, overwriting any previous binding. */
+    void set(CellId cell, uint32_t value)
+    {
+        insertAt(lookup(cell), cell, value);
+    }
+
+    /**
+     * Bind @p cell only if it has no binding yet (live-in capture).
+     * @retval true when the binding was inserted.
+     */
+    bool
     setIfAbsent(CellId cell, uint32_t value)
     {
-        map_.emplace(cell, value);
+        Cursor c = lookup(cell);
+        if (c.found)
+            return false;
+        insertAt(c, cell, value);
+        return true;
     }
 
     /** @return the bound value, if any. */
     std::optional<uint32_t>
     get(CellId cell) const
     {
-        auto it = map_.find(cell);
-        if (it == map_.end())
+        Cursor c = lookup(cell);
+        if (!c.found)
             return std::nullopt;
-        return it->second;
+        return slots_[c.index].second;
     }
 
-    bool contains(CellId cell) const { return map_.count(cell) != 0; }
+    bool contains(CellId cell) const { return lookup(cell).found; }
 
     /** Remove a binding if present. */
-    void erase(CellId cell) { map_.erase(cell); }
+    void
+    erase(CellId cell)
+    {
+        Cursor c = lookup(cell);
+        if (!c.found)
+            return;
+        slots_[c.index].first = TombKey;
+        ++tombstones_;
+        --size_;
+    }
 
-    size_t size() const { return map_.size(); }
-    bool empty() const { return map_.empty(); }
-    void clear() { map_.clear(); }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
 
-    Map::const_iterator begin() const { return map_.begin(); }
-    Map::const_iterator end() const { return map_.end(); }
+    /** Drop all bindings (capacity is kept for reuse). */
+    void
+    clear()
+    {
+        for (auto &slot : slots_)
+            slot.first = EmptyKey;
+        size_ = 0;
+        tombstones_ = 0;
+    }
+
+    /** Pre-size for @p n bindings. */
+    void
+    reserve(size_t n)
+    {
+        size_t needed = capacityFor(n);
+        if (needed > slots_.size())
+            rehash(needed);
+    }
+
+    /** Forward iterator over live (cell, value) bindings. */
+    class const_iterator
+    {
+      public:
+        using value_type = StateDelta::value_type;
+        using reference = const value_type &;
+        using pointer = const value_type *;
+        using difference_type = std::ptrdiff_t;
+        using iterator_category = std::forward_iterator_tag;
+
+        const_iterator() = default;
+
+        const_iterator(const value_type *p, const value_type *end)
+            : p_(p), end_(end)
+        {
+            skipDead();
+        }
+
+        const value_type &operator*() const { return *p_; }
+        const value_type *operator->() const { return p_; }
+
+        const_iterator &
+        operator++()
+        {
+            ++p_;
+            skipDead();
+            return *this;
+        }
+
+        const_iterator
+        operator++(int)
+        {
+            const_iterator old = *this;
+            ++*this;
+            return old;
+        }
+
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return p_ == o.p_;
+        }
+
+      private:
+        void
+        skipDead()
+        {
+            while (p_ != end_ &&
+                   (p_->first == EmptyKey || p_->first == TombKey))
+                ++p_;
+        }
+
+        const value_type *p_ = nullptr;
+        const value_type *end_ = nullptr;
+    };
+
+    const_iterator
+    begin() const
+    {
+        const value_type *data = slots_.data();
+        return {data, data + slots_.size()};
+    }
+    const_iterator
+    end() const
+    {
+        const value_type *data = slots_.data();
+        return {data + slots_.size(), data + slots_.size()};
+    }
 
     /**
      * Superimpose @p other onto this state: this ← other.
@@ -76,8 +249,8 @@ class StateDelta
     void
     superimpose(const StateDelta &other)
     {
-        for (const auto &[cell, value] : other.map_)
-            map_[cell] = value;
+        for (const auto &[cell, value] : other)
+            set(cell, value);
     }
 
     /** Functional form of superimposition: returns a ← b. */
@@ -96,9 +269,9 @@ class StateDelta
     bool
     consistentWith(const StateDelta &other) const
     {
-        for (const auto &[cell, value] : map_) {
-            auto it = other.map_.find(cell);
-            if (it == other.map_.end() || it->second != value)
+        for (const auto &[cell, value] : *this) {
+            Cursor c = other.lookup(cell);
+            if (!c.found || other.valueAt(c) != value)
                 return false;
         }
         return true;
@@ -107,19 +280,55 @@ class StateDelta
     bool
     operator==(const StateDelta &other) const
     {
-        return map_ == other.map_;
+        return size_ == other.size_ && consistentWith(other);
     }
 
     /** Deterministically ordered (cell, value) list, for tests/dumps. */
-    std::vector<std::pair<CellId, uint32_t>> sorted() const;
+    std::vector<value_type> sorted() const;
 
     /** Multi-line human-readable dump. */
     std::string toString() const;
 
-    void reserve(size_t n) { map_.reserve(n); }
-
   private:
-    Map map_;
+    // Sentinels outside the CellId value space (kinds stop at bit 33).
+    static constexpr CellId EmptyKey = ~CellId{0};
+    static constexpr CellId TombKey = ~CellId{0} - 1;
+    static constexpr size_t MinCapacity = 16;
+
+    static size_t
+    hashCell(CellId k)
+    {
+        // Fibonacci-style multiplicative mix; CellIds differ in low
+        // bits (index) and bits 32+ (kind), both of which diffuse.
+        uint64_t x = (k + 1) * 0x9E3779B97F4A7C15ull;
+        return static_cast<size_t>(x ^ (x >> 32));
+    }
+
+    /** Smallest power-of-two capacity holding @p n below 2/3 load. */
+    static size_t
+    capacityFor(size_t n)
+    {
+        size_t cap = MinCapacity;
+        while (n + (n >> 1) >= cap)
+            cap <<= 1;
+        return cap;
+    }
+
+    bool
+    mustGrow() const
+    {
+        // Count tombstones against the load so probe chains stay
+        // short; rehashing drops them.
+        return slots_.empty() ||
+               (size_ + tombstones_ + 1) * 4 > slots_.size() * 3;
+    }
+
+    void rehash(size_t new_cap);
+    void growAndInsert(CellId cell, uint32_t value);
+
+    std::vector<value_type> slots_;   ///< pow-2 sized; EmptyKey = free
+    size_t size_ = 0;        ///< live bindings
+    size_t tombstones_ = 0;  ///< deleted slots awaiting rehash
 };
 
 } // namespace mssp

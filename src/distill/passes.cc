@@ -96,7 +96,7 @@ namespace
 {
 
 /** ExecContext view over a constant lattice for in-block folding. */
-class ConstEvalContext : public ExecContext
+class ConstEvalContext final : public ExecContext
 {
   public:
     std::optional<uint32_t> regs[NumRegs];

@@ -1,0 +1,36 @@
+#include "exec/decode_cache.hh"
+
+namespace mssp
+{
+
+void
+DecodeCache::fillMru(uint32_t page_num)
+{
+    auto &slot = pages_[page_num];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        uint32_t base = page_num << PageBits;
+        if (prog_) {
+            // Decode only the words present in the (sparse) image;
+            // the rest stay at the default Instruction, which equals
+            // decode(0).
+            const auto &image = prog_->image();
+            for (auto it = image.lower_bound(base);
+                 it != image.end() &&
+                 (it->first >> PageBits) == page_num;
+                 ++it) {
+                slot->insts[it->first & OffsetMask] =
+                    decode(it->second);
+            }
+        } else {
+            for (uint32_t off = 0; off < PageWords; ++off) {
+                if (uint32_t word = mem_->read(base + off))
+                    slot->insts[off] = decode(word);
+            }
+        }
+    }
+    mru_num_ = page_num;
+    mru_ = slot.get();
+}
+
+} // namespace mssp

@@ -1,210 +1,12 @@
 #include "exec/executor.hh"
 
-#include <limits>
-
-#include "sim/logging.hh"
-
 namespace mssp
 {
-
-namespace
-{
-
-/** Read a register honoring the r0-is-zero rule. */
-inline uint32_t
-rread(ExecContext &ctx, unsigned r)
-{
-    return r == 0 ? 0 : ctx.readReg(r);
-}
-
-/** Write a register honoring the r0-is-zero rule. */
-inline void
-rwrite(ExecContext &ctx, unsigned r, uint32_t v)
-{
-    if (r != 0)
-        ctx.writeReg(r, v);
-}
-
-/** Prepare the immediate operand for an I-type ALU op: logical ops
- *  zero-extend (MIPS-style), the rest use the sign-extended value. */
-inline uint32_t
-immOperand(Opcode op, int32_t imm)
-{
-    switch (op) {
-      case Opcode::Andi:
-      case Opcode::Ori:
-      case Opcode::Xori:
-        return static_cast<uint32_t>(imm) & 0xffffu;
-      default:
-        return static_cast<uint32_t>(imm);
-    }
-}
-
-constexpr uint32_t IntMin = 0x80000000u;
-
-} // anonymous namespace
-
-bool
-evalAlu(Opcode op, uint32_t a, uint32_t b, uint32_t &out)
-{
-    auto sa = static_cast<int32_t>(a);
-    auto sb = static_cast<int32_t>(b);
-    switch (op) {
-      case Opcode::Add:
-      case Opcode::Addi:
-        out = a + b;
-        return true;
-      case Opcode::Sub:
-        out = a - b;
-        return true;
-      case Opcode::Mul:
-        out = a * b;
-        return true;
-      case Opcode::Div:
-        if (b == 0)
-            out = 0xffffffffu;
-        else if (a == IntMin && sb == -1)
-            out = IntMin;
-        else
-            out = static_cast<uint32_t>(sa / sb);
-        return true;
-      case Opcode::Rem:
-        if (b == 0)
-            out = a;
-        else if (a == IntMin && sb == -1)
-            out = 0;
-        else
-            out = static_cast<uint32_t>(sa % sb);
-        return true;
-      case Opcode::And:
-      case Opcode::Andi:
-        out = a & b;
-        return true;
-      case Opcode::Or:
-      case Opcode::Ori:
-        out = a | b;
-        return true;
-      case Opcode::Xor:
-      case Opcode::Xori:
-        out = a ^ b;
-        return true;
-      case Opcode::Sll:
-      case Opcode::Slli:
-        out = a << (b & 31);
-        return true;
-      case Opcode::Srl:
-      case Opcode::Srli:
-        out = a >> (b & 31);
-        return true;
-      case Opcode::Sra:
-      case Opcode::Srai:
-        out = static_cast<uint32_t>(sa >> (b & 31));
-        return true;
-      case Opcode::Slt:
-      case Opcode::Slti:
-        out = sa < sb ? 1 : 0;
-        return true;
-      case Opcode::Sltu:
-      case Opcode::Sltiu:
-        out = a < b ? 1 : 0;
-        return true;
-      case Opcode::Lui:
-        out = (b & 0xffffu) << 16;
-        return true;
-      default:
-        return false;
-    }
-}
 
 StepResult
 executeDecoded(uint32_t pc, const Instruction &inst, ExecContext &ctx)
 {
-    StepResult res;
-    res.inst = inst;
-    res.nextPc = pc + 1;
-
-    switch (inst.op) {
-      case Opcode::Illegal:
-        res.status = StepStatus::Illegal;
-        res.nextPc = pc;
-        return res;
-      case Opcode::Halt:
-        res.status = StepStatus::Halted;
-        res.nextPc = pc;
-        return res;
-      case Opcode::Nop:
-        return res;
-      case Opcode::Fork:
-        ctx.fork(static_cast<uint32_t>(inst.imm));
-        return res;
-      case Opcode::Lw: {
-        uint32_t addr = rread(ctx, inst.rs1) +
-                        static_cast<uint32_t>(inst.imm);
-        rwrite(ctx, inst.rd, ctx.readMem(addr));
-        return res;
-      }
-      case Opcode::Sw: {
-        uint32_t addr = rread(ctx, inst.rs1) +
-                        static_cast<uint32_t>(inst.imm);
-        ctx.writeMem(addr, rread(ctx, inst.rs2));
-        return res;
-      }
-      case Opcode::Out:
-        ctx.output(static_cast<uint16_t>(inst.imm),
-                   rread(ctx, inst.rs1));
-        return res;
-      case Opcode::Jal:
-        rwrite(ctx, inst.rd, pc + 1);
-        res.nextPc = pc + 1 + static_cast<uint32_t>(inst.imm);
-        return res;
-      case Opcode::Jalr: {
-        uint32_t target = rread(ctx, inst.rs1) +
-                          static_cast<uint32_t>(inst.imm);
-        rwrite(ctx, inst.rd, pc + 1);
-        res.nextPc = target;
-        return res;
-      }
-      default:
-        break;
-    }
-
-    if (isCondBranch(inst.op)) {
-        uint32_t a = rread(ctx, inst.rs1);
-        uint32_t b = rread(ctx, inst.rs2);
-        auto sa = static_cast<int32_t>(a);
-        auto sb = static_cast<int32_t>(b);
-        bool taken = false;
-        switch (inst.op) {
-          case Opcode::Beq:  taken = a == b; break;
-          case Opcode::Bne:  taken = a != b; break;
-          case Opcode::Blt:  taken = sa < sb; break;
-          case Opcode::Bge:  taken = sa >= sb; break;
-          case Opcode::Bltu: taken = a < b; break;
-          case Opcode::Bgeu: taken = a >= b; break;
-          default: panic("unreachable branch opcode");
-        }
-        res.branchTaken = taken;
-        if (taken)
-            res.nextPc = pc + 1 + static_cast<uint32_t>(inst.imm);
-        return res;
-    }
-
-    // Remaining opcodes are pure ALU ops.
-    uint32_t a = rread(ctx, inst.rs1);
-    uint32_t b;
-    if (formatOf(inst.op) == Format::R)
-        b = rread(ctx, inst.rs2);
-    else
-        b = immOperand(inst.op, inst.imm);
-
-    uint32_t out;
-    if (!evalAlu(inst.op, a, b, out)) {
-        res.status = StepStatus::Illegal;
-        res.nextPc = pc;
-        return res;
-    }
-    rwrite(ctx, inst.rd, out);
-    return res;
+    return executeDecodedOn<ExecContext>(pc, inst, ctx);
 }
 
 StepResult

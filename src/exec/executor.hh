@@ -7,6 +7,14 @@
  * states stepping to consistent states) is what makes MSSP's live-in
  * verification sound, and is property-tested in
  * tests/test_formal_properties.cpp.
+ *
+ * The semantics live in the function template executeDecodedOn<Ctx>()
+ * so that machines whose context type is `final` (SeqMachine, the
+ * slaves' TaskContext, the master, the profiler) get fully
+ * devirtualized, inlined storage accesses on their hot loops, while
+ * the classic virtual-dispatch entry points (stepAt / executeDecoded)
+ * remain as the reference path — both run the *same* template body, so
+ * there is exactly one implementation of the semantics.
  */
 
 #ifndef MSSP_EXEC_EXECUTOR_HH
@@ -16,6 +24,7 @@
 
 #include "exec/context.hh"
 #include "isa/isa.hh"
+#include "sim/logging.hh"
 
 namespace mssp
 {
@@ -38,10 +47,238 @@ struct StepResult
 };
 
 /**
+ * Pure ALU evaluation helper: compute the result of an R- or I-type
+ * ALU instruction from operand values. Branches/memory/jumps are not
+ * accepted. Inline: this runs once per simulated ALU instruction on
+ * every machine's hot loop.
+ *
+ * @retval true when @p op is a pure ALU op and @p out was written.
+ */
+inline bool
+evalAlu(Opcode op, uint32_t a, uint32_t b, uint32_t &out)
+{
+    constexpr uint32_t IntMin = 0x80000000u;
+    auto sa = static_cast<int32_t>(a);
+    auto sb = static_cast<int32_t>(b);
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Addi:
+        out = a + b;
+        return true;
+      case Opcode::Sub:
+        out = a - b;
+        return true;
+      case Opcode::Mul:
+        out = a * b;
+        return true;
+      case Opcode::Div:
+        if (b == 0)
+            out = 0xffffffffu;
+        else if (a == IntMin && sb == -1)
+            out = IntMin;
+        else
+            out = static_cast<uint32_t>(sa / sb);
+        return true;
+      case Opcode::Rem:
+        if (b == 0)
+            out = a;
+        else if (a == IntMin && sb == -1)
+            out = 0;
+        else
+            out = static_cast<uint32_t>(sa % sb);
+        return true;
+      case Opcode::And:
+      case Opcode::Andi:
+        out = a & b;
+        return true;
+      case Opcode::Or:
+      case Opcode::Ori:
+        out = a | b;
+        return true;
+      case Opcode::Xor:
+      case Opcode::Xori:
+        out = a ^ b;
+        return true;
+      case Opcode::Sll:
+      case Opcode::Slli:
+        out = a << (b & 31);
+        return true;
+      case Opcode::Srl:
+      case Opcode::Srli:
+        out = a >> (b & 31);
+        return true;
+      case Opcode::Sra:
+      case Opcode::Srai:
+        out = static_cast<uint32_t>(sa >> (b & 31));
+        return true;
+      case Opcode::Slt:
+      case Opcode::Slti:
+        out = sa < sb ? 1 : 0;
+        return true;
+      case Opcode::Sltu:
+      case Opcode::Sltiu:
+        out = a < b ? 1 : 0;
+        return true;
+      case Opcode::Lui:
+        out = (b & 0xffffu) << 16;
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace exec_detail
+{
+
+/** Read a register honoring the r0-is-zero rule. */
+template <class Ctx>
+inline uint32_t
+rread(Ctx &ctx, unsigned r)
+{
+    return r == 0 ? 0 : ctx.readReg(r);
+}
+
+/** Write a register honoring the r0-is-zero rule. */
+template <class Ctx>
+inline void
+rwrite(Ctx &ctx, unsigned r, uint32_t v)
+{
+    if (r != 0)
+        ctx.writeReg(r, v);
+}
+
+/** Prepare the immediate operand for an I-type ALU op: logical ops
+ *  zero-extend (MIPS-style), the rest use the sign-extended value. */
+inline uint32_t
+immOperand(Opcode op, int32_t imm)
+{
+    switch (op) {
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+        return static_cast<uint32_t>(imm) & 0xffffu;
+      default:
+        return static_cast<uint32_t>(imm);
+    }
+}
+
+} // namespace exec_detail
+
+/**
+ * Execute an already-decoded instruction against any context type.
+ * When @p Ctx is a `final` class the storage accesses devirtualize;
+ * with Ctx = ExecContext this *is* the reference implementation.
+ */
+template <class Ctx>
+StepResult
+executeDecodedOn(uint32_t pc, const Instruction &inst, Ctx &ctx)
+{
+    using exec_detail::immOperand;
+    using exec_detail::rread;
+    using exec_detail::rwrite;
+
+    StepResult res;
+    res.inst = inst;
+    res.nextPc = pc + 1;
+
+    switch (inst.op) {
+      case Opcode::Illegal:
+        res.status = StepStatus::Illegal;
+        res.nextPc = pc;
+        return res;
+      case Opcode::Halt:
+        res.status = StepStatus::Halted;
+        res.nextPc = pc;
+        return res;
+      case Opcode::Nop:
+        return res;
+      case Opcode::Fork:
+        ctx.fork(static_cast<uint32_t>(inst.imm));
+        return res;
+      case Opcode::Lw: {
+        uint32_t addr = rread(ctx, inst.rs1) +
+                        static_cast<uint32_t>(inst.imm);
+        rwrite(ctx, inst.rd, ctx.readMem(addr));
+        return res;
+      }
+      case Opcode::Sw: {
+        uint32_t addr = rread(ctx, inst.rs1) +
+                        static_cast<uint32_t>(inst.imm);
+        ctx.writeMem(addr, rread(ctx, inst.rs2));
+        return res;
+      }
+      case Opcode::Out:
+        ctx.output(static_cast<uint16_t>(inst.imm),
+                   rread(ctx, inst.rs1));
+        return res;
+      case Opcode::Jal:
+        rwrite(ctx, inst.rd, pc + 1);
+        res.nextPc = pc + 1 + static_cast<uint32_t>(inst.imm);
+        return res;
+      case Opcode::Jalr: {
+        uint32_t target = rread(ctx, inst.rs1) +
+                          static_cast<uint32_t>(inst.imm);
+        rwrite(ctx, inst.rd, pc + 1);
+        res.nextPc = target;
+        return res;
+      }
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu: {
+        uint32_t a = rread(ctx, inst.rs1);
+        uint32_t b = rread(ctx, inst.rs2);
+        auto sa = static_cast<int32_t>(a);
+        auto sb = static_cast<int32_t>(b);
+        bool taken = false;
+        switch (inst.op) {
+          case Opcode::Beq:  taken = a == b; break;
+          case Opcode::Bne:  taken = a != b; break;
+          case Opcode::Blt:  taken = sa < sb; break;
+          case Opcode::Bge:  taken = sa >= sb; break;
+          case Opcode::Bltu: taken = a < b; break;
+          case Opcode::Bgeu: taken = a >= b; break;
+          default: panic("unreachable branch opcode");
+        }
+        res.branchTaken = taken;
+        if (taken)
+            res.nextPc = pc + 1 + static_cast<uint32_t>(inst.imm);
+        return res;
+      }
+      default:
+        break;
+    }
+
+    // Remaining opcodes are pure ALU ops (R-type reads rs2, I-type
+    // uses the immediate; Add..Sltu are exactly the R-type ALU ops).
+    uint32_t a = rread(ctx, inst.rs1);
+    uint32_t b;
+    if (isRegRegAlu(inst.op))
+        b = rread(ctx, inst.rs2);
+    else
+        b = immOperand(inst.op, inst.imm);
+
+    uint32_t out;
+    if (!evalAlu(inst.op, a, b, out)) {
+        res.status = StepStatus::Illegal;
+        res.nextPc = pc;
+        return res;
+    }
+    rwrite(ctx, inst.rd, out);
+    return res;
+}
+
+/**
  * Fetch, decode and execute the instruction at @p pc against @p ctx.
  *
  * The executor enforces r0-is-zero (contexts never see register 0).
  * On Halted/Illegal, nextPc == pc (the machine does not advance).
+ *
+ * This is the reference path: it re-decodes on every step via the
+ * virtual fetch. Hot loops use a DecodeCache + executeDecodedOn
+ * instead; tests/test_decode_cache.cpp differential-tests the two.
  */
 StepResult stepAt(uint32_t pc, ExecContext &ctx);
 
@@ -51,15 +288,6 @@ StepResult stepAt(uint32_t pc, ExecContext &ctx);
  */
 StepResult executeDecoded(uint32_t pc, const Instruction &inst,
                           ExecContext &ctx);
-
-/**
- * Pure ALU evaluation helper: compute the result of an R- or I-type
- * ALU instruction from operand values. Branches/memory/jumps are not
- * accepted.
- *
- * @retval true when @p op is a pure ALU op and @p out was written.
- */
-bool evalAlu(Opcode op, uint32_t a, uint32_t b, uint32_t &out);
 
 } // namespace mssp
 

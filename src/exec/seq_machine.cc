@@ -8,11 +8,9 @@ SeqMachine::SeqMachine(const Program &prog)
     state_.loadProgram(prog);
 }
 
-StepResult
-SeqMachine::step()
+void
+SeqMachine::applyStep(const StepResult &res)
 {
-    uint32_t pc = state_.pc();
-    StepResult res = stepAt(pc, *this);
     switch (res.status) {
       case StepStatus::Ok:
         state_.setPc(res.nextPc);
@@ -28,6 +26,14 @@ SeqMachine::step()
         faulted_ = true;
         break;
     }
+}
+
+StepResult
+SeqMachine::step()
+{
+    uint32_t pc = state_.pc();
+    StepResult res = executeDecodedOn(pc, decode_.at(pc), *this);
+    applyStep(res);
     if (observer_)
         observer_->onStep(pc, res);
     return res;
@@ -37,10 +43,43 @@ SeqRunResult
 SeqMachine::run(uint64_t max_insts)
 {
     SeqRunResult result;
-    while (!halted_ && !faulted_ && result.instCount < max_insts) {
-        step();
-        ++result.instCount;
+
+    if (observer_) {
+        // Observed runs keep exact per-step bookkeeping.
+        while (!halted_ && !faulted_ && result.instCount < max_insts) {
+            step();
+            ++result.instCount;
+        }
+    } else {
+        // Hot path: pc and retirement stay in locals; storage
+        // accesses devirtualize (SeqMachine is final).
+        uint32_t pc = state_.pc();
+        uint64_t steps = 0;
+        uint64_t retired = 0;
+        while (!halted_ && !faulted_ && steps < max_insts) {
+            StepResult res =
+                executeDecodedOn(pc, decode_.at(pc), *this);
+            ++steps;
+            switch (res.status) {
+              case StepStatus::Ok:
+                pc = res.nextPc;
+                ++retired;
+                break;
+              case StepStatus::Halted:
+                halted_ = true;
+                ++retired;
+                break;
+              case StepStatus::Illegal:
+                faulted_ = true;
+                break;
+            }
+        }
+        state_.setPc(pc);
+        state_.addInstret(retired);
+        inst_count_ += retired;
+        result.instCount = steps;
     }
+
     result.halted = halted_;
     result.faulted = faulted_;
     result.finalPc = state_.pc();

@@ -7,6 +7,12 @@
  * configuration (jumping-refinement tests compare MSSP output and
  * final state against SEQ), the profiler's execution engine, and the
  * single-core performance baseline.
+ *
+ * The run loop is the simulator's hottest path: it executes through a
+ * predecode cache over the machine's own loaded memory and a
+ * devirtualized executor instantiation (SeqMachine is final), keeping
+ * the PC and retirement counters in locals. The reference stepAt path
+ * is differential-tested against it in tests/test_decode_cache.cpp.
  */
 
 #ifndef MSSP_EXEC_SEQ_MACHINE_HH
@@ -18,6 +24,7 @@
 #include "arch/mmio.hh"
 #include "asm/program.hh"
 #include "exec/context.hh"
+#include "exec/decode_cache.hh"
 #include "exec/executor.hh"
 
 namespace mssp
@@ -33,7 +40,7 @@ struct SeqRunResult
 };
 
 /** The SEQ reference machine. */
-class SeqMachine : public ExecContext
+class SeqMachine final : public ExecContext
 {
   public:
     /** Per-instruction observation hook (profiling, tracing). */
@@ -46,8 +53,21 @@ class SeqMachine : public ExecContext
         virtual void onStep(uint32_t pc, const StepResult &res) = 0;
     };
 
-    /** Construct with the program loaded and PC at its entry. */
+    /** Construct with the program loaded and PC at its entry. The
+     *  image is copied into architected memory; @p prog may die. */
     explicit SeqMachine(const Program &prog);
+
+    /** Movable (the decode cache rebinds to the moved-in memory and
+     *  refills lazily); not copyable. */
+    SeqMachine(SeqMachine &&other) noexcept
+        : state_(std::move(other.state_)),
+          device_(std::move(other.device_)),
+          outputs_(std::move(other.outputs_)),
+          observer_(other.observer_),
+          inst_count_(other.inst_count_),
+          halted_(other.halted_),
+          faulted_(other.faulted_)
+    {}
 
     /**
      * Run until HALT, a fault, or @p max_insts instructions.
@@ -68,6 +88,9 @@ class SeqMachine : public ExecContext
     bool faulted() const { return faulted_; }
 
     void setObserver(Observer *obs) { observer_ = obs; }
+
+    /** The predecode cache over this machine's loaded code. */
+    const DecodeCache &decodeCache() const { return decode_; }
 
     // -- ExecContext ------------------------------------------------------
     uint32_t readReg(unsigned r) override { return state_.readReg(r); }
@@ -102,7 +125,11 @@ class SeqMachine : public ExecContext
     const MmioDevice &device() const { return device_; }
 
   private:
+    /** Bookkeeping shared by step() and the batched run loop. */
+    void applyStep(const StepResult &res);
+
     ArchState state_;
+    DecodeCache decode_{state_.mem()};
     MmioDevice device_;
     OutputStream outputs_;
     Observer *observer_ = nullptr;

@@ -14,7 +14,7 @@ namespace
  * incompleteness) when execution reads an unbound cell — the
  * executable form of the paper's completeness predicate.
  */
-class PartialStateContext : public ExecContext
+class PartialStateContext final : public ExecContext
 {
   public:
     explicit PartialStateContext(State &s) : state_(s) {}

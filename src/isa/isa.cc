@@ -99,12 +99,6 @@ opcodeFromName(const std::string &name)
 }
 
 bool
-isCondBranch(Opcode op)
-{
-    return op >= Opcode::Beq && op <= Opcode::Bgeu;
-}
-
-bool
 isControl(Opcode op)
 {
     return isCondBranch(op) || op == Opcode::Jal || op == Opcode::Jalr;

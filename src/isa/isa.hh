@@ -104,7 +104,18 @@ const char *opcodeName(Opcode op);
 Opcode opcodeFromName(const std::string &name);
 
 /** @return true for conditional branches (Beq..Bgeu). */
-bool isCondBranch(Opcode op);
+constexpr bool
+isCondBranch(Opcode op)
+{
+    return op >= Opcode::Beq && op <= Opcode::Bgeu;
+}
+
+/** @return true for register-register ALU ops (Add..Sltu). */
+constexpr bool
+isRegRegAlu(Opcode op)
+{
+    return op >= Opcode::Add && op <= Opcode::Sltu;
+}
 
 /** @return true for any control transfer (branches, jal, jalr). */
 bool isControl(Opcode op);

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Immutable set of fork-site PCs.
+ *
+ * Slaves test membership once per executed instruction (the fork-site
+ * pause check), so contains() must be as close to free as possible: a
+ * direct-indexed byte map over the (small, dense) PC range answers in
+ * one load. A sorted, deduplicated vector is kept alongside for
+ * ascending-PC iteration — the same order std::set gave the code this
+ * replaces.
+ */
+
+#ifndef MSSP_MSSP_FORK_SITES_HH
+#define MSSP_MSSP_FORK_SITES_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace mssp
+{
+
+/** Sorted immutable PC set with O(1) contains(). */
+class ForkSiteSet
+{
+  public:
+    ForkSiteSet() = default;
+
+    explicit ForkSiteSet(std::vector<uint32_t> pcs) : pcs_(std::move(pcs))
+    {
+        std::sort(pcs_.begin(), pcs_.end());
+        pcs_.erase(std::unique(pcs_.begin(), pcs_.end()), pcs_.end());
+        // Code addresses are small (word-addressed programs), so in
+        // practice every site lands in the byte map and it stays a few
+        // KB; pathological PCs past DenseLimit fall back to binary
+        // search rather than ballooning the map.
+        auto tail = std::lower_bound(pcs_.begin(), pcs_.end(),
+                                     DenseLimit);
+        tail_start_ = static_cast<size_t>(tail - pcs_.begin());
+        if (tail_start_ > 0) {
+            is_site_.assign(
+                static_cast<size_t>(pcs_[tail_start_ - 1]) + 1, 0);
+            for (size_t i = 0; i < tail_start_; ++i)
+                is_site_[pcs_[i]] = 1;
+        }
+    }
+
+    bool
+    contains(uint32_t pc) const
+    {
+        if (pc < DenseLimit)
+            return pc < is_site_.size() && is_site_[pc];
+        return std::binary_search(pcs_.begin() + tail_start_,
+                                  pcs_.end(), pc);
+    }
+
+    size_t size() const { return pcs_.size(); }
+    bool empty() const { return pcs_.empty(); }
+
+    /** Ascending-PC iteration (matches the former std::set order). */
+    std::vector<uint32_t>::const_iterator begin() const
+    {
+        return pcs_.begin();
+    }
+    std::vector<uint32_t>::const_iterator end() const
+    {
+        return pcs_.end();
+    }
+
+  private:
+    /** PCs at or above this go to the binary-search fallback. */
+    static constexpr uint32_t DenseLimit = 1u << 20;
+
+    std::vector<uint32_t> pcs_;
+    std::vector<uint8_t> is_site_;   ///< direct-indexed membership
+    size_t tail_start_ = 0;          ///< first pcs_ index >= DenseLimit
+};
+
+} // namespace mssp
+
+#endif // MSSP_MSSP_FORK_SITES_HH

@@ -12,7 +12,7 @@ namespace
 {
 
 /** Non-speculative execution context: directly on architected state. */
-class SeqArchContext : public ExecContext
+class SeqArchContext final : public ExecContext
 {
   public:
     SeqArchContext(ArchState &arch, MmioDevice &device,
@@ -61,15 +61,14 @@ MsspMachine::MsspMachine(const Program &orig,
                          const DistilledProgram &dist,
                          const MsspConfig &cfg)
     : cfg_(cfg), orig_(orig), dist_(dist), arch_(),
-      master_(dist_, arch_)
+      master_(dist_, arch_), fork_site_pcs_(dist_.taskMap)
 {
     arch_.loadProgram(orig_);
     master_.setForkInterval(cfg_.forkInterval);
-    for (uint32_t pc : dist_.taskMap)
-        fork_site_pcs_.insert(pc);
+    slaves_.reserve(cfg_.numSlaves);
     for (unsigned i = 0; i < cfg_.numSlaves; ++i) {
-        slaves_.push_back(std::make_unique<SlaveCore>(
-            static_cast<int>(i), arch_, cfg_, fork_site_pcs_));
+        slaves_.emplace_back(static_cast<int>(i), arch_, cfg_,
+                             fork_site_pcs_, orig_decode_);
     }
     mode_ = Mode::Restarting;
     restart_at_ = 0;
@@ -108,16 +107,18 @@ MsspMachine::squash(TaskOutcome reason)
     }
     if (window_.size() > 1)
         ctrs_.tasksSquashedCascade += window_.size() - 1;
-    for (const auto &task : window_)
-        ctrs_.wastedSlaveInsts += task->instCount;
 
     for (auto &slave : slaves_) {
-        slave->release();
-        slave->invalidateL1();   // speculative lines are discarded
+        slave.release();
+        slave.invalidateL1();   // speculative lines are discarded
+    }
+    for (auto &task : window_) {
+        ctrs_.wastedSlaveInsts += task->instCount;
+        recycleTask(std::move(task));
     }
     window_.clear();
     arrived_.clear();
-    events_.clear();
+    spawn_queue_.clear();
     master_.stop();
 
     ++engage_failures_;
@@ -140,14 +141,16 @@ void
 MsspMachine::serializeSpeculation()
 {
     for (auto &slave : slaves_) {
-        slave->release();
-        slave->invalidateL1();
+        slave.release();
+        slave.invalidateL1();
     }
-    for (const auto &task : window_)
+    for (auto &task : window_) {
         ctrs_.wastedSlaveInsts += task->instCount;
+        recycleTask(std::move(task));
+    }
     window_.clear();
     arrived_.clear();
-    events_.clear();
+    spawn_queue_.clear();
     master_.stop();
     mode_ = Mode::Restarting;
     restart_at_ = now_ + cfg_.squashPenalty;
@@ -180,6 +183,7 @@ MsspMachine::commitFront()
     if (t.end == TaskEnd::Halted)
         halted_ = true;
 
+    recycleTask(std::move(window_.front()));
     window_.pop_front();
     commit_busy_until_ = now_ + cfg_.commitLatency;
     last_commit_cycle_ = now_;
@@ -247,19 +251,44 @@ MsspMachine::tickCommit()
     }
 }
 
+std::unique_ptr<Task>
+MsspMachine::allocTask()
+{
+    if (task_pool_.empty()) {
+        auto task = std::make_unique<Task>();
+        // Typical tasks record dozens of cells; skip the early
+        // grow-probe-reinsert churn in the flat maps.
+        task->liveIn.reserve(64);
+        task->liveOut.reserve(64);
+        return task;
+    }
+    std::unique_ptr<Task> task = std::move(task_pool_.back());
+    task_pool_.pop_back();
+    task->reset();
+    return task;
+}
+
+void
+MsspMachine::recycleTask(std::unique_ptr<Task> task)
+{
+    // Stale contents are harmless: allocTask() resets on reuse (so
+    // references held through commit/squash teardown stay readable).
+    task_pool_.push_back(std::move(task));
+}
+
 void
 MsspMachine::tickSpawnDelivery()
 {
     while (!arrived_.empty()) {
         auto idle = std::find_if(slaves_.begin(), slaves_.end(),
-                                 [](const auto &s) {
-                                     return s->idle();
+                                 [](const SlaveCore &s) {
+                                     return s.idle();
                                  });
         if (idle == slaves_.end())
             return;
         Task *t = arrived_.front();
         arrived_.pop_front();
-        (*idle)->assign(t);
+        idle->assign(t);
     }
 }
 
@@ -267,13 +296,13 @@ void
 MsspMachine::tickSlaves()
 {
     for (auto &slave : slaves_) {
-        unsigned executed = slave->tick();
+        unsigned executed = slave.tick();
         ctrs_.slaveInsts += executed;
         // Free the slave as soon as its task is complete: the task's
         // live-in/live-out data now lives with the verify/commit unit
         // (the window), exactly as in the paper.
-        if (!slave->idle() && slave->task()->done())
-            slave->release();
+        if (Task *t = slave.task(); t && t->done())
+            slave.release();
     }
 }
 
@@ -285,8 +314,10 @@ MsspMachine::tickMaster()
     master_budget_ += cfg_.masterIpc;
 
     while (master_budget_ >= 1.0 && master_.running()) {
-        if (master_.nextForkWouldSpawn() &&
-            window_.size() >= cfg_.maxInFlightTasks) {
+        // Cheap capacity test first: the fork-site peek only matters
+        // when the window is actually full.
+        if (window_.size() >= cfg_.maxInFlightTasks &&
+            master_.nextForkWouldSpawn()) {
             ++ctrs_.masterStallWindowFull;
             master_budget_ = 0.0;
             return;
@@ -305,7 +336,7 @@ MsspMachine::tickMaster()
                 prev->endPc = fi.origPc;
                 prev->endVisits = fi.endVisitsForPrev;
             }
-            auto task = std::make_unique<Task>();
+            std::unique_ptr<Task> task = allocTask();
             task->id = next_task_id_++;
             task->startPc = fi.origPc;
             task->checkpoint = fi.checkpoint;
@@ -314,9 +345,7 @@ MsspMachine::tickMaster()
             Task *raw = task.get();
             window_.push_back(std::move(task));
             ++ctrs_.tasksForked;
-            events_.scheduleIn(now_, cfg_.forkLatency, [this, raw] {
-                arrived_.push_back(raw);
-            });
+            spawn_queue_.push_back({now_ + cfg_.forkLatency, raw});
             break;
           }
           case MasterStep::Halted: {
@@ -346,7 +375,8 @@ MsspMachine::tickSeq()
 
     while (seq_budget_ >= 1.0 && !halted_ && !faulted_) {
         seq_budget_ -= 1.0;
-        StepResult res = stepAt(arch_.pc(), ctx);
+        uint32_t pc = arch_.pc();
+        StepResult res = executeDecodedOn(pc, orig_decode_.at(pc), ctx);
         if (res.status == StepStatus::Illegal) {
             faulted_ = true;
             return;
@@ -386,30 +416,43 @@ MsspResult
 MsspMachine::run(uint64_t max_cycles)
 {
     while (now_ < max_cycles && !halted_ && !faulted_) {
-        events_.runUntil(now_);
+        // Fork delivery (in transit for forkLatency cycles; FIFO by
+        // construction since the latency is fixed).
+        while (!spawn_queue_.empty() && spawn_queue_.front().due <= now_) {
+            arrived_.push_back(spawn_queue_.front().task);
+            spawn_queue_.pop_front();
+        }
         if (mode_ == Mode::Restarting && now_ >= restart_at_)
             engageMaster();
-        tickCommit();
-        if (halted_ || faulted_)
-            break;
-        tickSpawnDelivery();
+        // Per-cycle units are guarded here so the common cases (empty
+        // window, head task still running, idle delivery queue) cost
+        // a branch, not a call (this loop runs once per cycle).
+        if (!window_.empty() && now_ >= commit_busy_until_ &&
+            window_.front()->done()) {
+            tickCommit();
+            if (halted_ || faulted_)
+                break;
+        }
+        if (!arrived_.empty())
+            tickSpawnDelivery();
         tickSlaves();
-        if (mode_ == Mode::Spec)
+        if (mode_ == Mode::Spec) {
             tickMaster();
-        else if (mode_ == Mode::Seq)
+            checkWatchdog();
+        } else if (mode_ == Mode::Seq) {
             tickSeq();
-        checkWatchdog();
+        }
         ++now_;
     }
 
     for (const auto &slave : slaves_) {
-        if (const Cache *l1 = slave->l1()) {
+        if (const Cache *l1 = slave.l1()) {
             ctrs_.l1Hits += l1->hits();
             ctrs_.l1Misses += l1->misses();
         }
-        ctrs_.slaveArchStallCycles += slave->archStallCycles();
-        ctrs_.slavePauseCycles += slave->pauseCycles();
-        ctrs_.slaveIdleCycles += slave->idleCycles();
+        ctrs_.slaveArchStallCycles += slave.archStallCycles();
+        ctrs_.slavePauseCycles += slave.pauseCycles();
+        ctrs_.slaveIdleCycles += slave.idleCycles();
     }
 
     MsspResult result;

@@ -28,14 +28,15 @@
 
 #include <deque>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "arch/arch_state.hh"
 #include "asm/program.hh"
 #include "distill/distiller.hh"
 #include "exec/context.hh"
+#include "exec/decode_cache.hh"
 #include "mssp/config.hh"
+#include "mssp/fork_sites.hh"
 #include "mssp/master.hh"
 #include "mssp/slave.hh"
 #include "mssp/task.hh"
@@ -140,6 +141,10 @@ class MsspMachine
     void squash(TaskOutcome reason);
     void engageMaster();
     void commitFront();
+    /** Get a fresh (or recycled) task shell. */
+    std::unique_ptr<Task> allocTask();
+    /** Return a retired task shell to the pool. */
+    void recycleTask(std::unique_ptr<Task> task);
     /** Drop speculative state to serialize a device access; unlike
      *  squash(), this is planned work, not a failure. */
     void serializeSpeculation();
@@ -155,12 +160,28 @@ class MsspMachine
     ArchState arch_;
     MmioDevice device_;
     MasterCore master_;
-    std::set<uint32_t> fork_site_pcs_;
-    std::vector<std::unique_ptr<SlaveCore>> slaves_;
+    /** Predecode cache of the original image, shared by all slaves
+     *  and the sequential fallback (code is immutable). */
+    DecodeCache orig_decode_{orig_};
+    ForkSiteSet fork_site_pcs_;
+    /** Slaves live by value: tickSlaves walks them every cycle. */
+    std::vector<SlaveCore> slaves_;
 
     std::deque<std::unique_ptr<Task>> window_;   ///< fork order
     std::deque<Task *> arrived_;   ///< spawned, awaiting a slave
-    EventQueue events_;
+
+    /** An in-flight fork: the task reaches a slave at cycle @c due. */
+    struct PendingSpawn
+    {
+        Cycle due;
+        Task *task;
+    };
+    /** Forked tasks in transit (FIFO: fork order, fixed latency).
+     *  Replaces a generic event queue on the once-per-fork path. */
+    std::deque<PendingSpawn> spawn_queue_;
+
+    /** Retired Task shells for reuse (their maps keep capacity). */
+    std::vector<std::unique_ptr<Task>> task_pool_;
 
     Mode mode_ = Mode::Restarting;
     Cycle restart_at_ = 0;

@@ -15,6 +15,7 @@ MasterCore::restart(uint32_t orig_pc)
     for (unsigned r = 0; r < NumRegs; ++r)
         regs_[r] = arch_.readReg(r);
     delta_.clear();
+    dirty_regs_ = 0;
     site_arrivals_.clear();
     forks_seen_since_spawn_ = 0;
     insts_since_restart_ = 0;
@@ -30,7 +31,7 @@ MasterCore::nextForkWouldSpawn()
 {
     if (!running())
         return false;
-    Instruction inst = decode(fetch(pc_));
+    const Instruction &inst = decode_.at(pc_);
     if (inst.op != Opcode::Fork)
         return false;
     if (first_fork_pending_)
@@ -40,9 +41,7 @@ MasterCore::nextForkWouldSpawn()
         return false;   // corrupt fork: step() will fault
     uint32_t orig_pc = dist_.taskMap[idx];
     uint32_t required = requiredArrivals(idx);
-    auto it = site_arrivals_.find(orig_pc);
-    uint32_t arrivals = it == site_arrivals_.end() ? 0 : it->second;
-    return arrivals + 1 >= required;
+    return siteArrivals(orig_pc) + 1 >= required;
 }
 
 uint32_t
@@ -58,91 +57,85 @@ MasterCore::requiredArrivals(uint32_t task_map_index) const
 }
 
 MasterStep
-MasterCore::step(ForkInfo *fork_out)
+MasterCore::stepFork(const Instruction &inst, ForkInfo *fork_out)
 {
-    MSSP_ASSERT(running());
-    Instruction inst = decode(fetch(pc_));
-
-    if (inst.op == Opcode::Fork) {
-        auto idx = static_cast<uint32_t>(inst.imm);
-        if (idx >= dist_.taskMap.size()) {
-            // Corrupt distilled program; the master just faults.
-            faulted_ = true;
-            return MasterStep::Faulted;
-        }
-        uint32_t orig_pc = dist_.taskMap[idx];
-        uint32_t arrivals = ++site_arrivals_[orig_pc];
-        ++forks_seen_since_spawn_;
-
-        bool spawn = first_fork_pending_ ||
-                     arrivals >= requiredArrivals(idx);
-        ++total_insts_;
-        ++insts_since_restart_;
-        pc_ += 1;
-
-        if (!spawn)
-            return MasterStep::Executed;
-
-        MSSP_ASSERT(fork_out != nullptr);
-        fork_out->origPc = orig_pc;
-        fork_out->endVisitsForPrev = arrivals;
-        fork_out->checkpoint =
-            std::make_shared<const StateDelta>(delta_);
-        site_arrivals_.clear();
-        forks_seen_since_spawn_ = 0;
-        first_fork_pending_ = false;
-        return MasterStep::WantsFork;
+    auto idx = static_cast<uint32_t>(inst.imm);
+    if (idx >= dist_.taskMap.size()) {
+        // Corrupt distilled program; the master just faults.
+        faulted_ = true;
+        return MasterStep::Faulted;
     }
+    uint32_t orig_pc = dist_.taskMap[idx];
+    uint32_t arrivals = bumpSiteArrivals(orig_pc);
+    ++forks_seen_since_spawn_;
 
-    StepResult res = executeDecoded(pc_, inst, *this);
+    bool spawn = first_fork_pending_ ||
+                 arrivals >= requiredArrivals(idx);
+    ++total_insts_;
+    ++insts_since_restart_;
+    pc_ += 1;
 
+    if (!spawn)
+        return MasterStep::Executed;
+
+    MSSP_ASSERT(fork_out != nullptr);
+    fork_out->origPc = orig_pc;
+    fork_out->endVisitsForPrev = arrivals;
+    fork_out->checkpoint = snapshotCheckpoint();
+    site_arrivals_.clear();
+    forks_seen_since_spawn_ = 0;
+    first_fork_pending_ = false;
+    return MasterStep::WantsFork;
+}
+
+bool
+MasterCore::translateJalr(StepResult &res)
+{
     // Indirect jumps may target *original* code addresses (a return
     // address seeded from architected state after a restart, or
     // reloaded from a committed stack slot): translate through the
     // distiller's address map, as a dynamic binary translator would.
-    if (res.status == StepStatus::Ok && inst.op == Opcode::Jalr &&
-        res.nextPc < DistilledCodeBase) {
-        auto it = dist_.addrMap.find(res.nextPc);
-        if (it == dist_.addrMap.end()) {
-            faulted_ = true;
-            return MasterStep::Faulted;
-        }
-        res.nextPc = it->second;
-    }
+    auto it = dist_.addrMap.find(res.nextPc);
+    if (it == dist_.addrMap.end())
+        return false;
+    res.nextPc = it->second;
+    return true;
+}
 
-    switch (res.status) {
-      case StepStatus::Ok:
-        pc_ = res.nextPc;
-        ++total_insts_;
-        ++insts_since_restart_;
-        return MasterStep::Executed;
-      case StepStatus::Halted:
-        halted_ = true;
-        ++total_insts_;
-        ++insts_since_restart_;
-        return MasterStep::Halted;
-      case StepStatus::Illegal:
-      default:
-        faulted_ = true;
-        return MasterStep::Faulted;
+std::shared_ptr<const StateDelta>
+MasterCore::snapshotCheckpoint() const
+{
+    auto ckpt = std::make_shared<StateDelta>(delta_);
+    uint32_t dirty = dirty_regs_;
+    while (dirty) {
+        unsigned r = static_cast<unsigned>(__builtin_ctz(dirty));
+        dirty &= dirty - 1;
+        ckpt->set(makeRegCell(r), regs_[r]);
     }
+    return ckpt;
 }
 
 void
 MasterCore::sweepDeltaAgainstArch(size_t max_cells)
 {
-    if (delta_.size() <= max_cells)
+    if (deltaSize() <= max_cells)
         return;
+    // Registers: clearing the dirty bit is sound because regs_ keeps
+    // the value, which equals architected state by construction.
+    uint32_t dirty = dirty_regs_;
+    while (dirty) {
+        unsigned r = static_cast<unsigned>(__builtin_ctz(dirty));
+        dirty &= dirty - 1;
+        if (arch_.readReg(r) == regs_[r])
+            dirty_regs_ &= ~(1u << r);
+    }
     std::vector<CellId> drop;
     for (const auto &[cell, value] : delta_) {
         if (arch_.readCell(cell) == value)
             drop.push_back(cell);
     }
-    for (CellId cell : drop) {
-        // Register cells stay cached in regs_, which is fine: the
-        // value equals architected state by construction.
+    for (CellId cell : drop)
         delta_.erase(cell);
-    }
 }
 
 } // namespace mssp

@@ -17,7 +17,8 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
+#include <utility>
+#include <vector>
 #include <memory>
 
 #include "arch/arch_state.hh"
@@ -25,7 +26,9 @@
 #include "arch/state_delta.hh"
 #include "distill/distiller.hh"
 #include "exec/context.hh"
+#include "exec/decode_cache.hh"
 #include "exec/executor.hh"
+#include "sim/logging.hh"
 
 namespace mssp
 {
@@ -40,9 +43,11 @@ enum class MasterStep : uint8_t
 };
 
 /** The master core. */
-class MasterCore : public ExecContext
+class MasterCore final : public ExecContext
 {
   public:
+    /** @p dist must outlive the core (the predecode cache is keyed by
+     *  its immutable image). */
     MasterCore(const DistilledProgram &dist, const ArchState &arch)
         : dist_(dist), arch_(arch)
     {
@@ -86,7 +91,42 @@ class MasterCore : public ExecContext
         uint32_t endVisitsForPrev = 1;
         std::shared_ptr<const StateDelta> checkpoint;
     };
-    MasterStep step(ForkInfo *fork_out);
+    /** Inline: called once per master instruction on the machine's
+     *  per-cycle loop; the FORK case is out of line (stepFork). */
+    MasterStep
+    step(ForkInfo *fork_out)
+    {
+        MSSP_ASSERT(running());
+        const Instruction &inst = decode_.at(pc_);
+        if (inst.op == Opcode::Fork)
+            return stepFork(inst, fork_out);
+
+        StepResult res = executeDecodedOn(pc_, inst, *this);
+
+        if (res.status == StepStatus::Ok && inst.op == Opcode::Jalr &&
+            res.nextPc < DistilledCodeBase &&
+            !translateJalr(res)) {
+            faulted_ = true;
+            return MasterStep::Faulted;
+        }
+
+        switch (res.status) {
+          case StepStatus::Ok:
+            pc_ = res.nextPc;
+            ++total_insts_;
+            ++insts_since_restart_;
+            return MasterStep::Executed;
+          case StepStatus::Halted:
+            halted_ = true;
+            ++total_insts_;
+            ++insts_since_restart_;
+            return MasterStep::Halted;
+          case StepStatus::Illegal:
+          default:
+            faulted_ = true;
+            return MasterStep::Faulted;
+        }
+    }
 
     /** Arrivals required at site i before it spawns (per-site
      *  interval times the machine-wide fork interval). */
@@ -98,8 +138,14 @@ class MasterCore : public ExecContext
     /** Total instructions executed (all epochs). */
     uint64_t totalInsts() const { return total_insts_; }
 
-    /** Current write-delta size (checkpoint cost model + tests). */
-    size_t deltaSize() const { return delta_.size(); }
+    /** Current write-delta size (checkpoint cost model + tests):
+     *  buffered memory writes plus dirty registers. */
+    size_t
+    deltaSize() const
+    {
+        return delta_.size() +
+               static_cast<size_t>(__builtin_popcount(dirty_regs_));
+    }
 
     /**
      * Drop delta entries whose value equals current architected state
@@ -116,8 +162,11 @@ class MasterCore : public ExecContext
     void
     writeReg(unsigned r, uint32_t v) override
     {
+        // Register writes only flip a dirty bit; the write-delta map
+        // holds memory cells. Register cells are materialized from
+        // regs_ + dirty_regs_ when a checkpoint is snapshotted.
         regs_[r] = v;
-        delta_.set(makeRegCell(r), v);
+        dirty_regs_ |= 1u << r;
     }
     uint32_t
     readMem(uint32_t addr) override
@@ -151,18 +200,61 @@ class MasterCore : public ExecContext
   private:
     const DistilledProgram &dist_;
     const ArchState &arch_;
+    /** Predecode cache over the distilled image (private I-space). */
+    DecodeCache decode_{dist_.prog};
+
+    /** Build the checkpoint snapshot: buffered memory writes plus
+     *  every dirty register's current value. */
+    std::shared_ptr<const StateDelta> snapshotCheckpoint() const;
+
+    /** The FORK case of step() (arrival counting + spawn decision). */
+    MasterStep stepFork(const Instruction &inst, ForkInfo *fork_out);
+
+    /** Map an indirect jump into original code back into the
+     *  distilled image. @retval false when there is no mapping. */
+    bool translateJalr(StepResult &res);
 
     std::array<uint32_t, NumRegs> regs_;
     uint32_t pc_ = 0;
+    /** Buffered *memory* writes since restart (registers are tracked
+     *  by dirty_regs_ and live in regs_). */
     StateDelta delta_;
+    /** Bit r set: register r was written since the last restart and
+     *  its value differs (conservatively) from architected state. */
+    uint32_t dirty_regs_ = 0;
 
     bool running_ = false;
     bool halted_ = false;
     bool faulted_ = false;
     bool first_fork_pending_ = false;
 
-    /** Arrivals per fork-site original PC since the last spawn. */
-    std::map<uint32_t, uint32_t> site_arrivals_;
+    /** Arrivals per fork-site original PC since the last spawn. The
+     *  handful of live sites makes a linearly-scanned flat vector
+     *  cheaper than a node-based map (no allocation per fork). */
+    std::vector<std::pair<uint32_t, uint32_t>> site_arrivals_;
+
+    /** Arrival count for @p orig_pc (0 when never seen). */
+    uint32_t
+    siteArrivals(uint32_t orig_pc) const
+    {
+        for (const auto &[pc, count] : site_arrivals_) {
+            if (pc == orig_pc)
+                return count;
+        }
+        return 0;
+    }
+
+    /** Record one arrival at @p orig_pc; returns the new count. */
+    uint32_t
+    bumpSiteArrivals(uint32_t orig_pc)
+    {
+        for (auto &[pc, count] : site_arrivals_) {
+            if (pc == orig_pc)
+                return ++count;
+        }
+        site_arrivals_.push_back({orig_pc, 1});
+        return 1;
+    }
     /** Fork-site executions since the last spawn (interval policy). */
     unsigned forks_seen_since_spawn_ = 0;
     unsigned fork_interval_ = 1;

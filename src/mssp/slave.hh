@@ -9,6 +9,11 @@
  * Every first read of a cell is recorded in the task's live-in set;
  * the verify/commit unit later checks that set against architected
  * state, which is exactly the paper's memoization-style commit test.
+ *
+ * This is the machine's dominant instruction path, so it runs
+ * devirtualized (TaskContext is final), fetches through the shared
+ * predecode cache of the original image, and captures live-ins with a
+ * single hash probe (StateDelta's lookup/insertAt cursor).
  */
 
 #ifndef MSSP_MSSP_SLAVE_HH
@@ -16,20 +21,21 @@
 
 #include <cstdint>
 #include <memory>
-#include <set>
 
 #include "arch/arch_state.hh"
 #include "arch/mmio.hh"
 #include "exec/context.hh"
+#include "exec/decode_cache.hh"
 #include "exec/executor.hh"
 #include "mssp/config.hh"
+#include "mssp/fork_sites.hh"
 #include "mssp/task.hh"
 
 namespace mssp
 {
 
 /** ExecContext for one task on one slave. */
-class TaskContext : public ExecContext
+class TaskContext final : public ExecContext
 {
   public:
     TaskContext(Task &task, const ArchState &arch,
@@ -55,17 +61,18 @@ class TaskContext : public ExecContext
     {
         if (auto v = task_.liveOut.get(cell))
             return *v;
-        if (auto v = task_.liveIn.get(cell))
-            return *v;
-        uint32_t value;
+        // Live-in capture probes once: the lookup cursor doubles as
+        // the insert position for the read-through value.
+        StateDelta::Cursor c = task_.liveIn.lookup(cell);
+        if (c.found)
+            return task_.liveIn.valueAt(c);
         if (task_.checkpoint) {
             if (auto v = task_.checkpoint->get(cell)) {
-                value = *v;
-                task_.liveIn.set(cell, value);
-                return value;
+                task_.liveIn.insertAt(c, cell, *v);
+                return *v;
             }
         }
-        value = arch_.readCell(cell);
+        uint32_t value = arch_.readCell(cell);
         ++task_.archReads;
         // L1 filter: resident memory lines are free; misses (and all
         // architected register-file reads) pay the read-through.
@@ -74,13 +81,22 @@ class TaskContext : public ExecContext
             charged = !l1_->access(cellIndex(cell));
         if (charged)
             ++archReadsLastStep;
-        task_.liveIn.set(cell, value);
+        task_.liveIn.insertAt(c, cell, value);
         return value;
     }
 
     uint32_t readReg(unsigned r) override
     {
-        return readCell(makeRegCell(r));
+        // Repeat register reads hit the task's register cache; only
+        // the first touch of r runs the full read (and records the
+        // live-in). The cached value tracks liveOut/liveIn exactly.
+        uint32_t bit = 1u << r;
+        if (task_.regValid & bit)
+            return task_.regCache[r];
+        uint32_t v = readCell(makeRegCell(r));
+        task_.regCache[r] = v;
+        task_.regValid |= bit;
+        return v;
     }
     void
     writeReg(unsigned r, uint32_t v) override
@@ -88,6 +104,8 @@ class TaskContext : public ExecContext
         if (mmioTouched)
             return;   // discard the aborted step's register write
         task_.liveOut.set(makeRegCell(r), v);
+        task_.regCache[r] = v;
+        task_.regValid |= 1u << r;
     }
     uint32_t
     readMem(uint32_t addr) override
@@ -131,9 +149,9 @@ class SlaveCore
 {
   public:
     SlaveCore(int id, const ArchState &arch, const MsspConfig &cfg,
-              const std::set<uint32_t> &fork_site_pcs)
+              const ForkSiteSet &fork_site_pcs, DecodeCache &decode)
         : id_(id), arch_(arch), cfg_(cfg),
-          fork_site_pcs_(fork_site_pcs)
+          fork_site_pcs_(fork_site_pcs), decode_(decode)
     {
         if (cfg.useSlaveL1)
             l1_ = std::make_unique<Cache>(cfg.slaveL1);
@@ -164,9 +182,34 @@ class SlaveCore
      * Advance one cycle. Executes up to slaveIpc instructions,
      * honoring arch-read stalls and fork-site pauses.
      *
+     * The idle case inlines into the machine's slave loop (most
+     * slaves are idle most cycles); the execute path is out of line.
+     *
      * @return instructions executed this cycle (for stats)
      */
-    unsigned tick();
+    unsigned
+    tick()
+    {
+        if (!task_) {
+            ++idle_cycles_;
+            return 0;
+        }
+        if (task_->done())
+            return 0;   // waiting for the commit unit
+        if (stall_ > 0) {
+            --stall_;
+            ++arch_stall_cycles_;
+            return 0;
+        }
+        if (task_->pausedAtForkSite && !task_->endKnown &&
+            !task_->runToHalt) {
+            // Still waiting for the master to reveal the end
+            // condition; same outcome as tickActive's pause path.
+            ++pause_cycles_;
+            return 0;
+        }
+        return tickActive();
+    }
 
     /** Flash-invalidate the speculative L1 (squash/serialize). */
     void
@@ -187,13 +230,18 @@ class SlaveCore
     uint64_t idleCycles() const { return idle_cycles_; }
 
   private:
+    /** The non-idle part of tick() (inline: once per busy slave per
+     *  cycle, and the call sits on the machine's innermost loop). */
+    unsigned tickActive();
+
     /** Re-check pause/end conditions when new end info arrives. */
     void refreshEndCondition();
 
     int id_;
     const ArchState &arch_;
     const MsspConfig &cfg_;
-    const std::set<uint32_t> &fork_site_pcs_;
+    const ForkSiteSet &fork_site_pcs_;
+    DecodeCache &decode_;   ///< shared cache of the original image
 
     Task *task_ = nullptr;
     std::unique_ptr<Cache> l1_;
@@ -204,6 +252,95 @@ class SlaveCore
     uint64_t pause_cycles_ = 0;
     uint64_t idle_cycles_ = 0;
 };
+
+inline void
+SlaveCore::refreshEndCondition()
+{
+    Task &t = *task_;
+    if (!t.pausedAtForkSite)
+        return;
+    if (t.runToHalt) {
+        t.pausedAtForkSite = false;
+        return;
+    }
+    if (!t.endKnown)
+        return;   // still waiting for the master to fork
+    t.pausedAtForkSite = false;
+    if (t.pc == t.endPc) {
+        ++t.visits;
+        if (t.visits >= t.endVisits)
+            t.end = TaskEnd::ReachedEnd;
+    }
+}
+
+inline unsigned
+SlaveCore::tickActive()
+{
+    Task &t = *task_;
+    if (t.pausedAtForkSite) {
+        refreshEndCondition();
+        if (t.pausedAtForkSite || t.done()) {
+            if (t.pausedAtForkSite)
+                ++pause_cycles_;
+            return 0;
+        }
+    }
+
+    budget_ += cfg_.slaveIpc;
+    unsigned executed = 0;
+    TaskContext ctx(t, arch_, l1_.get());
+
+    while (budget_ >= 1.0 && !t.done() && !t.pausedAtForkSite &&
+           stall_ == 0) {
+        budget_ -= 1.0;
+        ctx.beginStep();
+        StepResult res =
+            executeDecodedOn(t.pc, decode_.at(t.pc), ctx);
+
+        if (ctx.mmioTouched) {
+            // Device access: the step was suppressed. The task ends
+            // *before* the access; the machine will serialize it.
+            t.end = TaskEnd::MmioStop;
+            break;
+        }
+        if (res.status == StepStatus::Illegal) {
+            t.end = TaskEnd::Faulted;
+            break;
+        }
+        ++t.instCount;
+        ++executed;
+        if (res.status == StepStatus::Halted) {
+            t.end = TaskEnd::Halted;
+            break;
+        }
+
+        t.pc = res.nextPc;
+        if (ctx.archReadsLastStep) {
+            stall_ += static_cast<Cycle>(ctx.archReadsLastStep) *
+                      cfg_.archReadLatency;
+        }
+
+        // Arrival checks: end condition and fork-site pauses.
+        if (t.endKnown) {
+            if (t.pc == t.endPc) {
+                ++t.visits;
+                if (t.visits >= t.endVisits) {
+                    t.end = TaskEnd::ReachedEnd;
+                    break;
+                }
+            }
+        } else if (!t.runToHalt && fork_site_pcs_.contains(t.pc)) {
+            t.pausedAtForkSite = true;
+            break;
+        }
+
+        if (t.instCount >= cfg_.maxTaskInsts) {
+            t.end = TaskEnd::Overrun;
+            break;
+        }
+    }
+    return executed;
+}
 
 } // namespace mssp
 

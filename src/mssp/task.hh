@@ -13,11 +13,13 @@
 #ifndef MSSP_MSSP_TASK_HH
 #define MSSP_MSSP_TASK_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
 #include "arch/state_delta.hh"
 #include "exec/context.hh"
+#include "isa/isa.hh"
 
 namespace mssp
 {
@@ -84,10 +86,47 @@ struct Task
     /** Number of reads that went through to architected state. */
     uint64_t archReads = 0;
 
+    // -- Register fast path (pure optimization) -------------------------
+    /** When bit r of regValid is set, regCache[r] holds the value the
+     *  task currently observes for register r (its live-out if it has
+     *  written r, otherwise its recorded live-in). Lets the slave skip
+     *  the delta-map probes on repeat register accesses; the
+     *  authoritative record stays in liveIn/liveOut. */
+    std::array<uint32_t, NumRegs> regCache{};
+    uint32_t regValid = 0;
+
     bool
     done() const
     {
         return end != TaskEnd::None;
+    }
+
+    /**
+     * Return the task to its freshly-constructed state, keeping the
+     * flat maps' (and output buffer's) allocated capacity so recycled
+     * tasks skip the early grow-rehash churn entirely.
+     */
+    void
+    reset()
+    {
+        id = 0;
+        startPc = 0;
+        endKnown = false;
+        endPc = 0;
+        endVisits = 1;
+        runToHalt = false;
+        checkpoint.reset();
+        liveIn.clear();
+        liveOut.clear();
+        outputs.clear();
+        pc = 0;
+        visits = 0;
+        instCount = 0;
+        end = TaskEnd::None;
+        pausedAtForkSite = false;
+        slaveId = -1;
+        archReads = 0;
+        regValid = 0;   // regCache is guarded by regValid bits
     }
 };
 

@@ -3,6 +3,7 @@
 #include "arch/arch_state.hh"
 #include "arch/mmio.hh"
 #include "exec/context.hh"
+#include "exec/decode_cache.hh"
 #include "exec/executor.hh"
 
 namespace mssp
@@ -12,7 +13,7 @@ namespace
 {
 
 /** ExecContext that records memory observations for one step. */
-class ProfilingContext : public ExecContext
+class ProfilingContext final : public ExecContext
 {
   public:
     explicit ProfilingContext(ArchState &state) : state_(state) {}
@@ -87,13 +88,14 @@ profileProgram(const Program &prog, uint64_t max_insts)
     ArchState state;
     state.loadProgram(prog);
     ProfilingContext ctx(state);
+    DecodeCache decode(prog);
     ProfileData data;
     ctx.writtenAddrs = &data.writtenAddrs;
 
     for (uint64_t i = 0; i < max_insts; ++i) {
         uint32_t pc = state.pc();
         ctx.beginStep();
-        StepResult res = stepAt(pc, ctx);
+        StepResult res = executeDecodedOn(pc, decode.at(pc), ctx);
 
         if (res.status == StepStatus::Illegal)
             break;

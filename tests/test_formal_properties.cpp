@@ -116,7 +116,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SuperimposeLaws,
                                            0xdeadbeef));
 
 /** A delta-backed ExecContext used for determinism checks. */
-class DeltaContext : public ExecContext
+class DeltaContext final : public ExecContext
 {
   public:
     explicit DeltaContext(StateDelta state) : state_(std::move(state))

@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
-#include <set>
+#include <deque>
+#include <vector>
 
 #include "asm/assembler.hh"
+#include "exec/decode_cache.hh"
 #include "mssp/slave.hh"
 
 namespace mssp
@@ -21,13 +23,24 @@ struct SlaveFixture : public ::testing::Test
 {
     ArchState arch;
     MsspConfig cfg;
-    std::set<uint32_t> fork_sites;
+    std::vector<uint32_t> fork_sites;
 
     void
     loadSource(const std::string &src)
     {
         prog = assemble(src);
         arch.loadProgram(prog);
+    }
+
+    /** Build a slave over the loaded program; the fork-site set and
+     *  decode cache it references live in the fixture (deques keep
+     *  earlier slaves' references valid). */
+    SlaveCore
+    makeSlave(ArchState &a, const MsspConfig &c)
+    {
+        sites_.emplace_back(fork_sites);
+        decodes_.emplace_back(prog);
+        return SlaveCore(0, a, c, sites_.back(), decodes_.back());
     }
 
     Task
@@ -49,6 +62,8 @@ struct SlaveFixture : public ::testing::Test
     }
 
     Program prog;
+    std::deque<ForkSiteSet> sites_;
+    std::deque<DecodeCache> decodes_;
 };
 
 TEST_F(SlaveFixture, ReadPriorityLocalThenCheckpointThenArch)
@@ -94,7 +109,7 @@ TEST_F(SlaveFixture, FetchIsNotALiveIn)
 {
     loadSource("addi t0, zero, 4\nhalt\n");
     Task t = makeTask(prog.entry());
-    SlaveCore slave(0, arch, cfg, fork_sites);
+    SlaveCore slave = makeSlave(arch, cfg);
     runSlave(slave, t);
     EXPECT_EQ(t.end, TaskEnd::Halted);
     for (const auto &[cell, value] : t.liveIn)
@@ -113,7 +128,7 @@ TEST_F(SlaveFixture, RunsToHaltAndCountsInstructions)
         "    halt\n");
     Task t = makeTask(prog.entry());
     t.runToHalt = true;
-    SlaveCore slave(0, arch, cfg, fork_sites);
+    SlaveCore slave = makeSlave(arch, cfg);
     runSlave(slave, t);
     EXPECT_EQ(t.end, TaskEnd::Halted);
     EXPECT_EQ(t.instCount, 1 + 20 + 1 + 1u);
@@ -130,10 +145,10 @@ TEST_F(SlaveFixture, PausesAtForkSiteUntilEndKnown)
         "    j head\n");
     uint32_t head = 0;
     ASSERT_TRUE(prog.lookupSymbol("head", head));
-    fork_sites.insert(head);
+    fork_sites.push_back(head);
 
     Task t = makeTask(head);
-    SlaveCore slave(0, arch, cfg, fork_sites);
+    SlaveCore slave = makeSlave(arch, cfg);
     slave.assign(&t);
     for (int i = 0; i < 50; ++i)
         slave.tick();
@@ -162,13 +177,13 @@ TEST_F(SlaveFixture, EndVisitCountingWithKnownEnd)
         "    j head\n");
     uint32_t head = 0;
     ASSERT_TRUE(prog.lookupSymbol("head", head));
-    fork_sites.insert(head);
+    fork_sites.push_back(head);
 
     Task t = makeTask(head);
     t.endKnown = true;
     t.endPc = head;
     t.endVisits = 3;
-    SlaveCore slave(0, arch, cfg, fork_sites);
+    SlaveCore slave = makeSlave(arch, cfg);
     runSlave(slave, t);
     EXPECT_EQ(t.end, TaskEnd::ReachedEnd);
     EXPECT_EQ(t.instCount, 6u);   // 3 iterations of 2 insts
@@ -184,11 +199,11 @@ TEST_F(SlaveFixture, RunToHaltIgnoresForkSites)
         "    halt\n");
     uint32_t head = 0;
     ASSERT_TRUE(prog.lookupSymbol("head", head));
-    fork_sites.insert(head);
+    fork_sites.push_back(head);
 
     Task t = makeTask(head);
     t.runToHalt = true;
-    SlaveCore slave(0, arch, cfg, fork_sites);
+    SlaveCore slave = makeSlave(arch, cfg);
     runSlave(slave, t);
     EXPECT_EQ(t.end, TaskEnd::Halted);
 }
@@ -199,7 +214,7 @@ TEST_F(SlaveFixture, OverrunCapFires)
     cfg.maxTaskInsts = 100;
     Task t = makeTask(prog.entry());
     t.runToHalt = true;
-    SlaveCore slave(0, arch, cfg, fork_sites);
+    SlaveCore slave = makeSlave(arch, cfg);
     runSlave(slave, t);
     EXPECT_EQ(t.end, TaskEnd::Overrun);
     EXPECT_EQ(t.instCount, 100u);
@@ -210,7 +225,7 @@ TEST_F(SlaveFixture, IllegalInstructionFaultsTask)
     loadSource("j nowhere\nnowhere:\n");
     Task t = makeTask(prog.entry());
     t.runToHalt = true;
-    SlaveCore slave(0, arch, cfg, fork_sites);
+    SlaveCore slave = makeSlave(arch, cfg);
     runSlave(slave, t);
     EXPECT_EQ(t.end, TaskEnd::Faulted);
     EXPECT_EQ(t.instCount, 1u);   // the jump executed; the fault not
@@ -236,7 +251,7 @@ TEST_F(SlaveFixture, ArchReadsStallTheSlave)
     cfg.useSlaveL1 = false;   // measure raw read-through charging
     Task t = makeTask(prog.entry());
     t.runToHalt = true;
-    SlaveCore slave(0, arch, cfg, fork_sites);
+    SlaveCore slave = makeSlave(arch, cfg);
     slave.assign(&t);
     unsigned ticks = 0;
     while (!t.done() && ticks < 10000) {
@@ -255,7 +270,7 @@ TEST_F(SlaveFixture, ArchReadsStallTheSlave)
     arch2.loadProgram(prog);
     Task t2 = makeTask(prog.entry());
     t2.runToHalt = true;
-    SlaveCore slave2(0, arch2, cached, fork_sites);
+    SlaveCore slave2 = makeSlave(arch2, cached);
     slave2.assign(&t2);
     unsigned ticks2 = 0;
     while (!t2.done() && ticks2 < 10000) {
@@ -271,7 +286,7 @@ TEST_F(SlaveFixture, ArchReadsStallTheSlave)
 TEST_F(SlaveFixture, IdleSlaveCountsIdleCycles)
 {
     loadSource("halt\n");
-    SlaveCore slave(0, arch, cfg, fork_sites);
+    SlaveCore slave = makeSlave(arch, cfg);
     EXPECT_TRUE(slave.idle());
     slave.tick();
     slave.tick();

@@ -7,11 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <unordered_map>
+
 #include "arch/arch_state.hh"
 #include "arch/cell.hh"
 #include "arch/paged_mem.hh"
 #include "arch/state_delta.hh"
 #include "asm/program.hh"
+#include "sim/rng.hh"
 
 namespace mssp
 {
@@ -99,6 +103,121 @@ TEST(StateDelta, SortedDeterministic)
     EXPECT_EQ(v[2].first, makeMemCell(5));
 }
 
+/** A random CellId drawn from a small universe (forces collisions). */
+CellId
+randomCell(Rng &rng)
+{
+    switch (rng.below(3)) {
+      case 0:
+        return makeRegCell(static_cast<unsigned>(rng.below(32)));
+      case 1:
+        return makeMemCell(static_cast<uint32_t>(rng.below(64)));
+      default:
+        return PcCell;
+    }
+}
+
+// Model-based property test of the open-addressing flat map: a long
+// random op sequence (set / setIfAbsent / erase / clear / grow) must
+// agree with std::unordered_map at every point, across rehashes and
+// tombstone reuse.
+TEST(StateDeltaFlatMap, AgreesWithReferenceModel)
+{
+    Rng rng(0xfeedu);
+    StateDelta d;
+    std::unordered_map<CellId, uint32_t> model;
+
+    for (int step = 0; step < 20000; ++step) {
+        CellId cell = randomCell(rng);
+        auto value = static_cast<uint32_t>(rng.next());
+        switch (rng.below(6)) {
+          case 0:
+          case 1:
+            d.set(cell, value);
+            model[cell] = value;
+            break;
+          case 2: {
+            bool inserted = d.setIfAbsent(cell, value);
+            bool model_inserted = model.emplace(cell, value).second;
+            ASSERT_EQ(inserted, model_inserted);
+            break;
+          }
+          case 3:
+            d.erase(cell);
+            model.erase(cell);
+            break;
+          case 4: {
+            auto got = d.get(cell);
+            auto it = model.find(cell);
+            ASSERT_EQ(got.has_value(), it != model.end());
+            if (got)
+                ASSERT_EQ(*got, it->second);
+            break;
+          }
+          default:
+            if (rng.chance(0.01)) {
+                d.clear();
+                model.clear();
+            }
+            break;
+        }
+        ASSERT_EQ(d.size(), model.size());
+    }
+
+    // Iteration visits exactly the live entries.
+    size_t seen = 0;
+    for (const auto &[cell, value] : d) {
+        auto it = model.find(cell);
+        ASSERT_NE(it, model.end());
+        ASSERT_EQ(value, it->second);
+        ++seen;
+    }
+    ASSERT_EQ(seen, model.size());
+}
+
+// The algebraic laws the commit unit relies on (the randomized law
+// suite lives in test_formal_properties.cpp; this instance targets
+// flat-map internals: collisions, growth, tombstones).
+TEST(StateDeltaFlatMap, LawsSurviveCollisionsAndTombstones)
+{
+    Rng rng(0x5eedu);
+    for (int trial = 0; trial < 200; ++trial) {
+        StateDelta a, b;
+        std::map<CellId, uint32_t> ma, mb;
+        for (int i = 0; i < 50; ++i) {
+            CellId ca = randomCell(rng);
+            CellId cb = randomCell(rng);
+            auto va = static_cast<uint32_t>(rng.next());
+            auto vb = static_cast<uint32_t>(rng.next());
+            a.set(ca, va);
+            ma[ca] = va;
+            b.set(cb, vb);
+            mb[cb] = vb;
+        }
+        // Churn: erase some of a's cells again (leaves tombstones).
+        for (int i = 0; i < 20; ++i) {
+            CellId c = randomCell(rng);
+            a.erase(c);
+            ma.erase(c);
+        }
+
+        // superimposed(a, b): b's bindings win, a's fill the rest.
+        StateDelta c = StateDelta::superimposed(a, b);
+        for (const auto &[cell, value] : mb)
+            ASSERT_EQ(c.get(cell).value(), value);
+        for (const auto &[cell, value] : ma) {
+            if (!mb.count(cell))
+                ASSERT_EQ(c.get(cell).value(), value);
+        }
+        ASSERT_EQ(c.size(), StateDelta::superimposed(b, a).size());
+
+        // a and b are each consistent with the superimposition where
+        // it retained their bindings; c covers b entirely.
+        ASSERT_TRUE(b.consistentWith(c));
+        ASSERT_EQ(a == b, ma == mb);
+    }
+}
+
 TEST(PagedMem, DefaultZeroAndWriteAllocates)
 {
     PagedMem mem;
@@ -138,6 +257,27 @@ TEST(PagedMem, NonzeroWordsSorted)
     EXPECT_EQ(words[0], (std::pair<uint32_t, uint32_t>{5, 2}));
     EXPECT_EQ(words[1], (std::pair<uint32_t, uint32_t>{100, 1}));
     EXPECT_EQ(words[2], (std::pair<uint32_t, uint32_t>{0x50000, 3}));
+}
+
+TEST(PagedMem, CopyAssignReusesPagesAndDeepCopies)
+{
+    PagedMem a;
+    a.write(10, 1);
+    a.write(0x10000, 2);
+    PagedMem b;
+    b.write(10, 99);         // page to be reused
+    b.write(0x90000, 42);    // page absent from a: must go away
+    b = a;
+    EXPECT_EQ(b.read(10), 1u);
+    EXPECT_EQ(b.read(0x10000), 2u);
+    EXPECT_EQ(b.read(0x90000), 0u);
+    EXPECT_EQ(b.numPages(), a.numPages());
+    // Deep copy: mutating one is invisible to the other (the MRU
+    // fast path must not alias across objects).
+    b.write(10, 7);
+    EXPECT_EQ(a.read(10), 1u);
+    a.write(0x10000, 5);
+    EXPECT_EQ(b.read(0x10000), 2u);
 }
 
 TEST(ArchState, RegisterZeroHardwired)

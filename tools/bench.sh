@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Simulator-throughput benchmark harness.
+#
+# Builds the Release bench binary, runs the micro_simspeed suite with
+# JSON output, and compares items/sec against the committed
+# BENCH_simspeed.json (fails on a >10% regression; always reports the
+# speedup vs the recorded seed baseline).
+#
+#   tools/bench.sh                  # run + compare
+#   tools/bench.sh --update "msg"   # run + rewrite 'current' section
+#   MSSP_BENCH_MIN_TIME=0.05 tools/bench.sh --tolerance 0.5
+#                                   # quick smoke (used by check.sh)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+MIN_TIME=${MSSP_BENCH_MIN_TIME:-0.5}
+update=0
+label="updated"
+tolerance_args=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --update)
+        update=1
+        [[ $# -gt 1 ]] && { label="$2"; shift; }
+        ;;
+      --tolerance)
+        tolerance_args=(--tolerance "$2"); shift
+        ;;
+      *)
+        echo "usage: tools/bench.sh [--update [label]] [--tolerance X]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+echo "== build (Release, build-bench)"
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench -j"$JOBS" --target micro_simspeed
+
+out=$(mktemp /tmp/mssp_bench.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+
+echo "== run micro_simspeed (min_time ${MIN_TIME}s per benchmark)"
+build-bench/bench/micro_simspeed \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out="$out" --benchmark_out_format=json \
+    --benchmark_format=console
+
+if [[ $update == 1 ]]; then
+    python3 tools/bench_compare.py BENCH_simspeed.json "$out" \
+        --update --label "$label"
+else
+    python3 tools/bench_compare.py BENCH_simspeed.json "$out" \
+        "${tolerance_args[@]}"
+fi

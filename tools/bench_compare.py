@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against BENCH_simspeed.json.
+
+The committed file has two sections:
+
+  baseline  the recorded seed numbers (never auto-updated): speedups
+            are always reported against these, so "how much faster is
+            the simulator than when we started measuring" is one
+            command away.
+  current   the numbers committed with the most recent optimization
+            work: the regression gate. A fresh run whose items/sec
+            drops more than --tolerance below any committed current
+            number fails the compare.
+
+Usage:
+  bench_compare.py BENCH_simspeed.json run.json [--tolerance 0.10]
+  bench_compare.py BENCH_simspeed.json run.json --update [--label L]
+
+--update rewrites the file's "current" section from run.json (the
+baseline is preserved verbatim).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_run(path):
+    """name -> items_per_second from a google-benchmark JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        if "items_per_second" not in b:
+            continue
+        out[b["name"]] = {
+            "items_per_second": b["items_per_second"],
+            "real_time_ns": b["real_time"],
+            "iterations": b["iterations"],
+        }
+    return out
+
+
+def fmt(ips):
+    return f"{ips:14.4g}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("reference", help="committed BENCH_simspeed.json")
+    ap.add_argument("run", help="fresh google-benchmark JSON output")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional drop vs committed current "
+                         "(default 0.10)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the reference's 'current' section "
+                         "from the run instead of comparing")
+    ap.add_argument("--label", default="updated",
+                    help="label recorded with --update")
+    args = ap.parse_args()
+
+    with open(args.reference) as f:
+        ref = json.load(f)
+    run = load_run(args.run)
+    if not run:
+        print("bench_compare: no benchmarks in run output", file=sys.stderr)
+        return 1
+
+    if args.update:
+        ref["current"] = {"label": args.label, "benchmarks": run}
+        with open(args.reference, "w") as f:
+            json.dump(ref, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench_compare: updated 'current' "
+              f"({len(run)} benchmarks) in {args.reference}")
+        return 0
+
+    baseline = ref.get("baseline", {}).get("benchmarks", {})
+    current = ref.get("current", {}).get("benchmarks", {})
+    if not current:
+        print("bench_compare: reference has no 'current' section",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"{'benchmark':<20}{'baseline':>14}{'committed':>14}"
+          f"{'this run':>14}{'vs base':>9}{'vs commit':>10}")
+    for name, cur in sorted(current.items()):
+        if name not in run:
+            failures.append(f"{name}: missing from this run")
+            continue
+        now = run[name]["items_per_second"]
+        committed = cur["items_per_second"]
+        base = baseline.get(name, {}).get("items_per_second")
+        vs_base = f"{now / base:7.2f}x" if base else "      --"
+        ratio = now / committed
+        print(f"{name:<20}{fmt(base) if base else '--':>14}"
+              f"{fmt(committed)}{fmt(now)}{vs_base:>9}{ratio:9.2f}x")
+        if now < committed * (1.0 - args.tolerance):
+            failures.append(
+                f"{name}: {now:.4g} items/s is "
+                f"{(1 - ratio) * 100:.1f}% below committed "
+                f"{committed:.4g} (tolerance "
+                f"{args.tolerance * 100:.0f}%)")
+
+    if failures:
+        print("\nbench_compare: REGRESSION", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: OK (no benchmark more than "
+          f"{args.tolerance * 100:.0f}% below committed numbers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Repo health check: formatting (advisory), a normal build + ctest, a
 # lint-gate smoke test on a deliberately corrupted distilled object,
-# and a second build + ctest under ASan+UBSan (MSSP_SANITIZE).
+# a Release-build benchmark smoke run (regression gate), and a second
+# build + ctest under ASan+UBSan (MSSP_SANITIZE).
 #
 #   tools/check.sh [--fast]     # --fast skips the sanitizer pass
+#   MSSP_SKIP_BENCH=1 tools/check.sh    # skip the benchmark smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +47,17 @@ if build/tools/mssp-lint "$tmp/prog.s" --image "$tmp/bad.mdo" \
     exit 1
 fi
 echo "corrupted image rejected, as it should be"
+
+if [[ "${MSSP_SKIP_BENCH:-0}" == "1" ]]; then
+    echo "== skipping benchmark smoke (MSSP_SKIP_BENCH=1)"
+else
+    # Quick run with a wide tolerance: this catches builds that fell
+    # off a performance cliff, not few-percent drift (the machine is
+    # shared; tools/bench.sh with the default tolerance is the real
+    # comparison).
+    echo "== benchmark smoke (Release, quick run)"
+    MSSP_BENCH_MIN_TIME=0.05 tools/bench.sh --tolerance 0.5
+fi
 
 if [[ $fast == 1 ]]; then
     echo "== skipping sanitizer pass (--fast)"
