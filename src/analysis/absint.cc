@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Abstract interpreter implementation (see absint.hh).
+ */
+
+#include "analysis/absint.hh"
+
+#include <bit>
+#include <deque>
+
+#include "analysis/dataflow.hh"
+#include "arch/mmio.hh"
+#include "exec/executor.hh"
+#include "util/string_utils.hh"
+
+namespace mssp::analysis
+{
+
+std::string
+AbsVal::toString() const
+{
+    if (isBottom())
+        return "none";
+    if (isTop())
+        return "unknown";
+    if (isConst())
+        return strfmt("0x%x", cval());
+    return strfmt("[%lld, %lld]", static_cast<long long>(lo),
+                  static_cast<long long>(hi));
+}
+
+namespace
+{
+
+/** Signed a < b over intervals. */
+TriState
+sltLess(const AbsVal &a, const AbsVal &b)
+{
+    if (a.hi < b.lo)
+        return TriState::True;
+    if (a.lo >= b.hi)
+        return TriState::False;
+    return TriState::Unknown;
+}
+
+/**
+ * Unsigned a < b. Signed-nonnegative values form the low unsigned
+ * half, signed-negative ones the high half; within one half the
+ * signed order is the unsigned order.
+ */
+TriState
+ultLess(const AbsVal &a, const AbsVal &b)
+{
+    bool a_low = a.lo >= 0, a_high = a.hi < 0;
+    bool b_low = b.lo >= 0, b_high = b.hi < 0;
+    if ((a_low && b_low) || (a_high && b_high))
+        return sltLess(a, b);
+    if (a_low && b_high)
+        return TriState::True;
+    if (a_high && b_low)
+        return TriState::False;
+    return TriState::Unknown;
+}
+
+AbsVal
+fromTri(TriState t)
+{
+    switch (t) {
+      case TriState::False: return AbsVal::constant(0);
+      case TriState::True: return AbsVal::constant(1);
+      case TriState::Unknown: break;
+    }
+    return AbsVal::range(0, 1);
+}
+
+/** Abstract ALU transfer. Constant operands delegate to evalAlu so
+ *  the abstraction agrees with the executor by construction. */
+AbsVal
+absAlu(Opcode op, const AbsVal &a, const AbsVal &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return AbsVal::bottom();
+
+    // Lui only reads its (always-constant) immediate operand.
+    if (op == Opcode::Lui && b.isConst()) {
+        uint32_t out;
+        evalAlu(op, 0, b.cval(), out);
+        return AbsVal::constant(out);
+    }
+    if (a.isConst() && b.isConst()) {
+        uint32_t out;
+        if (evalAlu(op, a.cval(), b.cval(), out))
+            return AbsVal::constant(out);
+        return AbsVal::top();
+    }
+
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Addi:
+        return AbsVal::range(a.lo + b.lo, a.hi + b.hi);
+      case Opcode::Sub:
+        return AbsVal::range(a.lo - b.hi, a.hi - b.lo);
+      case Opcode::And:
+      case Opcode::Andi:
+        // Masking by a nonnegative value bounds the result by it.
+        if (a.lo >= 0 && b.lo >= 0)
+            return AbsVal::range(0, std::min(a.hi, b.hi));
+        if (a.lo >= 0)
+            return AbsVal::range(0, a.hi);
+        if (b.lo >= 0)
+            return AbsVal::range(0, b.hi);
+        return AbsVal::top();
+      case Opcode::Or:
+      case Opcode::Ori:
+      case Opcode::Xor:
+      case Opcode::Xori:
+        // Nonnegative operands cannot set bits above the highest
+        // bit of either bound.
+        if (a.lo >= 0 && b.lo >= 0) {
+            auto m = static_cast<uint64_t>(std::max(a.hi, b.hi));
+            return AbsVal::range(
+                0, static_cast<int64_t>(std::bit_ceil(m + 1) - 1));
+        }
+        return AbsVal::top();
+      case Opcode::Sll:
+      case Opcode::Slli:
+        if (b.isConst()) {
+            unsigned s = b.cval() & 31;
+            if (s == 0)
+                return a;
+            if (a.lo >= 0 && (a.hi << s) <= AbsVal::kMax)
+                return AbsVal::range(a.lo << s, a.hi << s);
+        }
+        return AbsVal::top();
+      case Opcode::Srl:
+      case Opcode::Srli:
+        if (b.isConst()) {
+            unsigned s = b.cval() & 31;
+            if (s == 0)
+                return a;
+            if (a.lo >= 0)
+                return AbsVal::range(a.lo >> s, a.hi >> s);
+            // Negative inputs shift in zeros: any result fits
+            // [0, 2^(32-s) - 1], which is int32-representable.
+            return AbsVal::range(0, static_cast<int64_t>(
+                                        0xffffffffull >> s));
+        }
+        return AbsVal::top();
+      case Opcode::Sra:
+      case Opcode::Srai:
+        if (b.isConst()) {
+            unsigned s = b.cval() & 31;
+            return AbsVal::range(a.lo >> s, a.hi >> s);
+        }
+        return AbsVal::top();
+      case Opcode::Slt:
+      case Opcode::Slti:
+        return fromTri(sltLess(a, b));
+      case Opcode::Sltu:
+      case Opcode::Sltiu:
+        return fromTri(ultLess(a, b));
+      default:
+        // Mul/Div/Rem intervals are not worth the wrap analysis.
+        return AbsVal::top();
+    }
+}
+
+/** Abstract address of a load/store: rs1 + sign-extended imm. */
+AbsVal
+memAddr(const AbsState &st, const Instruction &inst)
+{
+    return absAlu(Opcode::Add, st.reg(inst.rs1),
+                  AbsVal::constant(static_cast<uint32_t>(inst.imm)));
+}
+
+} // anonymous namespace
+
+AbsVal
+absMemAddr(const AbsState &st, const Instruction &inst)
+{
+    return memAddr(st, inst);
+}
+
+TriState
+absBranch(Opcode op, const AbsVal &a, const AbsVal &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return TriState::Unknown;
+    switch (op) {
+      case Opcode::Beq:
+        if (a.isConst() && b.isConst())
+            return a.cval() == b.cval() ? TriState::True
+                                        : TriState::False;
+        if (a.hi < b.lo || b.hi < a.lo)
+            return TriState::False;
+        return TriState::Unknown;
+      case Opcode::Bne:
+        return triNot(absBranch(Opcode::Beq, a, b));
+      case Opcode::Blt:
+        return sltLess(a, b);
+      case Opcode::Bge:
+        return triNot(sltLess(a, b));
+      case Opcode::Bltu:
+        return ultLess(a, b);
+      case Opcode::Bgeu:
+        return triNot(ultLess(a, b));
+      default:
+        return TriState::Unknown;
+    }
+}
+
+void
+absStep(uint32_t pc, const Instruction &inst, AbsState &st,
+        const Program *image, const StoreSummary *stores)
+{
+    if (!st.reachable)
+        return;
+    switch (inst.op) {
+      case Opcode::Lw: {
+        AbsVal addr = memAddr(st, inst);
+        AbsVal v = AbsVal::top();
+        // A load from a constant, non-device address no store can
+        // reach always sees the initial image (absent words read 0).
+        if (addr.isConst() && image && stores &&
+            !isMmio(addr.cval()) && !stores->mayWrite(addr.cval())) {
+            v = AbsVal::constant(image->word(addr.cval()));
+        }
+        st.setReg(inst.rd, v);
+        return;
+      }
+      case Opcode::Sw:
+      case Opcode::Out:
+      case Opcode::Nop:
+      case Opcode::Fork:
+      case Opcode::Halt:
+      case Opcode::Illegal:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+        return;
+      case Opcode::Jal:
+      case Opcode::Jalr:
+        st.setReg(inst.rd, AbsVal::constant(pc + 1));
+        return;
+      default: {
+        AbsVal a = st.reg(inst.rs1);
+        AbsVal b = isRegRegAlu(inst.op)
+                       ? st.reg(inst.rs2)
+                       : AbsVal::constant(exec_detail::immOperand(
+                             inst.op, inst.imm));
+        st.setReg(inst.rd, absAlu(inst.op, a, b));
+        return;
+      }
+    }
+}
+
+const BasicBlock *
+containingBlock(const Cfg &cfg, uint32_t pc)
+{
+    const auto &blocks = cfg.blocks();
+    auto it = blocks.upper_bound(pc);
+    if (it == blocks.begin())
+        return nullptr;
+    --it;
+    return pc < it->second.endPc() ? &it->second : nullptr;
+}
+
+namespace
+{
+
+/** The interval/constant domain over whole basic blocks. */
+struct AbsDomain
+{
+    using Value = AbsState;
+
+    const Cfg &cfg;
+    const std::vector<uint32_t> &starts;
+    const Program *image;
+    const StoreSummary *stores;
+    std::vector<bool> is_root;
+
+    /** Widening delay: per-node visit count before bounds that are
+     *  still moving get widened (mutable: transfer/meet are const). */
+    static constexpr unsigned kWidenDelay = 3;
+    mutable std::vector<unsigned> visits;
+
+    AbsDomain(const Cfg &cfg, const std::vector<uint32_t> &starts,
+              const FlowGraph &g, const Program *image,
+              const StoreSummary *stores)
+        : cfg(cfg), starts(starts), image(image), stores(stores),
+          is_root(g.size(), false), visits(g.size(), 0)
+    {
+        is_root[static_cast<size_t>(g.entry)] = true;
+        for (int r : g.roots)
+            is_root[static_cast<size_t>(r)] = true;
+    }
+
+    Value top() const { return AbsState{}; }   // bottom: unreachable
+
+    Value
+    boundary(int n) const
+    {
+        return is_root[static_cast<size_t>(n)] ? AbsState::entry()
+                                               : AbsState{};
+    }
+
+    void
+    meet(Value &into, const Value &from) const
+    {
+        if (!from.reachable)
+            return;
+        if (!into.reachable) {
+            into = from;
+            return;
+        }
+        for (unsigned r = 0; r < NumRegs; ++r)
+            into.regs[r] = into.regs[r].join(from.regs[r]);
+    }
+
+    /** Kill flow along the untaken side of a decided branch. The
+     *  branch writes no register, so the block's out-state carries
+     *  the operand values the decision was made from. */
+    Value
+    edgeOut(int from, int to, const Value &out) const
+    {
+        if (!out.reachable)
+            return out;
+        const BasicBlock &bb =
+            cfg.blockAt(starts[static_cast<size_t>(from)]);
+        if (bb.term != TermKind::CondBranch || bb.insts.empty() ||
+            bb.takenTarget == bb.fallthrough) {
+            return out;
+        }
+        const Instruction &br = bb.insts.back();
+        TriState d = absBranch(br.op, out.reg(br.rs1),
+                               out.reg(br.rs2));
+        uint32_t target = starts[static_cast<size_t>(to)];
+        if ((d == TriState::True && target == bb.fallthrough) ||
+            (d == TriState::False && target == bb.takenTarget)) {
+            return AbsState{};   // unreachable along this edge
+        }
+        return out;
+    }
+
+    void
+    refineMeet(int n, Value &in, const Value &prev) const
+    {
+        unsigned &count = visits[static_cast<size_t>(n)];
+        if (++count <= kWidenDelay || !prev.reachable ||
+            !in.reachable) {
+            return;
+        }
+        for (unsigned r = 0; r < NumRegs; ++r)
+            in.regs[r] = prev.regs[r].widen(in.regs[r]);
+    }
+
+    Value
+    transfer(int n, const Value &in) const
+    {
+        if (!in.reachable)
+            return AbsState{};
+        AbsState st = in;
+        const BasicBlock &bb =
+            cfg.blockAt(starts[static_cast<size_t>(n)]);
+        for (size_t i = 0; i < bb.insts.size(); ++i)
+            absStep(bb.pcOf(i), bb.insts[i], st, image, stores);
+        return st;
+    }
+};
+
+/** Walk every reachable block once, collecting store sites. */
+StoreSummary
+summarizeStores(const Cfg &cfg, const std::vector<uint32_t> &starts,
+                const std::vector<AbsState> &ins, const Program *image,
+                const StoreSummary *stores)
+{
+    StoreSummary sum;
+    for (size_t i = 0; i < starts.size(); ++i) {
+        if (!ins[i].reachable)
+            continue;
+        AbsState st = ins[i];
+        const BasicBlock &bb = cfg.blockAt(starts[i]);
+        for (size_t k = 0; k < bb.insts.size(); ++k) {
+            const Instruction &inst = bb.insts[k];
+            if (inst.op == Opcode::Sw) {
+                sum.sites.push_back({bb.pcOf(k), memAddr(st, inst),
+                                     st.reg(inst.rs2)});
+            }
+            absStep(bb.pcOf(k), inst, st, image, stores);
+        }
+    }
+    return sum;
+}
+
+} // anonymous namespace
+
+AbsintResult
+analyzeProgram(const Program &prog, const Cfg &cfg)
+{
+    AbsintResult res;
+    std::vector<uint32_t> starts;
+    FlowGraph g = graphOfCfg(cfg, starts);
+
+    // Round 1: loads unknown; yields a sound store summary.
+    AbsDomain dom1(cfg, starts, g, nullptr, nullptr);
+    auto solved1 = solveDataflow(g, dom1, Direction::Forward);
+    res.sweepsRound1 = solved1.sweeps;
+    StoreSummary sum1 = summarizeStores(cfg, starts, solved1.in,
+                                        nullptr, nullptr);
+
+    // Round 2: refine never-written loads through that summary.
+    AbsDomain dom2(cfg, starts, g, &prog, &sum1);
+    auto solved2 = solveDataflow(g, dom2, Direction::Forward);
+    res.sweepsRound2 = solved2.sweeps;
+    res.stores = summarizeStores(cfg, starts, solved2.in, &prog,
+                                 &sum1);
+
+    for (size_t i = 0; i < starts.size(); ++i)
+        res.blockIn[starts[i]] = solved2.in[i];
+
+    // Abstract branch outcomes, from a fresh in-block walk.
+    for (const auto &[start, bb] : cfg.blocks()) {
+        if (bb.term != TermKind::CondBranch || bb.insts.empty())
+            continue;
+        const AbsState &in = res.blockIn[start];
+        if (!in.reachable)
+            continue;
+        AbsState st = in;
+        for (size_t i = 0; i + 1 < bb.insts.size(); ++i)
+            absStep(bb.pcOf(i), bb.insts[i], st, &prog, &res.stores);
+        const Instruction &br = bb.insts.back();
+        res.branchDecision[bb.pcOf(bb.insts.size() - 1)] =
+            absBranch(br.op, st.reg(br.rs1), st.reg(br.rs2));
+    }
+
+    // Reachability with every *decided* branch edge pruned.
+    std::deque<uint32_t> work;
+    auto visit = [&](uint32_t start) {
+        if (cfg.hasBlock(start) && res.reachable.insert(start).second)
+            work.push_back(start);
+    };
+    visit(cfg.entry());
+    for (uint32_t r : cfg.roots())
+        visit(r);
+    while (!work.empty()) {
+        const BasicBlock &bb = cfg.blockAt(work.front());
+        work.pop_front();
+        if (bb.term == TermKind::CondBranch && !bb.insts.empty()) {
+            auto it = res.branchDecision.find(
+                bb.pcOf(bb.insts.size() - 1));
+            TriState d = it != res.branchDecision.end()
+                             ? it->second
+                             : TriState::Unknown;
+            if (d == TriState::True) {
+                visit(bb.takenTarget);
+                continue;
+            }
+            if (d == TriState::False) {
+                visit(bb.fallthrough);
+                continue;
+            }
+        }
+        for (uint32_t s : bb.succs)
+            visit(s);
+    }
+    return res;
+}
+
+AbsState
+stateBefore(const AbsintResult &res, const Cfg &cfg,
+            const Program &prog, uint32_t pc)
+{
+    const BasicBlock *bb = containingBlock(cfg, pc);
+    if (!bb)
+        return AbsState{};
+    auto it = res.blockIn.find(bb->start);
+    if (it == res.blockIn.end())
+        return AbsState{};
+    AbsState st = it->second;
+    for (size_t i = 0; i < bb->insts.size() && bb->pcOf(i) < pc; ++i)
+        absStep(bb->pcOf(i), bb->insts[i], st, &prog, &res.stores);
+    return st;
+}
+
+} // namespace mssp::analysis

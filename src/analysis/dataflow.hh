@@ -15,6 +15,23 @@
  *   void meet(Value &into, const Value &from) const;
  *   Value transfer(int node, const Value &in) const;
  *
+ * A domain may additionally provide
+ *
+ *   void refineMeet(int node, Value &in, const Value &prev) const;
+ *
+ * called after the meet over flow predecessors with the node's
+ * previous IN value. Domains with unbounded ascending chains (the
+ * interval domain in absint.hh) use it to apply widening; finite
+ * domains simply omit it. A second optional hook
+ *
+ *   Value edgeOut(int from, int to, const Value &out) const;
+ *
+ * filters the value flowing along one graph edge before the meet
+ * (from/to are flow-order nodes: the CFG edge from→to for a forward
+ * problem). The interval domain uses it to kill the untaken side of
+ * an abstractly decided branch, which is what lets constants survive
+ * a join with a statically dead path.
+ *
  * Orientation is uniform for both directions: IN[n] is the value at
  * the node's dataflow *input* — met over predecessors' OUT for a
  * forward problem, over successors' OUT for a backward one — and
@@ -75,8 +92,16 @@ solveDataflow(const FlowGraph &g, const D &dom, Direction dir)
         for (int id : order) {
             auto n = static_cast<size_t>(id);
             typename D::Value in = dom.boundary(id);
-            for (int p : flow_preds[n])
-                dom.meet(in, res.out[static_cast<size_t>(p)]);
+            for (int p : flow_preds[n]) {
+                const auto &out = res.out[static_cast<size_t>(p)];
+                if constexpr (requires { dom.edgeOut(p, id, out); })
+                    dom.meet(in, dom.edgeOut(p, id, out));
+                else
+                    dom.meet(in, out);
+            }
+            if constexpr (requires { dom.refineMeet(id, in,
+                                                    res.in[n]); })
+                dom.refineMeet(id, in, res.in[n]);
             typename D::Value out = dom.transfer(id, in);
             if (!(in == res.in[n]) || !(out == res.out[n])) {
                 res.in[n] = std::move(in);

@@ -39,6 +39,14 @@ lintCheckName(LintCheck check)
       case LintCheck::EditTarget: return "edit-target";
       case LintCheck::EditOutsideProgram:
         return "edit-outside-program";
+      case LintCheck::SemanticBranch: return "semantic-branch";
+      case LintCheck::SemanticConst: return "semantic-const";
+      case LintCheck::SemanticLoad: return "semantic-load";
+      case LintCheck::SemanticStore: return "semantic-store";
+      case LintCheck::SemanticLiveOut: return "semantic-live-out";
+      case LintCheck::SemanticUnreachable:
+        return "semantic-unreachable";
+      case LintCheck::EditMetadata: return "edit-metadata";
     }
     return "?";
 }

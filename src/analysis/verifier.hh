@@ -71,6 +71,18 @@ enum class LintCheck : uint8_t
     UseBeforeDef,           ///< read of an unchecked restart value
     EditTarget,             ///< pass edited a disallowed instruction
     EditOutsideProgram,     ///< edit PC outside reachable orig code
+
+    // Semantic translation-validation checks (verifyDistilledSemantic;
+    // DESIGN.md §5.2). Abstract interpretation of the original
+    // program decides whether each recorded edit preserves the
+    // superimposition relation "<-" (DESIGN.md §5.1).
+    SemanticBranch,         ///< hard-wired branch can go the other way
+    SemanticConst,          ///< folded constant contradicts absint
+    SemanticLoad,           ///< value-spec'd load has an interferer
+    SemanticStore,          ///< elided store is provably not silent
+    SemanticLiveOut,        ///< live-out diverges between O and D
+    SemanticUnreachable,    ///< removed block is abstractly reachable
+    EditMetadata,           ///< region/live-out/value metadata broken
 };
 
 const char *severityName(Severity sev);
@@ -115,6 +127,73 @@ struct LintReport
  */
 LintReport verifyDistilled(const Program &orig,
                            const DistilledProgram &dist);
+
+// -- Semantic translation validation (analysis/semantic.cc) -----------
+
+/** Risk class of one distiller edit under abstract interpretation. */
+enum class EditRisk : uint8_t
+{
+    /** The edit provably preserves the superimposition relation: no
+     *  reachable original execution can diverge at it. */
+    Proven,
+    /** A counterexample exists in the abstraction: some abstract
+     *  path reaches the edit in a state where it changes a live-out
+     *  (may still be dynamically rare — MSSP recovers). */
+    Risky,
+    /** The abstraction is too coarse to decide either way. */
+    Unknown,
+};
+
+const char *editRiskName(EditRisk risk);
+
+/** Per-edit verdict of the translation validator. */
+struct EditVerdict
+{
+    size_t index = 0;       ///< position in report.edits
+    DistillEdit edit;
+    EditRisk risk = EditRisk::Unknown;
+    /** Human-readable justification: the proof sketch for Proven,
+     *  the counterexample path / interfering store / unproven range
+     *  for Risky and Unknown. */
+    std::string detail;
+};
+
+/** All edit verdicts of one semantic validation run. */
+struct SemanticReport
+{
+    std::vector<EditVerdict> verdicts;
+
+    size_t proven() const;
+    size_t risky() const;
+    size_t unknown() const;
+
+    /** One line per verdict plus a summary line. */
+    std::string toText() const;
+};
+
+/** Combined structural + semantic verification result. */
+struct SemanticResult
+{
+    LintReport lint;            ///< semantic findings only
+    SemanticReport semantic;    ///< one verdict per edit
+
+    /** The LintReport JSON object extended with an "edits" array of
+     *  per-edit risk verdicts (schema in docs/LINT.md). */
+    std::string toJson() const;
+};
+
+/**
+ * Translation validation of the distiller's edit log: abstractly
+ * execute the original program (analysis/absint.hh), classify every
+ * recorded edit as Proven/Risky/Unknown, and prove live-out
+ * consistency of each edited region against its distilled
+ * counterpart under the superimposition relation. Risky edits of
+ * *approximate* passes are warnings (MSSP recovers at runtime);
+ * risky edits of semantics-preserving passes and metadata
+ * inconsistencies are errors.
+ */
+SemanticResult verifyDistilledSemantic(const Program &orig,
+                                       const DistilledProgram &dist);
 
 } // namespace mssp::analysis
 

@@ -10,7 +10,11 @@ namespace
 {
 
 const char *kProgramMagic = "mssp-object v1";
-const char *kDistilledMagic = "mssp-distilled v1";
+/** Format v2 extends `edit` lines with semantic metadata (value,
+ *  region leader, live-out mask). v1 files are rejected loudly: a
+ *  misparsed edit log would silently disable the semantic checks. */
+const char *kDistilledMagic = "mssp-distilled v2";
+const char *kDistilledFamily = "mssp-distilled";
 
 void
 appendProgramBody(const Program &prog, std::string &out)
@@ -29,8 +33,20 @@ parseLines(const std::string &text, const char *magic, Program &prog,
            ExtraHandler &&extra)
 {
     auto lines = split(text, '\n');
-    if (lines.empty() || trim(lines[0]) != magic)
+    if (lines.empty() || trim(lines[0]) != magic) {
+        std::string got =
+            lines.empty() ? std::string() : std::string(trim(lines[0]));
+        // A right-family, wrong-version header deserves a precise
+        // message: the file is a distilled object, just not ours.
+        if (startsWith(got, kDistilledFamily) &&
+            startsWith(magic, kDistilledFamily)) {
+            fatal("unsupported object format version: file says "
+                  "'%s', this build reads '%s' (re-run mssp-distill "
+                  "to regenerate the image)",
+                  got.c_str(), magic);
+        }
         fatal("bad object file: expected '%s' header", magic);
+    }
 
     auto want_int = [](std::string_view tok, int line_no) {
         int64_t v;
@@ -100,8 +116,10 @@ saveDistilled(const DistilledProgram &dist)
     for (const auto &[orig, mask] : dist.checkpointRegs)
         out += strfmt("ckpt 0x%x 0x%x\n", orig, mask);
     for (const DistillEdit &e : dist.report.edits) {
-        out += strfmt("edit %s 0x%x %u\n", distillPassName(e.pass),
-                      e.origPc, e.reg);
+        out += strfmt("edit %s 0x%x %u %u 0x%x 0x%x 0x%x\n",
+                      distillPassName(e.pass), e.origPc, e.reg,
+                      e.hasValue ? 1 : 0, e.value, e.regionStart,
+                      e.liveOut);
     }
     const DistillReport &r = dist.report;
     out += strfmt("report %zu %zu %llu %llu %llu %llu %llu %llu %llu "
@@ -150,7 +168,7 @@ loadDistilled(const std::string &text)
                 want_int(toks[2], line_no);
             return true;
         }
-        if (key == "edit" && toks.size() == 4) {
+        if (key == "edit" && toks.size() == 8) {
             DistillEdit e;
             if (!distillPassFromName(std::string(toks[1]), e.pass)) {
                 fatal("object line %d: unknown pass '%s'", line_no,
@@ -158,6 +176,10 @@ loadDistilled(const std::string &text)
             }
             e.origPc = want_int(toks[2], line_no);
             e.reg = static_cast<uint8_t>(want_int(toks[3], line_no));
+            e.hasValue = want_int(toks[4], line_no) != 0;
+            e.value = want_int(toks[5], line_no);
+            e.regionStart = want_int(toks[6], line_no);
+            e.liveOut = want_int(toks[7], line_no);
             dist.report.edits.push_back(e);
             return true;
         }

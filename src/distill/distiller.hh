@@ -125,6 +125,19 @@ struct DistillEdit
     /** Destination register of the edited instruction, when it has
      *  one (ConstFold/Dce/ValueSpec); 0 otherwise. */
     uint8_t reg = 0;
+
+    // -- Semantic metadata (consumed by the translation validator) --
+    /** True when @c value below is meaningful for this pass. */
+    bool hasValue = false;
+    /** ConstFold/ValueSpec: the constant baked into the image.
+     *  BranchPrune and branch ConstFolds: the hard-wired direction
+     *  (1 = taken, 0 = fall-through). */
+    uint32_t value = 0;
+    /** Leader of the original-CFG block containing origPc (stamped
+     *  once by distill(); validated against a recomputation). */
+    uint32_t regionStart = UINT32_MAX;
+    /** Register live-out mask of that original block. */
+    RegMask liveOut = 0;
 };
 
 /** Lower-case pass name ("branch-prune", "dce", ...). */

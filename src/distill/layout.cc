@@ -285,6 +285,22 @@ distill(const Program &orig, const ProfileData &profile,
                                           ? it->second.liveIn
                                           : analysis::AllRegsMask;
     }
+
+    // Stamp every edit with its original region (containing block
+    // leader) and that block's live-out mask, the anchor the semantic
+    // translation validator proves live-out consistency against.
+    for (DistillEdit &e : out.report.edits) {
+        auto blk_it = cfg.blocks().upper_bound(e.origPc);
+        if (blk_it == cfg.blocks().begin())
+            continue;
+        --blk_it;
+        if (e.origPc >= blk_it->second.endPc())
+            continue;
+        e.regionStart = blk_it->second.start;
+        auto live_it = live.find(e.regionStart);
+        e.liveOut = live_it != live.end() ? live_it->second.liveOut
+                                          : analysis::AllRegsMask;
+    }
     return out;
 }
 

@@ -49,7 +49,7 @@ passBranchPrune(DistillIr &ir, const ProfileData &profile,
             blk.fallthrough = -1;
             ++report.branchesToJump;
             report.edits.push_back({DistillEdit::Pass::BranchPrune,
-                                    blk.termOrigPc, 0});
+                                    blk.termOrigPc, 0, true, 1});
         } else if (prune_taken) {
             // Hard-wire not-taken: branch disappears entirely.
             blk.term = TermKind::FallThrough;
@@ -57,7 +57,7 @@ passBranchPrune(DistillIr &ir, const ProfileData &profile,
             blk.takenTarget = -1;
             ++report.branchesToFall;
             report.edits.push_back({DistillEdit::Pass::BranchPrune,
-                                    blk.termOrigPc, 0});
+                                    blk.termOrigPc, 0, true, 0});
         }
     }
 }
@@ -179,7 +179,7 @@ passConstFold(DistillIr &ir, DistillReport &report)
                         ++report.constFolded;
                         report.edits.push_back(
                             {DistillEdit::Pass::ConstFold,
-                             iinst.origPc, dest});
+                             iinst.origPc, dest, true, value});
                     }
                     continue;
                 }
@@ -200,7 +200,8 @@ passConstFold(DistillIr &ir, DistillReport &report)
                 eval.regs[0] = 0;
             StepResult res = executeDecoded(0, blk.termInst, eval);
             report.edits.push_back({DistillEdit::Pass::ConstFold,
-                                    blk.termOrigPc, 0});
+                                    blk.termOrigPc, 0, true,
+                                    res.branchTaken ? 1u : 0u});
             if (res.branchTaken) {
                 blk.term = TermKind::Jump;
                 blk.termInst = makeJ(Opcode::Jal, reg::Zero, 0);
@@ -326,11 +327,12 @@ passValueSpec(DistillIr &ir, const ProfileData &profile,
             if (lp->addrInvariance() >= opts.valueSpecThreshold &&
                 !profile.wasWritten(lp->firstAddr)) {
                 uint8_t rd = iinst.inst.rd;
-                iinst = IrInst::loadImm(rd, orig.word(lp->firstAddr),
-                                        iinst.origPc);
+                uint32_t value = orig.word(lp->firstAddr);
+                iinst = IrInst::loadImm(rd, value, iinst.origPc);
                 ++report.loadsValueSpeced;
                 report.edits.push_back({DistillEdit::Pass::ValueSpec,
-                                        iinst.origPc, rd});
+                                        iinst.origPc, rd, true,
+                                        value});
                 continue;
             }
 
@@ -342,7 +344,8 @@ passValueSpec(DistillIr &ir, const ProfileData &profile,
                                         iinst.origPc);
                 ++report.loadsValueSpeced;
                 report.edits.push_back({DistillEdit::Pass::ValueSpec,
-                                        iinst.origPc, rd});
+                                        iinst.origPc, rd, true,
+                                        lp->firstValue});
             }
         }
     }

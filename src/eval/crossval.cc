@@ -1,0 +1,80 @@
+#include "eval/crossval.hh"
+
+#include "analysis/verifier.hh"
+#include "asm/assembler.hh"
+#include "core/pipeline.hh"
+#include "eval/experiment.hh"
+#include "util/string_utils.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+bool
+CrossValReport::allConsistent() const
+{
+    for (const CrossValRow &r : rows) {
+        if (!r.consistent)
+            return false;
+    }
+    return true;
+}
+
+std::string
+CrossValReport::toText() const
+{
+    Table t({"workload", "ok", "edits", "proven", "risky", "unknown",
+             "sem-err", "div-squash", "consistent"});
+    for (const CrossValRow &r : rows) {
+        t.addRow({r.name, r.ok ? "yes" : "NO",
+                  strfmt("%zu", r.edits), strfmt("%zu", r.proven),
+                  strfmt("%zu", r.risky), strfmt("%zu", r.unknown),
+                  strfmt("%zu", r.semanticErrors),
+                  strfmt("%llu", static_cast<unsigned long long>(
+                                     r.divergenceSquashes)),
+                  r.consistent ? "yes" : "NO"});
+    }
+    return t.render("static risk vs. dynamic misspeculation");
+}
+
+CrossValReport
+crossValidate(double scale, const MsspConfig &cfg,
+              uint64_t max_cycles)
+{
+    CrossValReport rep;
+    for (const Workload &wl : specAnalogues(scale)) {
+        CrossValRow row;
+        row.name = wl.name;
+
+        PreparedWorkload prepared =
+            prepare(assemble(wl.refSource), assemble(wl.trainSource),
+                    DistillerOptions::paperPreset());
+
+        analysis::SemanticResult sem =
+            analysis::verifyDistilledSemantic(prepared.orig,
+                                              prepared.dist);
+        row.edits = sem.semantic.verdicts.size();
+        row.proven = sem.semantic.proven();
+        row.risky = sem.semantic.risky();
+        row.unknown = sem.semantic.unknown();
+        row.semanticErrors = sem.lint.errors();
+
+        WorkloadRun run =
+            runPrepared(wl.name, prepared, cfg, max_cycles);
+        row.ok = run.ok;
+        row.divergenceSquashes = run.counters.tasksSquashedLiveIn +
+                                 run.counters.tasksSquashedWrongPc;
+
+        // The validator's claim is one-directional: a workload whose
+        // edits are all Proven must not squash on divergence. The
+        // converse (risky edits must squash) does not hold — static
+        // analysis over-approximates dynamic behaviour.
+        bool all_proven = row.proven == row.edits;
+        row.consistent =
+            run.ok && (!all_proven || row.divergenceSquashes == 0);
+        rep.rows.push_back(std::move(row));
+    }
+    return rep;
+}
+
+} // namespace mssp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Static-risk vs. dynamic-misspeculation cross-validation.
+ *
+ * The semantic translation validator (analysis/verifier.hh) makes a
+ * falsifiable claim per workload: if *every* distiller edit is
+ * Proven, no task may ever squash on live-in divergence or a wrong
+ * predicted PC. This harness runs each registry workload through the
+ * full MSSP machine and correlates the static risk classes with the
+ * dynamic divergence-squash counters — a Proven-only workload with
+ * divergence squashes falsifies the abstract interpreter (that is
+ * the cross-validation gate in tests/test_crossval.cpp).
+ */
+
+#ifndef MSSP_EVAL_CROSSVAL_HH
+#define MSSP_EVAL_CROSSVAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mssp/config.hh"
+
+namespace mssp
+{
+
+/** One workload's static risk profile vs. dynamic behaviour. */
+struct CrossValRow
+{
+    std::string name;
+    bool ok = false;            ///< run halted + output-equivalent
+
+    size_t edits = 0;
+    size_t proven = 0;
+    size_t risky = 0;
+    size_t unknown = 0;
+    size_t semanticErrors = 0;  ///< error-severity semantic findings
+
+    /** Squashes attributable to distillation divergence (live-in
+     *  mismatch + wrong fork PC), not capacity effects. */
+    uint64_t divergenceSquashes = 0;
+
+    /** The falsifiable claim: all-proven implies zero divergence
+     *  squashes. (Risky/unknown edits do not *require* squashes —
+     *  static analysis over-approximates.) */
+    bool consistent = false;
+};
+
+/** Cross-validation over a workload set. */
+struct CrossValReport
+{
+    std::vector<CrossValRow> rows;
+
+    bool allConsistent() const;
+
+    /** Aligned table, one row per workload. */
+    std::string toText() const;
+};
+
+/**
+ * Run the cross-validation over all registry workloads at @p scale
+ * (1.0 = paper-size inputs), using the paper-preset distiller.
+ */
+CrossValReport crossValidate(double scale, const MsspConfig &cfg,
+                             uint64_t max_cycles = 400000000ull);
+
+} // namespace mssp
+
+#endif // MSSP_EVAL_CROSSVAL_HH

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Abstract-interpretation engine tests: the AbsVal interval lattice,
+ * agreement of the abstract ALU with the concrete executor on
+ * constants, tri-state branch evaluation, and whole-program fixpoints
+ * (constant propagation, load refinement, store summaries, decided
+ * branches, and abstract reachability) on small assembled programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/absint.hh"
+#include "asm/assembler.hh"
+#include "exec/executor.hh"
+#include "helpers.hh"
+
+namespace mssp
+{
+namespace
+{
+
+using analysis::AbsintResult;
+using analysis::AbsState;
+using analysis::AbsVal;
+using analysis::TriState;
+using analysis::absBranch;
+using analysis::absStep;
+using analysis::analyzeProgram;
+using analysis::stateBefore;
+
+// -- Lattice ------------------------------------------------------------
+
+TEST(AbsVal, LatticeBasics)
+{
+    EXPECT_TRUE(AbsVal::top().isTop());
+    EXPECT_TRUE(AbsVal::bottom().isBottom());
+    EXPECT_FALSE(AbsVal::bottom().contains(0));
+
+    AbsVal c = AbsVal::constant(42);
+    EXPECT_TRUE(c.isConst());
+    EXPECT_EQ(c.cval(), 42u);
+    EXPECT_TRUE(c.contains(42));
+    EXPECT_FALSE(c.contains(43));
+
+    // Negative constants survive the int32 <-> uint32 convention.
+    AbsVal m = AbsVal::constant(static_cast<uint32_t>(-7));
+    EXPECT_TRUE(m.isConst());
+    EXPECT_EQ(m.cval(), static_cast<uint32_t>(-7));
+}
+
+TEST(AbsVal, JoinIsLeastUpperBound)
+{
+    AbsVal a = AbsVal::range(1, 5);
+    AbsVal b = AbsVal::range(3, 9);
+    AbsVal j = a.join(b);
+    EXPECT_EQ(j, AbsVal::range(1, 9));
+
+    // Bottom is the identity.
+    EXPECT_EQ(AbsVal::bottom().join(a), a);
+    EXPECT_EQ(a.join(AbsVal::bottom()), a);
+    // Top absorbs.
+    EXPECT_TRUE(a.join(AbsVal::top()).isTop());
+}
+
+TEST(AbsVal, WidenJumpsMovingBoundsToExtremes)
+{
+    AbsVal a = AbsVal::range(0, 10);
+    AbsVal grown = AbsVal::range(0, 11);
+    AbsVal w = a.widen(grown);
+    EXPECT_EQ(w.lo, 0);
+    EXPECT_EQ(w.hi, AbsVal::kMax);
+
+    AbsVal shrunk_lo = AbsVal::range(-3, 10);
+    AbsVal w2 = a.widen(shrunk_lo);
+    EXPECT_EQ(w2.lo, AbsVal::kMin);
+    EXPECT_EQ(w2.hi, 10);
+
+    // A stable value is not widened.
+    EXPECT_EQ(a.widen(a), a);
+}
+
+TEST(AbsVal, RangeClampsToInt32)
+{
+    EXPECT_TRUE(AbsVal::range(5, 4).isBottom());
+    EXPECT_TRUE(
+        AbsVal::range(AbsVal::kMin - 1, 0).isTop());
+    EXPECT_TRUE(
+        AbsVal::range(0, AbsVal::kMax + 1).isTop());
+}
+
+// -- Abstract ALU vs. concrete executor ---------------------------------
+
+TEST(AbsInt, ConstantAluAgreesWithExecutor)
+{
+    const std::pair<Opcode, std::pair<uint32_t, uint32_t>> cases[] = {
+        {Opcode::Add, {5, 7}},
+        {Opcode::Sub, {5, 7}},
+        {Opcode::And, {0xf0f0, 0x1234}},
+        {Opcode::Or, {0xf0f0, 0x1234}},
+        {Opcode::Xor, {0xf0f0, 0x1234}},
+        {Opcode::Sll, {1, 31}},
+        {Opcode::Srl, {0x80000000u, 4}},
+        {Opcode::Sra, {0x80000000u, 4}},
+        {Opcode::Slt, {static_cast<uint32_t>(-1), 1}},
+        {Opcode::Sltu, {static_cast<uint32_t>(-1), 1}},
+        {Opcode::Mul, {12345, 6789}},
+    };
+    for (const auto &[op, ab] : cases) {
+        AbsState st = AbsState::entry();
+        st.setReg(reg::T0, AbsVal::constant(ab.first));
+        st.setReg(reg::T1, AbsVal::constant(ab.second));
+        Instruction inst = makeR(op, reg::T2, reg::T0, reg::T1);
+        absStep(0x1000, inst, st, nullptr, nullptr);
+
+        uint32_t expect = 0;
+        ASSERT_TRUE(evalAlu(op, ab.first, ab.second, expect));
+        ASSERT_TRUE(st.reg(reg::T2).isConst())
+            << "op " << static_cast<int>(op);
+        EXPECT_EQ(st.reg(reg::T2).cval(), expect)
+            << "op " << static_cast<int>(op);
+    }
+}
+
+TEST(AbsInt, IntervalAddIsSoundNotConstant)
+{
+    AbsState st = AbsState::entry();
+    st.setReg(reg::T0, AbsVal::range(1, 10));
+    absStep(0x1000, makeI(Opcode::Addi, reg::T1, reg::T0, 5), st,
+            nullptr, nullptr);
+    EXPECT_FALSE(st.reg(reg::T1).isConst());
+    EXPECT_TRUE(st.reg(reg::T1).contains(6));
+    EXPECT_TRUE(st.reg(reg::T1).contains(15));
+    EXPECT_FALSE(st.reg(reg::T1).contains(16));
+}
+
+TEST(AbsInt, WritesToR0AreDiscarded)
+{
+    AbsState st = AbsState::entry();
+    absStep(0x1000, makeI(Opcode::Addi, reg::Zero, reg::Zero, 9), st,
+            nullptr, nullptr);
+    ASSERT_TRUE(st.reg(reg::Zero).isConst());
+    EXPECT_EQ(st.reg(reg::Zero).cval(), 0u);
+}
+
+// -- Tri-state branches -------------------------------------------------
+
+TEST(AbsInt, BranchTriState)
+{
+    AbsVal five = AbsVal::constant(5);
+    AbsVal seven = AbsVal::constant(7);
+    EXPECT_EQ(absBranch(Opcode::Blt, five, seven), TriState::True);
+    EXPECT_EQ(absBranch(Opcode::Blt, seven, five), TriState::False);
+    EXPECT_EQ(absBranch(Opcode::Beq, five, five), TriState::True);
+    EXPECT_EQ(absBranch(Opcode::Bne, five, seven), TriState::True);
+
+    // Disjoint ranges decide relational branches.
+    AbsVal lo = AbsVal::range(0, 10);
+    AbsVal hi = AbsVal::range(20, 30);
+    EXPECT_EQ(absBranch(Opcode::Blt, lo, hi), TriState::True);
+    EXPECT_EQ(absBranch(Opcode::Beq, lo, hi), TriState::False);
+
+    // Overlapping ranges cannot be decided.
+    AbsVal mid = AbsVal::range(5, 25);
+    EXPECT_EQ(absBranch(Opcode::Blt, lo, mid), TriState::Unknown);
+    EXPECT_EQ(absBranch(Opcode::Beq, lo, lo), TriState::Unknown);
+}
+
+// -- Whole-program fixpoints --------------------------------------------
+
+TEST(AbsInt, ConstantsPropagateAndDecideBranches)
+{
+    Program p = assemble(
+        "    li t0, 5\n"
+        "    li t1, 7\n"
+        "    add t2, t0, t1\n"
+        "    blt t0, t1, tgt\n"
+        "    addi t2, t2, 1\n"     // statically dead
+        "tgt:\n"
+        "    out t2, 1\n"
+        "    halt\n");
+    Cfg cfg = Cfg::build(p, p.entry());
+    AbsintResult ai = analyzeProgram(p, cfg);
+
+    // The one conditional branch is decided taken.
+    ASSERT_EQ(ai.branchDecision.size(), 1u);
+    EXPECT_EQ(ai.branchDecision.begin()->second, TriState::True);
+
+    // The fall-through block is proven unreachable...
+    uint32_t dead_pc = ai.branchDecision.begin()->first + 1;
+    EXPECT_EQ(ai.reachable.count(dead_pc), 0u);
+    // ...and t2 is the constant 12 at the join.
+    AbsState at_out =
+        stateBefore(ai, cfg, p, p.symbols().at("tgt"));
+    ASSERT_TRUE(at_out.reachable);
+    ASSERT_TRUE(at_out.reg(reg::T2).isConst());
+    EXPECT_EQ(at_out.reg(reg::T2).cval(), 12u);
+}
+
+TEST(AbsInt, LoadFromNeverWrittenAddressRefinesToImageValue)
+{
+    Program p = assemble(
+        "    la t0, data\n"
+        "    lw t1, 0(t0)\n"
+        "done:\n"
+        "    out t1, 1\n"
+        "    halt\n"
+        ".org 0x8000\n"
+        "data: .word 42\n");
+    Cfg cfg = Cfg::build(p, p.entry());
+    AbsintResult ai = analyzeProgram(p, cfg);
+
+    AbsState at_out =
+        stateBefore(ai, cfg, p, p.symbols().at("done"));
+    ASSERT_TRUE(at_out.reachable);
+    ASSERT_TRUE(at_out.reg(reg::T1).isConst());
+    EXPECT_EQ(at_out.reg(reg::T1).cval(), 42u);
+    EXPECT_FALSE(ai.stores.mayWrite(p.symbols().at("data")));
+}
+
+TEST(AbsInt, StoreKillsLoadRefinement)
+{
+    Program p = assemble(
+        "    la t0, data\n"
+        "    li t2, 9\n"
+        "    sw t2, 0(t0)\n"
+        "    lw t1, 0(t0)\n"
+        "done:\n"
+        "    out t1, 1\n"
+        "    halt\n"
+        ".org 0x8000\n"
+        "data: .word 42\n");
+    Cfg cfg = Cfg::build(p, p.entry());
+    AbsintResult ai = analyzeProgram(p, cfg);
+
+    uint32_t data = p.symbols().at("data");
+    EXPECT_TRUE(ai.stores.mayWrite(data));
+    EXPECT_FALSE(ai.stores.mayWrite(data + 64));
+    const analysis::StoreSite *site = ai.stores.interferer(data);
+    ASSERT_NE(site, nullptr);
+    ASSERT_TRUE(site->value.isConst());
+    EXPECT_EQ(site->value.cval(), 9u);
+
+    // The load after the store must NOT be refined to the image 42.
+    AbsState at_out =
+        stateBefore(ai, cfg, p, p.symbols().at("done"));
+    ASSERT_TRUE(at_out.reachable);
+    EXPECT_FALSE(at_out.reg(reg::T1).isConst());
+}
+
+TEST(AbsInt, LoopInductionVariableWidensAndConverges)
+{
+    Program p = assemble(
+        "    li s0, 0\n"
+        "    li t1, 100\n"
+        "loop:\n"
+        "    addi s0, s0, 1\n"
+        "    blt s0, t1, loop\n"
+        "    out s0, 1\n"
+        "    halt\n");
+    Cfg cfg = Cfg::build(p, p.entry());
+    AbsintResult ai = analyzeProgram(p, cfg);
+
+    // The back edge cannot be decided, and the loop body's in-state
+    // is a widened but sound interval for s0.
+    ASSERT_EQ(ai.branchDecision.size(), 1u);
+    EXPECT_EQ(ai.branchDecision.begin()->second, TriState::Unknown);
+
+    AbsState header =
+        stateBefore(ai, cfg, p, p.symbols().at("loop"));
+    ASSERT_TRUE(header.reachable);
+    EXPECT_FALSE(header.reg(reg::S0).isBottom());
+    EXPECT_TRUE(header.reg(reg::S0).contains(0));
+    EXPECT_TRUE(header.reg(reg::S0).contains(99));
+    // Fixpoint terminated in a bounded number of sweeps.
+    EXPECT_LT(ai.sweepsRound1, 50u);
+    EXPECT_LT(ai.sweepsRound2, 50u);
+}
+
+TEST(AbsInt, StateBeforeOutsideAnyBlockIsUnreachable)
+{
+    Program p = assemble("    halt\n");
+    Cfg cfg = Cfg::build(p, p.entry());
+    AbsintResult ai = analyzeProgram(p, cfg);
+    EXPECT_FALSE(stateBefore(ai, cfg, p, 0x7777777).reachable);
+}
+
+} // anonymous namespace
+} // namespace mssp

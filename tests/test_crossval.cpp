@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Static-risk vs. dynamic-misspeculation cross-validation gate: over
+ * every registry workload, a distillation whose edits are all Proven
+ * must produce zero divergence squashes on the full MSSP machine
+ * (src/eval/crossval.hh). This is the falsifiable end-to-end claim
+ * of the abstract interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/crossval.hh"
+#include "helpers.hh"
+
+namespace mssp
+{
+
+TEST(CrossVal, StaticRiskConsistentWithDynamicSquashes)
+{
+    setQuiet(true);
+    MsspConfig cfg;
+    CrossValReport rep = crossValidate(0.15, cfg, 80000000ull);
+
+    ASSERT_EQ(rep.rows.size(), 12u);
+    for (const CrossValRow &r : rep.rows) {
+        EXPECT_TRUE(r.ok) << r.name << " did not run to completion";
+        EXPECT_EQ(r.semanticErrors, 0u) << r.name;
+        EXPECT_EQ(r.proven + r.risky + r.unknown, r.edits) << r.name;
+        EXPECT_TRUE(r.consistent)
+            << r.name << ": all-proven workload squashed "
+            << r.divergenceSquashes << " tasks on divergence";
+    }
+    EXPECT_TRUE(rep.allConsistent()) << rep.toText();
+
+    std::string text = rep.toText();
+    EXPECT_NE(text.find("gzip"), std::string::npos);
+    EXPECT_NE(text.find("consistent"), std::string::npos);
+}
+
+} // namespace mssp

@@ -66,6 +66,47 @@ TEST(ObjFile, DeserializedDistilledDrivesTheMachine)
     EXPECT_EQ(r1.committedInsts, r2.committedInsts);
 }
 
+TEST(ObjFile, EditMetadataSurvivesRoundTrip)
+{
+    setQuiet(true);
+    PreparedWorkload w = prepare(test::biasedSumSource(150, 3),
+                                 test::biasedSumSource(100, 4),
+                                 DistillerOptions::paperPreset());
+    ASSERT_FALSE(w.dist.report.edits.empty());
+    DistilledProgram d2 = loadDistilled(saveDistilled(w.dist));
+    ASSERT_EQ(d2.report.edits.size(), w.dist.report.edits.size());
+    for (size_t i = 0; i < d2.report.edits.size(); ++i) {
+        const DistillEdit &a = w.dist.report.edits[i];
+        const DistillEdit &b = d2.report.edits[i];
+        EXPECT_EQ(b.pass, a.pass) << "edit " << i;
+        EXPECT_EQ(b.origPc, a.origPc) << "edit " << i;
+        EXPECT_EQ(b.reg, a.reg) << "edit " << i;
+        EXPECT_EQ(b.hasValue, a.hasValue) << "edit " << i;
+        EXPECT_EQ(b.value, a.value) << "edit " << i;
+        EXPECT_EQ(b.regionStart, a.regionStart) << "edit " << i;
+        EXPECT_EQ(b.liveOut, a.liveOut) << "edit " << i;
+    }
+}
+
+TEST(ObjFile, StaleFormatVersionIsRejectedWithMessage)
+{
+    // A v1 file from an older build must be rejected with a message
+    // that names both versions, not silently misparsed.
+    std::string stale = "mssp-distilled v1\nentry 0x400000\n";
+    try {
+        loadDistilled(stale);
+        FAIL() << "stale format version was accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("unsupported object format version"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("mssp-distilled v2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(ObjFile, BadMagicIsFatal)
 {
     EXPECT_THROW(loadProgram("garbage\n"), FatalError);

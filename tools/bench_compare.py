@@ -25,10 +25,25 @@ import json
 import sys
 
 
+def load_json(path, what):
+    """Parse a JSON file, exiting cleanly (not with a traceback) when
+    it is missing or malformed."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"bench_compare: cannot read {what} {path}: "
+              f"{e.strerror}", file=sys.stderr)
+        sys.exit(1)
+    except json.JSONDecodeError as e:
+        print(f"bench_compare: {what} {path} is not valid JSON: {e}",
+              file=sys.stderr)
+        sys.exit(1)
+
+
 def load_run(path):
     """name -> items_per_second from a google-benchmark JSON file."""
-    with open(path) as f:
-        data = json.load(f)
+    data = load_json(path, "benchmark run")
     out = {}
     for b in data.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
@@ -61,8 +76,7 @@ def main():
                     help="label recorded with --update")
     args = ap.parse_args()
 
-    with open(args.reference) as f:
-        ref = json.load(f)
+    ref = load_json(args.reference, "reference")
     run = load_run(args.run)
     if not run:
         print("bench_compare: no benchmarks in run output", file=sys.stderr)
@@ -92,7 +106,11 @@ def main():
             failures.append(f"{name}: missing from this run")
             continue
         now = run[name]["items_per_second"]
-        committed = cur["items_per_second"]
+        committed = cur.get("items_per_second", 0)
+        if not committed:
+            failures.append(f"{name}: committed entry has no "
+                            f"items_per_second")
+            continue
         base = baseline.get(name, {}).get("items_per_second")
         vs_base = f"{now / base:7.2f}x" if base else "      --"
         ratio = now / committed

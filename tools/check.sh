@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Repo health check: formatting (advisory), a normal build + ctest, a
+# tree-wide clang-tidy pass (gating when the binary is available), a
 # lint-gate smoke test on a deliberately corrupted distilled object,
 # a Release-build benchmark smoke run (regression gate), and a second
 # build + ctest under ASan+UBSan (MSSP_SANITIZE).
 #
 #   tools/check.sh [--fast]     # --fast skips the sanitizer pass
 #   MSSP_SKIP_BENCH=1 tools/check.sh    # skip the benchmark smoke
+#   MSSP_SKIP_TIDY=1 tools/check.sh     # skip the clang-tidy gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,11 +19,28 @@ echo "== format check (advisory)"
 tools/format.sh --check || echo "check.sh: formatting differs (advisory only)"
 
 echo "== build (default flags)"
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j"$JOBS"
 
 echo "== ctest (default flags)"
 ctest --test-dir build --output-on-failure -j"$JOBS"
+
+# Tree-wide static analysis, driven by the committed .clang-tidy
+# profile. A gate when the binary exists; skipped gracefully (with a
+# note) when it doesn't, so minimal containers can still run check.sh.
+if [[ "${MSSP_SKIP_TIDY:-0}" == "1" ]]; then
+    echo "== skipping clang-tidy (MSSP_SKIP_TIDY=1)"
+elif command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (tree-wide)"
+    mapfile -t tidy_sources < <(find src tools -name '*.cc' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+        run-clang-tidy -quiet -p build "${tidy_sources[@]}"
+    else
+        clang-tidy -quiet -p build "${tidy_sources[@]}"
+    fi
+else
+    echo "== clang-tidy not installed; skipping (set MSSP_SKIP_TIDY=1 to silence)"
+fi
 
 echo "== lint gate smoke test"
 tmp=$(mktemp -d)

@@ -7,8 +7,10 @@
  *                [--theta T] [--no-valuespec] [--no-silentstores]
  *                [--task-size N] [--report] [--verify]
  *
- * --verify runs the mssp-lint static checks on the freshly distilled
- * image; on errors nothing is written and the exit status is 1.
+ * --verify runs the mssp-lint static checks — both the structural
+ * contract and the semantic translation validation of the edit log —
+ * on the freshly distilled image; on errors nothing is written and
+ * the exit status is 1.
  */
 
 #include <cstdio>
@@ -97,6 +99,11 @@ main(int argc, char **argv)
         if (verify) {
             analysis::LintReport rep =
                 analysis::verifyDistilled(ref, w.dist);
+            analysis::SemanticResult sem =
+                analysis::verifyDistilledSemantic(ref, w.dist);
+            rep.findings.insert(rep.findings.end(),
+                                sem.lint.findings.begin(),
+                                sem.lint.findings.end());
             if (!rep.clean())
                 std::fputs(rep.toText().c_str(), stderr);
             if (rep.errors()) {

@@ -2,13 +2,19 @@
  * @file
  * mssp-lint: static verification of distilled programs.
  *
- *   mssp-lint ref.{s,mo} [--image img.mdo] [--train t] [--json]
- *   mssp-lint --workload NAME [--json]
+ *   mssp-lint ref.{s,mo} [--image img.mdo] [--train t]
+ *             [--semantic] [--json | --report=json]
+ *   mssp-lint --workload NAME [--semantic] [--json | --report=json]
  *
  * With --image, verifies an existing distilled object against the
  * reference program. Otherwise (or with --workload) the reference is
  * profiled and distilled in-process first, so the tool doubles as a
  * one-shot distiller health check.
+ *
+ * --semantic additionally runs the abstract-interpretation
+ * translation validator (analysis/semantic.cc): every recorded edit
+ * is classified proven/risky/unknown, and with --report=json the
+ * output carries a per-edit "edits" array alongside the findings.
  *
  * Exit codes: 0 clean or warnings only, 1 errors found, 2 bad usage
  * or unreadable input. Checks and the JSON schema: docs/LINT.md.
@@ -45,8 +51,10 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: mssp-lint ref.{s,mo} [--image img.mdo] "
-                 "[--train t.{s,mo}] [--json]\n"
-                 "       mssp-lint --workload NAME [--json]\n");
+                 "[--train t.{s,mo}] [--semantic] "
+                 "[--json | --report=json]\n"
+                 "       mssp-lint --workload NAME [--semantic] "
+                 "[--json | --report=json]\n");
     return 2;
 }
 
@@ -57,6 +65,7 @@ main(int argc, char **argv)
 {
     std::string ref_path, image_path, train_path, workload;
     bool json = false;
+    bool semantic = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -66,8 +75,10 @@ main(int argc, char **argv)
             train_path = argv[++i];
         } else if (arg == "--workload" && i + 1 < argc) {
             workload = argv[++i];
-        } else if (arg == "--json") {
+        } else if (arg == "--json" || arg == "--report=json") {
             json = true;
+        } else if (arg == "--semantic") {
+            semantic = true;
         } else if (arg[0] != '-' && ref_path.empty()) {
             ref_path = arg;
         } else {
@@ -98,10 +109,25 @@ main(int argc, char **argv)
 
         analysis::LintReport rep =
             analysis::verifyDistilled(ref, dist);
-        std::fputs(json ? rep.toJson().c_str()
-                        : rep.toText().c_str(),
-                   stdout);
-        return rep.errors() ? 1 : 0;
+        if (!semantic) {
+            std::fputs(json ? rep.toJson().c_str()
+                            : rep.toText().c_str(),
+                       stdout);
+            return rep.errors() ? 1 : 0;
+        }
+
+        analysis::SemanticResult sem =
+            analysis::verifyDistilledSemantic(ref, dist);
+        sem.lint.findings.insert(sem.lint.findings.begin(),
+                                 rep.findings.begin(),
+                                 rep.findings.end());
+        if (json) {
+            std::fputs(sem.toJson().c_str(), stdout);
+        } else {
+            std::fputs(sem.semantic.toText().c_str(), stdout);
+            std::fputs(sem.lint.toText().c_str(), stdout);
+        }
+        return sem.lint.errors() ? 1 : 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "mssp-lint: %s\n", e.what());
         return 2;
