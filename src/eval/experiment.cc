@@ -28,6 +28,7 @@ runPrepared(const std::string &name, const PreparedWorkload &prepared,
     MsspResult mssp = machine.run(max_cycles);
 
     run.msspCycles = mssp.cycles;
+    run.stopReason = mssp.stopReason;
     run.counters = machine.counters();
     run.masterInsts = machine.counters().masterInsts;
     run.meanTaskSize = machine.meanTaskSize();
@@ -44,8 +45,8 @@ runPrepared(const std::string &name, const PreparedWorkload &prepared,
              mssp.outputs == base.outputs &&
              mssp.committedInsts == base.insts;
     if (!run.ok) {
-        warn("workload %s: MSSP run not equivalent (halted=%d)",
-             name.c_str(), mssp.halted ? 1 : 0);
+        warn("workload %s: MSSP run not equivalent (%s)",
+             name.c_str(), toString(mssp.stopReason));
     }
     return run;
 }

@@ -25,6 +25,7 @@ struct WorkloadRun
 {
     std::string name;
     bool ok = false;            ///< halted + output-equivalent to SEQ
+    StopReason stopReason = StopReason::TimedOut;   ///< why it ended
 
     uint64_t seqInsts = 0;      ///< original dynamic instructions
     uint64_t baselineCycles = 0;

@@ -51,7 +51,7 @@ class ExecContext
     /**
      * Fetch the instruction word at @p pc. Fetches are *not* data
      * reads: MSSP assumes programs are not self-modifying, so slave
-     * contexts do not record fetched words as live-ins (DESIGN.md §7).
+     * contexts do not record fetched words as live-ins (DESIGN.md §8).
      */
     virtual uint32_t fetch(uint32_t pc) = 0;
 

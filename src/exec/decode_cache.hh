@@ -75,6 +75,22 @@ class DecodeCache
     /** Number of resident decoded pages (tests/stats). */
     size_t numPages() const { return pages_.size(); }
 
+    /**
+     * Drop the decoded page containing @p pc. The one sanctioned use
+     * is runtime patching of the *distilled* image (fault injection:
+     * the master's private I-space is part of the untrusted
+     * prediction surface); original-program images stay immutable
+     * under the fetch contract.
+     */
+    void
+    invalidate(uint32_t pc)
+    {
+        uint32_t page_num = pc >> PageBits;
+        pages_.erase(page_num);
+        if (mru_num_ == page_num)
+            mru_ = nullptr;
+    }
+
   private:
     struct Page
     {

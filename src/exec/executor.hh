@@ -168,9 +168,15 @@ immOperand(Opcode op, int32_t imm)
  * Execute an already-decoded instruction against any context type.
  * When @p Ctx is a `final` class the storage accesses devirtualize;
  * with Ctx = ExecContext this *is* the reference implementation.
+ *
+ * hot + aligned: this dispatch body is the simulator's innermost
+ * function for every machine; pinning it into .text.hot at a fixed
+ * 64-byte boundary keeps its fetch alignment independent of how the
+ * surrounding objects grow (its throughput measurably swings with
+ * link-order luck otherwise — see BENCH_simspeed.json).
  */
 template <class Ctx>
-StepResult
+__attribute__((hot, aligned(64))) StepResult
 executeDecodedOn(uint32_t pc, const Instruction &inst, Ctx &ctx)
 {
     using exec_detail::immOperand;

@@ -39,7 +39,11 @@ SeqMachine::step()
     return res;
 }
 
-SeqRunResult
+// hot + aligned for the same layout-stability reason as
+// executeDecodedOn (exec/executor.hh): the batched run loop and the
+// dispatch body it calls should sit together in .text.hot with fixed
+// alignment, immune to unrelated code growth elsewhere.
+__attribute__((hot, aligned(64))) SeqRunResult
 SeqMachine::run(uint64_t max_insts)
 {
     SeqRunResult result;

@@ -1,0 +1,310 @@
+#include "fault/campaign.hh"
+
+#include <algorithm>
+
+#include "core/pipeline.hh"
+#include "exec/seq_machine.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+double
+faultBaseRate(FaultType t)
+{
+    // Per-opportunity grains differ wildly: a fork happens once per
+    // ~100 instructions, a machine cycle every cycle. These bases are
+    // tuned so intensity 1 perturbs a few percent of opportunities
+    // and intensity 10 is a sustained assault that still recovers.
+    switch (t) {
+      case FaultType::CheckpointCorrupt: return 0.05;     // per fork
+      case FaultType::LiveInFlip:        return 0.05;     // per fork
+      case FaultType::MasterRegFlip:     return 0.001;    // per cycle
+      case FaultType::MasterPcCorrupt:   return 0.0002;   // per cycle
+      case FaultType::SpawnDelay:        return 0.1;      // per fork
+      case FaultType::SpawnDrop:         return 0.02;     // per fork
+      case FaultType::SlaveStall:        return 0.001;    // per busy cyc
+      case FaultType::SlaveKill:         return 0.0005;   // per busy cyc
+      case FaultType::SpuriousSquash:    return 0.01;     // per commit
+      case FaultType::ImagePatch:        return 0.0001;   // per cycle
+      case FaultType::None:              break;
+    }
+    return 0.0;
+}
+
+MsspConfig
+campaignConfig()
+{
+    MsspConfig cfg;
+    // Campaigns run small workloads under sustained assault; the
+    // default 20k-cycle watchdog would spend the whole budget
+    // waiting. Tighten it and escalate early so recovery dominates.
+    cfg.watchdogCycles = 2500;
+    cfg.watchdogEscalateAfter = 2;
+    cfg.masterRunawayInsts = 20000;
+    return cfg;
+}
+
+namespace
+{
+
+/** The sequential truth for one workload (computed once, reused by
+ *  every fault type x rate cell). */
+struct Oracle
+{
+    PreparedWorkload prepared;
+    OutputStream outputs;
+    std::array<uint32_t, NumRegs> regs;
+    uint64_t insts = 0;
+};
+
+Oracle
+makeOracle(const Workload &wl)
+{
+    Oracle o;
+    o.prepared = prepare(wl.refSource, wl.trainSource);
+    SeqMachine seq(o.prepared.orig);
+    SeqRunResult r = seq.run(500000000ull);
+    MSSP_ASSERT(r.halted);   // registry workloads all terminate
+    o.outputs = seq.outputs();
+    o.regs = seq.state().regs();
+    o.insts = r.instCount;
+    return o;
+}
+
+CampaignRun
+runOne(const std::string &name, const Oracle &oracle, FaultType type,
+       double rate, uint64_t seed, uint64_t budget)
+{
+    CampaignRun run;
+    run.workload = name;
+    run.type = type;
+    run.rate = rate;
+    run.seed = seed;
+    run.budgetCycles = budget;
+
+    FaultPlan plan;
+    plan.type = type;
+    plan.rate = rate;
+    plan.seed = seed;
+    FaultInjector injector(seed, {plan});
+
+    MsspMachine machine(oracle.prepared.orig, oracle.prepared.dist,
+                        campaignConfig());
+    machine.setFaultInjector(&injector);
+    // Invariant (c), sharp form: the machine must only ever commit a
+    // task whose live-ins match architected state (this is its own
+    // verification re-checked from outside — a bug in the commit
+    // path shows up here before it corrupts the final state).
+    machine.setCommitHook([&run](const Task &t, const ArchState &arch) {
+        if (arch.countMismatches(t.liveIn) != 0)
+            run.commitInvariantOk = false;
+    });
+
+    MsspResult res = machine.run(budget);
+    run.cycles = res.cycles;
+    run.stopReason = res.stopReason;
+    run.injections = injector.counters().count(type);
+    run.recovery = machine.recoveryReport();
+
+    run.forwardProgress = res.halted;
+    run.outputOk = res.halted && res.outputs == oracle.outputs;
+    run.archClean = res.halted && machine.arch().regs() == oracle.regs;
+    return run;
+}
+
+std::string
+fmtRate(double r)
+{
+    return strfmt("%g", r);
+}
+
+} // anonymous namespace
+
+size_t
+CampaignReport::failures() const
+{
+    size_t n = 0;
+    for (const CampaignRun &r : runs)
+        n += r.ok() ? 0 : 1;
+    return n;
+}
+
+std::array<uint64_t, NumFaultTypes>
+CampaignReport::injectionsByType() const
+{
+    std::array<uint64_t, NumFaultTypes> by{};
+    for (const CampaignRun &r : runs)
+        by[static_cast<size_t>(r.type)] += r.injections;
+    return by;
+}
+
+bool
+CampaignReport::allTypesFired() const
+{
+    auto by = injectionsByType();
+    for (FaultType t : options.types) {
+        if (by[static_cast<size_t>(t)] == 0)
+            return false;
+    }
+    return !options.types.empty();
+}
+
+std::string
+CampaignReport::toJson() const
+{
+    std::string out = "{\"schema\": \"mssp-faultcamp-v1\",\n";
+    out += strfmt(" \"seed\": %llu, \"scale\": %s,\n",
+                  static_cast<unsigned long long>(options.seed),
+                  fmtRate(options.scale).c_str());
+    out += " \"workloads\": [";
+    for (size_t i = 0; i < options.workloads.size(); ++i) {
+        out += strfmt("%s\"%s\"", i ? ", " : "",
+                      options.workloads[i].c_str());
+    }
+    out += "],\n \"types\": [";
+    for (size_t i = 0; i < options.types.size(); ++i) {
+        out += strfmt("%s\"%s\"", i ? ", " : "",
+                      toString(options.types[i]));
+    }
+    out += "],\n \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const CampaignRun &r = runs[i];
+        const RecoveryReport &rec = r.recovery;
+        out += strfmt(
+            "  {\"workload\": \"%s\", \"type\": \"%s\", "
+            "\"rate\": %s, \"seed\": %llu, "
+            "\"injections\": %llu, \"cycles\": %llu, "
+            "\"budgetCycles\": %llu, \"stopReason\": \"%s\", "
+            "\"outputOk\": %s, \"forwardProgress\": %s, "
+            "\"archClean\": %s, \"commitInvariantOk\": %s, "
+            "\"ok\": %s, \"recovery\": {"
+            "\"squashEvents\": %llu, \"watchdogSquashes\": %llu, "
+            "\"watchdogEscalations\": %llu, "
+            "\"masterRunawayKills\": %llu, "
+            "\"masterDeadRestarts\": %llu, "
+            "\"spuriousSquashes\": %llu, "
+            "\"seqBackoffEvents\": %llu, \"seqBackoffDecays\": %llu, "
+            "\"currentSeqBackoff\": %llu, \"seqModeInsts\": %llu}}%s\n",
+            r.workload.c_str(), toString(r.type),
+            fmtRate(r.rate).c_str(),
+            static_cast<unsigned long long>(r.seed),
+            static_cast<unsigned long long>(r.injections),
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(r.budgetCycles),
+            toString(r.stopReason),
+            r.outputOk ? "true" : "false",
+            r.forwardProgress ? "true" : "false",
+            r.archClean ? "true" : "false",
+            r.commitInvariantOk ? "true" : "false",
+            r.ok() ? "true" : "false",
+            static_cast<unsigned long long>(rec.squashEvents),
+            static_cast<unsigned long long>(rec.watchdogSquashes),
+            static_cast<unsigned long long>(rec.watchdogEscalations),
+            static_cast<unsigned long long>(rec.masterRunawayKills),
+            static_cast<unsigned long long>(rec.masterDeadRestarts),
+            static_cast<unsigned long long>(rec.spuriousSquashes),
+            static_cast<unsigned long long>(rec.seqBackoffEvents),
+            static_cast<unsigned long long>(rec.seqBackoffDecays),
+            static_cast<unsigned long long>(rec.currentSeqBackoff),
+            static_cast<unsigned long long>(rec.seqModeInsts),
+            i + 1 < runs.size() ? "," : "");
+    }
+    auto by = injectionsByType();
+    out += " ],\n \"injectionsByType\": {";
+    bool first = true;
+    for (FaultType t : allFaultTypes()) {
+        out += strfmt("%s\"%s\": %llu", first ? "" : ", ",
+                      toString(t),
+                      static_cast<unsigned long long>(
+                          by[static_cast<size_t>(t)]));
+        first = false;
+    }
+    out += strfmt("},\n \"runsTotal\": %zu, \"failures\": %zu, "
+                  "\"allTypesFired\": %s}\n",
+                  runs.size(), failures(),
+                  allTypesFired() ? "true" : "false");
+    return out;
+}
+
+std::string
+CampaignReport::summary() const
+{
+    std::string s = strfmt(
+        "fault campaign: %zu runs, %zu failures%s\n"
+        "%-10s %-19s %9s %6s %9s %8s %8s  %s\n",
+        runs.size(), failures(),
+        allTypesFired() ? "" : "  [WARNING: some types never fired]",
+        "workload", "fault", "rate", "inj", "cycles", "squash",
+        "seqInst", "verdict");
+    for (const CampaignRun &r : runs) {
+        s += strfmt(
+            "%-10s %-19s %9s %6llu %9llu %8llu %8llu  %s\n",
+            r.workload.c_str(), toString(r.type),
+            fmtRate(r.rate).c_str(),
+            static_cast<unsigned long long>(r.injections),
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(r.recovery.squashEvents),
+            static_cast<unsigned long long>(r.recovery.seqModeInsts),
+            r.ok() ? "ok"
+                   : strfmt("FAIL(%s%s%s%s)",
+                            r.outputOk ? "" : " output",
+                            r.forwardProgress ? "" : " progress",
+                            r.archClean ? "" : " arch",
+                            r.commitInvariantOk ? "" : " commit")
+                         .c_str());
+    }
+    return s;
+}
+
+CampaignReport
+runFaultCampaign(const CampaignOptions &opts, std::ostream *log)
+{
+    CampaignReport report;
+    report.options = opts;
+    if (report.options.workloads.empty()) {
+        for (const Workload &wl : specAnalogues(opts.scale))
+            report.options.workloads.push_back(wl.name);
+    }
+    if (report.options.types.empty())
+        report.options.types = allFaultTypes();
+    if (report.options.intensities.empty())
+        report.options.intensities = {1.0};
+
+    uint64_t run_index = 0;
+    for (const std::string &name : report.options.workloads) {
+        Oracle oracle = makeOracle(workloadByName(name, opts.scale));
+        uint64_t budget = opts.maxCycles
+                              ? opts.maxCycles
+                              : std::max<uint64_t>(
+                                    opts.minCycles,
+                                    opts.cyclesPerInst * oracle.insts);
+        for (FaultType type : report.options.types) {
+            for (double intensity : report.options.intensities) {
+                double rate = std::min(
+                    1.0, faultBaseRate(type) * intensity);
+                uint64_t seed = Rng::mix(opts.seed, run_index++);
+                CampaignRun run =
+                    runOne(name, oracle, type, rate, seed, budget);
+                if (log) {
+                    *log << strfmt(
+                        "  [%3llu] %-10s %-19s rate=%-9s inj=%-5llu "
+                        "%s\n",
+                        static_cast<unsigned long long>(run_index),
+                        name.c_str(), toString(type),
+                        fmtRate(rate).c_str(),
+                        static_cast<unsigned long long>(
+                            run.injections),
+                        run.ok() ? "ok" : "FAIL");
+                    log->flush();
+                }
+                report.runs.push_back(std::move(run));
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace mssp

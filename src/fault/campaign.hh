@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fault-injection campaigns: sweep fault types x rates across the
+ * workload suite and check the paper's safety invariants on each run.
+ *
+ * A campaign run executes one (workload, fault type, rate) triple on
+ * the full MSSP machine with a seeded FaultInjector attached, then
+ * checks three invariants against the sequential oracle:
+ *
+ *  (a) output equivalence — the OUT stream matches SEQ exactly;
+ *  (b) forward progress — the program halts within a cycle budget
+ *      derived from the oracle's dynamic instruction count (no
+ *      livelock, however hard the recovery machinery is hammered);
+ *  (c) architected cleanliness — the final register file matches the
+ *      oracle, and every committed task's live-ins matched
+ *      architected state at commit time (squashed work leaked
+ *      nothing).
+ *
+ * Everything is deterministic: per-run seeds derive from the campaign
+ * seed via Rng::mix, and the JSON report contains no timestamps, so
+ * identical options reproduce identical bytes (CI diffs them).
+ * tools/mssp-faultcamp is the CLI; docs/FAULTS.md the guide.
+ */
+
+#ifndef MSSP_FAULT_CAMPAIGN_HH
+#define MSSP_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "mssp/machine.hh"
+
+namespace mssp
+{
+
+/** What to sweep (defaults give the CI smoke campaign a sane shape). */
+struct CampaignOptions
+{
+    /** Workload names; empty = all registry analogues. */
+    std::vector<std::string> workloads;
+    /** Fault types; empty = all ten real types. */
+    std::vector<FaultType> types;
+    /**
+     * Rate multipliers on each type's base rate (see
+     * faultBaseRate()). The per-opportunity grains differ by ~100x
+     * between per-fork and per-cycle faults, so campaigns sweep a
+     * dimensionless intensity, not an absolute rate. Effective rates
+     * clamp at 1.0.
+     */
+    std::vector<double> intensities{1.0, 10.0};
+    double scale = 0.05;     ///< workload scale (see specAnalogues)
+    uint64_t seed = 1;       ///< campaign seed (per-run seeds derive)
+    /** Forward-progress budget: max(minCycles, cyclesPerInst x oracle
+     *  insts) unless maxCycles overrides it outright. */
+    uint64_t maxCycles = 0;
+    uint64_t cyclesPerInst = 40;
+    uint64_t minCycles = 200000;
+};
+
+/** Default per-opportunity Bernoulli rate for @p t at intensity 1. */
+double faultBaseRate(FaultType t);
+
+/** One (workload, type, rate) execution and its invariant verdicts. */
+struct CampaignRun
+{
+    std::string workload;
+    FaultType type = FaultType::None;
+    double rate = 0.0;
+    uint64_t seed = 0;
+
+    uint64_t injections = 0;     ///< of this run's type
+    uint64_t cycles = 0;
+    uint64_t budgetCycles = 0;
+    StopReason stopReason = StopReason::TimedOut;
+
+    bool outputOk = false;         ///< invariant (a)
+    bool forwardProgress = false;  ///< invariant (b)
+    bool archClean = false;        ///< invariant (c): final registers
+    bool commitInvariantOk = true; ///< invariant (c): per-commit check
+
+    RecoveryReport recovery;
+
+    bool
+    ok() const
+    {
+        return outputOk && forwardProgress && archClean &&
+               commitInvariantOk;
+    }
+};
+
+/** The whole sweep. */
+struct CampaignReport
+{
+    CampaignOptions options;         ///< as resolved (lists filled in)
+    std::vector<CampaignRun> runs;
+
+    size_t failures() const;
+
+    /** Total injections per fault type across all runs. */
+    std::array<uint64_t, NumFaultTypes> injectionsByType() const;
+
+    /** True when every swept type injected at least once somewhere
+     *  (the "counters prove it" acceptance criterion). */
+    bool allTypesFired() const;
+
+    /** Deterministic JSON document (schema mssp-faultcamp-v1). */
+    std::string toJson() const;
+
+    /** Human-readable result table. */
+    std::string summary() const;
+};
+
+/** The machine configuration campaigns run under: default timing with
+ *  a tight watchdog and early escalation, so recovery (not timeout)
+ *  dominates even at small workload scales. */
+MsspConfig campaignConfig();
+
+/** Run the sweep. @p log (optional) receives one line per run. */
+CampaignReport runFaultCampaign(const CampaignOptions &opts,
+                                std::ostream *log = nullptr);
+
+} // namespace mssp
+
+#endif // MSSP_FAULT_CAMPAIGN_HH

@@ -44,6 +44,11 @@ MsspConfig::toString() const
     row("watchdogCycles", strfmt("%llu",
         static_cast<unsigned long long>(watchdogCycles)),
         "no-commit watchdog");
+    row("watchdogEscalateAfter", strfmt("%u", watchdogEscalateAfter),
+        "consecutive firings before Seq escalation");
+    row("masterRunawayInsts", strfmt("%llu",
+        static_cast<unsigned long long>(masterRunawayInsts)),
+        "master insts since last fork before kill");
     return s;
 }
 

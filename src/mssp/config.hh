@@ -56,6 +56,24 @@ struct MsspConfig
     /** Squash if no commit progress for this many cycles. */
     Cycle watchdogCycles = 20000;
 
+    /**
+     * After this many *consecutive* watchdog squashes (no commit in
+     * between), the watchdog escalates: it forces a sequential-backoff
+     * burst immediately instead of letting the master retry. Bounds
+     * squash storms from masters that run but never produce a
+     * verifiable task (a fault-campaign lesson; §6 of DESIGN.md).
+     */
+    unsigned watchdogEscalateAfter = 3;
+
+    /**
+     * Master runaway kill-switch: stop the master once it has executed
+     * this many instructions since its last spawned fork. The watchdog
+     * cannot catch this case while older tasks are still committing
+     * (every commit resets it), so a corrupted master could otherwise
+     * spin forever without forking. 0 disables.
+     */
+    uint64_t masterRunawayInsts = 100000;
+
     /** Consecutive failed master engagements before the machine backs
      *  off to sequential execution for a while. */
     unsigned maxEngageFailures = 4;

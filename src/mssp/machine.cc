@@ -3,10 +3,23 @@
 #include <algorithm>
 
 #include "exec/executor.hh"
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 
 namespace mssp
 {
+
+const char *
+toString(StopReason r)
+{
+    switch (r) {
+      case StopReason::Halted:            return "halted";
+      case StopReason::Faulted:           return "faulted";
+      case StopReason::TimedOut:          return "timed-out";
+      case StopReason::WatchdogExhausted: return "watchdog-exhausted";
+    }
+    return "?";
+}
 
 namespace
 {
@@ -75,6 +88,21 @@ MsspMachine::MsspMachine(const Program &orig,
 }
 
 void
+MsspMachine::setFaultInjector(FaultInjector *injector)
+{
+    injector_ = injector;
+    if (injector_ && dist_code_addrs_.empty()) {
+        // ImagePatch target list: words of the master's private
+        // I-space (distilled code), never the original image.
+        for (const auto &[addr, word] : dist_.prog.image()) {
+            (void)word;
+            if (addr >= DistilledCodeBase)
+                dist_code_addrs_.push_back(addr);
+        }
+    }
+}
+
+void
 MsspMachine::engageMaster()
 {
     last_commit_cycle_ = now_;
@@ -82,10 +110,37 @@ MsspMachine::engageMaster()
         master_.restart(arch_.pc())) {
         mode_ = Mode::Spec;
         master_budget_ = 0.0;
+        master_insts_at_last_fork_ = 0;
     } else {
         mode_ = Mode::Seq;
         seq_budget_ = 0.0;
     }
+}
+
+void
+MsspMachine::noteEngageFailure()
+{
+    ++engage_failures_;
+    if (engage_failures_ > cfg_.maxEngageFailures) {
+        // Speculation keeps failing here: back off to sequential
+        // execution for a while (exponential, decayed by commits).
+        seq_backoff_ = std::min(
+            std::max(seq_backoff_ * 2, cfg_.seqBackoffInsts),
+            cfg_.maxSeqBackoffInsts);
+        seq_insts_remaining_ = seq_backoff_;
+        engage_failures_ = 0;
+        ++ctrs_.seqBackoffEvents;
+    }
+}
+
+void
+MsspMachine::noteMasterDead()
+{
+    ++ctrs_.masterDeadRestarts;
+    noteEngageFailure();
+    mode_ = Mode::Restarting;
+    restart_at_ = now_ + cfg_.squashPenalty;
+    last_commit_cycle_ = now_;
 }
 
 void
@@ -101,6 +156,9 @@ MsspMachine::squash(TaskOutcome reason)
         break;
       case TaskOutcome::SquashedOverrun:
         ++ctrs_.tasksSquashedOverrun;
+        break;
+      case TaskOutcome::SquashedSpurious:
+        ++ctrs_.tasksSquashedSpurious;
         break;
       default:
         break;
@@ -121,17 +179,7 @@ MsspMachine::squash(TaskOutcome reason)
     spawn_queue_.clear();
     master_.stop();
 
-    ++engage_failures_;
-    if (engage_failures_ > cfg_.maxEngageFailures) {
-        // Speculation keeps failing here: back off to sequential
-        // execution for a while (exponential, decayed by commits).
-        seq_backoff_ = std::min(
-            std::max(seq_backoff_ * 2, cfg_.seqBackoffInsts),
-            cfg_.maxSeqBackoffInsts);
-        seq_insts_remaining_ = seq_backoff_;
-        engage_failures_ = 0;
-        ++ctrs_.seqBackoffEvents;
-    }
+    noteEngageFailure();
     mode_ = Mode::Restarting;
     restart_at_ = now_ + cfg_.squashPenalty;
     last_commit_cycle_ = now_;
@@ -188,7 +236,17 @@ MsspMachine::commitFront()
     commit_busy_until_ = now_ + cfg_.commitLatency;
     last_commit_cycle_ = now_;
     engage_failures_ = 0;
-    seq_backoff_ /= 2;   // speculation is working again: decay
+    consecutive_watchdog_ = 0;
+    if (seq_backoff_ > 0) {
+        // Speculation is working again: decay. Clamp to 0 below the
+        // initial backoff so a recovered machine really is backoff-free
+        // (re-engagement via max(2x, seqBackoffInsts) used to pin any
+        // once-engaged backoff at the floor forever).
+        seq_backoff_ /= 2;
+        if (seq_backoff_ < cfg_.seqBackoffInsts)
+            seq_backoff_ = 0;
+        ++ctrs_.seqBackoffDecays;
+    }
     master_.sweepDeltaAgainstArch(cfg_.checkpointSweepCells);
 }
 
@@ -206,6 +264,14 @@ MsspMachine::tickCommit()
             squash_hook_(t, reason);
         squash(reason);
     };
+
+    if (injector_ && injector_->fire(FaultType::SpuriousSquash)) {
+        // Glitched verification hardware: squash a head task that may
+        // well have verified. Costs performance, never correctness —
+        // squashed work leaves architected state untouched.
+        squash_with_hook(TaskOutcome::SquashedSpurious);
+        return;
+    }
 
     switch (t.end) {
       case TaskEnd::ReachedEnd:
@@ -293,8 +359,62 @@ MsspMachine::tickSpawnDelivery()
 }
 
 void
+MsspMachine::injectMasterFaults()
+{
+    if (injector_->fire(FaultType::MasterRegFlip)) {
+        const FaultPlan &p = injector_->plan(FaultType::MasterRegFlip);
+        unsigned r = p.target > 0 && p.target < static_cast<int>(NumRegs)
+                         ? static_cast<unsigned>(p.target)
+                         : 1 + static_cast<unsigned>(
+                                   injector_->pick(NumRegs - 1));
+        master_.corruptReg(r, injector_->bit32());
+    }
+    if (!dist_code_addrs_.empty() &&
+        injector_->fire(FaultType::MasterPcCorrupt)) {
+        uint32_t pc = dist_code_addrs_[injector_->pick(
+            dist_code_addrs_.size())];
+        master_.corruptPc(pc);
+    }
+    if (!dist_code_addrs_.empty() &&
+        injector_->fire(FaultType::ImagePatch)) {
+        // Patch a word of the master's private I-space at runtime and
+        // invalidate its predecode page. The original image is never
+        // touched: slaves and the Seq fallback stay correct by
+        // construction.
+        uint32_t addr = dist_code_addrs_[injector_->pick(
+            dist_code_addrs_.size())];
+        dist_.prog.setWord(addr, injector_->word());
+        master_.invalidateDecode(addr);
+    }
+}
+
+void
+MsspMachine::injectSlaveFaults()
+{
+    for (auto &slave : slaves_) {
+        Task *t = slave.task();
+        if (!t || t->done())
+            continue;
+        bool kill = false;
+        Cycle stall = injector_->onSlaveTick(slave.id(), &kill);
+        if (kill) {
+            // The core died mid-task. Its task stays incomplete in
+            // the window (no slave will ever pick it up again), so
+            // the commit unit stalls on it until the watchdog squash
+            // recovers — exactly a hung core's failure mode.
+            slave.release();
+            continue;
+        }
+        if (stall > 0)
+            slave.injectStall(stall);
+    }
+}
+
+void
 MsspMachine::tickSlaves()
 {
+    if (injector_)
+        injectSlaveFaults();
     for (auto &slave : slaves_) {
         unsigned executed = slave.tick();
         ctrs_.slaveInsts += executed;
@@ -311,6 +431,20 @@ MsspMachine::tickMaster()
 {
     if (mode_ != Mode::Spec || !master_.running())
         return;
+    if (injector_)
+        injectMasterFaults();
+    if (cfg_.masterRunawayInsts > 0 && master_.running() &&
+        master_.instsSinceRestart() - master_insts_at_last_fork_ >
+            cfg_.masterRunawayInsts) {
+        // The master is burning instructions without forking (e.g. a
+        // corrupted PC landed it in an infinite non-fork loop). The
+        // watchdog cannot see this while older tasks keep committing,
+        // so kill the master here; once the window drains, the
+        // master-dead path restarts it.
+        master_.stop();
+        ++ctrs_.masterRunawayKills;
+        return;
+    }
     master_budget_ += cfg_.masterIpc;
 
     while (master_budget_ >= 1.0 && master_.running()) {
@@ -331,6 +465,7 @@ MsspMachine::tickMaster()
 
         switch (st) {
           case MasterStep::WantsFork: {
+            master_insts_at_last_fork_ = master_.instsSinceRestart();
             if (Task *prev = youngest(); prev && !prev->endKnown) {
                 prev->endKnown = true;
                 prev->endPc = fi.origPc;
@@ -340,12 +475,26 @@ MsspMachine::tickMaster()
             task->id = next_task_id_++;
             task->startPc = fi.origPc;
             task->checkpoint = fi.checkpoint;
+            if (injector_) {
+                if (auto bad = injector_->corruptCheckpoint(
+                        *fi.checkpoint))
+                    task->checkpoint = std::move(bad);
+            }
             checkpoint_dist_.sample(
-                static_cast<double>(fi.checkpoint->size()));
+                static_cast<double>(task->checkpoint->size()));
             Task *raw = task.get();
             window_.push_back(std::move(task));
             ++ctrs_.tasksForked;
-            spawn_queue_.push_back({now_ + cfg_.forkLatency, raw});
+            if (injector_ && injector_->dropSpawn()) {
+                // Lost on the interconnect: the task sits in the
+                // window forever undelivered; the watchdog squash
+                // recovers it.
+                break;
+            }
+            Cycle transit = cfg_.forkLatency;
+            if (injector_)
+                transit += injector_->spawnDelay();
+            spawn_queue_.push_back({now_ + transit, raw});
             break;
           }
           case MasterStep::Halted: {
@@ -408,7 +557,22 @@ MsspMachine::checkWatchdog()
         return;
     if (now_ - last_commit_cycle_ > cfg_.watchdogCycles) {
         ++ctrs_.watchdogSquashes;
+        ++consecutive_watchdog_;
+        bool escalate =
+            consecutive_watchdog_ > cfg_.watchdogEscalateAfter;
         squash(TaskOutcome::SquashedOverrun);
+        if (escalate && seq_insts_remaining_ == 0) {
+            // This many firings without one commit in between means
+            // re-trying speculation is burning watchdogCycles per
+            // attempt; force the sequential fallback now. (Skipped
+            // when squash()'s own engage-failure accounting already
+            // scheduled a backoff — no double-doubling.)
+            ++ctrs_.watchdogEscalations;
+            seq_backoff_ = std::min(
+                std::max(seq_backoff_ * 2, cfg_.seqBackoffInsts),
+                cfg_.maxSeqBackoffInsts);
+            seq_insts_remaining_ = seq_backoff_;
+        }
     }
 }
 
@@ -438,7 +602,18 @@ MsspMachine::run(uint64_t max_cycles)
         tickSlaves();
         if (mode_ == Mode::Spec) {
             tickMaster();
-            checkWatchdog();
+            if (!master_.running() && window_.empty() &&
+                spawn_queue_.empty() && arrived_.empty()) {
+                // Dead master (halted/faulted/runaway-killed), empty
+                // pipeline: nothing can ever commit, so restart now
+                // instead of sitting out the watchdog. Counts as an
+                // engage failure — a master that dies right after
+                // every restart must escalate into Seq backoff, not
+                // spin restart/die forever.
+                noteMasterDead();
+            } else {
+                checkWatchdog();
+            }
         } else if (mode_ == Mode::Seq) {
             tickSeq();
         }
@@ -459,6 +634,17 @@ MsspMachine::run(uint64_t max_cycles)
     result.halted = halted_;
     result.faulted = faulted_;
     result.timedOut = !halted_ && !faulted_;
+    if (halted_) {
+        result.stopReason = StopReason::Halted;
+    } else if (faulted_) {
+        result.stopReason = StopReason::Faulted;
+    } else if (consecutive_watchdog_ > cfg_.watchdogEscalateAfter) {
+        // Ran out the clock mid watchdog storm: the cycle budget, not
+        // the recovery machinery, was exhausted.
+        result.stopReason = StopReason::WatchdogExhausted;
+    } else {
+        result.stopReason = StopReason::TimedOut;
+    }
     result.cycles = now_;
     result.committedInsts = arch_.instret();
     result.outputs = outputs_;
@@ -512,11 +698,64 @@ MsspMachine::dumpStats(std::ostream &os) const
         "slave reads satisfied from architected state");
     row("seqBackoffEvents", c.seqBackoffEvents,
         "sequential-backoff episodes");
+    row("seqBackoffDecays", c.seqBackoffDecays,
+        "commits that decayed an active backoff");
+    row("tasksSquashedSpurious", c.tasksSquashedSpurious,
+        "head squashes: injected spurious squash");
+    row("watchdogEscalations", c.watchdogEscalations,
+        "watchdog firings escalated to Seq mode");
+    row("masterRunawayKills", c.masterRunawayKills,
+        "masters stopped by the runaway kill-switch");
+    row("masterDeadRestarts", c.masterDeadRestarts,
+        "fast restarts of a dead master");
     row("mmioSerializations", c.mmioSerializations,
         "device accesses serialized non-speculatively");
     row("l1Hits", c.l1Hits, "slave L1 hits on read-throughs");
     row("l1Misses", c.l1Misses, "slave L1 misses on read-throughs");
+    if (injector_)
+        injector_->dump(os);
     stats_root_.dump(os);
+}
+
+RecoveryReport
+MsspMachine::recoveryReport() const
+{
+    RecoveryReport r;
+    r.squashEvents = ctrs_.squashEvents;
+    r.watchdogSquashes = ctrs_.watchdogSquashes;
+    r.watchdogEscalations = ctrs_.watchdogEscalations;
+    r.masterRunawayKills = ctrs_.masterRunawayKills;
+    r.masterDeadRestarts = ctrs_.masterDeadRestarts;
+    r.spuriousSquashes = ctrs_.tasksSquashedSpurious;
+    r.seqBackoffEvents = ctrs_.seqBackoffEvents;
+    r.seqBackoffDecays = ctrs_.seqBackoffDecays;
+    r.currentSeqBackoff = seq_backoff_;
+    r.seqModeInsts = ctrs_.seqModeInsts;
+    r.faultsInjected =
+        injector_ ? injector_->counters().total() : 0;
+    return r;
+}
+
+std::string
+RecoveryReport::toString() const
+{
+    std::string s;
+    auto row = [&](const char *name, uint64_t v) {
+        s += strfmt("  %-22s %llu\n", name,
+                    static_cast<unsigned long long>(v));
+    };
+    row("squashEvents", squashEvents);
+    row("watchdogSquashes", watchdogSquashes);
+    row("watchdogEscalations", watchdogEscalations);
+    row("masterRunawayKills", masterRunawayKills);
+    row("masterDeadRestarts", masterDeadRestarts);
+    row("spuriousSquashes", spuriousSquashes);
+    row("seqBackoffEvents", seqBackoffEvents);
+    row("seqBackoffDecays", seqBackoffDecays);
+    row("currentSeqBackoff", currentSeqBackoff);
+    row("seqModeInsts", seqModeInsts);
+    row("faultsInjected", faultsInjected);
+    return s;
 }
 
 } // namespace mssp

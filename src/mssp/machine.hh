@@ -46,12 +46,27 @@
 namespace mssp
 {
 
+class FaultInjector;
+
+/** Why a run ended (one authoritative reason, not three bools). */
+enum class StopReason : uint8_t
+{
+    Halted,              ///< program ran to completion
+    Faulted,             ///< program genuinely faulted
+    TimedOut,            ///< hit the cycle limit while making progress
+    WatchdogExhausted,   ///< hit the cycle limit mid watchdog storm
+};
+
+/** "halted" / "faulted" / "timed-out" / "watchdog-exhausted". */
+const char *toString(StopReason r);
+
 /** Result of an MSSP run. */
 struct MsspResult
 {
     bool halted = false;     ///< program ran to completion
     bool faulted = false;    ///< program genuinely faulted
     bool timedOut = false;   ///< hit the cycle limit
+    StopReason stopReason = StopReason::TimedOut;
     uint64_t cycles = 0;
     uint64_t committedInsts = 0;
     OutputStream outputs;
@@ -78,6 +93,17 @@ struct MsspCounters
     uint64_t liveInCellsMismatched = 0;
     uint64_t archReads = 0;
     uint64_t seqBackoffEvents = 0;
+    /** Commits that decayed an active sequential backoff. */
+    uint64_t seqBackoffDecays = 0;
+    /** Verifying head tasks squashed by fault injection. */
+    uint64_t tasksSquashedSpurious = 0;
+    /** Watchdog firings that escalated straight to Seq mode. */
+    uint64_t watchdogEscalations = 0;
+    /** Masters stopped by the runaway kill-switch. */
+    uint64_t masterRunawayKills = 0;
+    /** Fast restarts of a dead master with an empty pipeline (no
+     *  watchdog wait). */
+    uint64_t masterDeadRestarts = 0;
     /** Tasks that stopped at a device access and were serialized. */
     uint64_t mmioSerializations = 0;
     /** Slave L1 filter statistics (0 when the L1 is disabled). */
@@ -87,6 +113,29 @@ struct MsspCounters
     uint64_t slaveArchStallCycles = 0;
     uint64_t slavePauseCycles = 0;
     uint64_t slaveIdleCycles = 0;
+};
+
+/**
+ * The recovery story of one run in one structure: how often each
+ * defense fired and where the machine's backoff state ended up.
+ * Campaigns embed this per run; dumpStats prints the same numbers.
+ */
+struct RecoveryReport
+{
+    uint64_t squashEvents = 0;
+    uint64_t watchdogSquashes = 0;
+    uint64_t watchdogEscalations = 0;
+    uint64_t masterRunawayKills = 0;
+    uint64_t masterDeadRestarts = 0;
+    uint64_t spuriousSquashes = 0;
+    uint64_t seqBackoffEvents = 0;
+    uint64_t seqBackoffDecays = 0;
+    uint64_t currentSeqBackoff = 0;   ///< 0 = fully recovered
+    uint64_t seqModeInsts = 0;
+    uint64_t faultsInjected = 0;      ///< 0 when no injector attached
+
+    /** Multi-line human-readable rendering. */
+    std::string toString() const;
 };
 
 /** The full MSSP chip-multiprocessor model. */
@@ -117,6 +166,21 @@ class MsspMachine
     /** Dump a gem5-style statistics table. */
     void dumpStats(std::ostream &os) const;
 
+    /** Recovery/backoff counters in one structure (see above). */
+    RecoveryReport recoveryReport() const;
+
+    /**
+     * Attach a fault injector (nullptr detaches). Non-owning; the
+     * injector must outlive the run. Every consultation site is
+     * guarded by this single pointer check, so a detached machine
+     * pays one predictable branch per hook — see the BM_MsspMachine
+     * A/B in EXPERIMENTS.md.
+     */
+    void setFaultInjector(FaultInjector *injector);
+
+    /** Current sequential-backoff length (tests/diagnostics). */
+    uint64_t currentSeqBackoff() const { return seq_backoff_; }
+
     /** Committed-task observer hook (used by the task-safety tests):
      *  called with each task right before its live-outs commit. */
     using CommitHook = std::function<void(const Task &,
@@ -141,6 +205,16 @@ class MsspMachine
     void squash(TaskOutcome reason);
     void engageMaster();
     void commitFront();
+    /** Count a failed engagement; escalate to Seq backoff past the
+     *  limit (shared by squash() and the master-dead fast path). */
+    void noteEngageFailure();
+    /** Master dead (faulted/killed/halted-without-final-task) with an
+     *  empty pipeline: restart now instead of waiting for the
+     *  watchdog to notice the silence. */
+    void noteMasterDead();
+    /** Fault hooks (only reached with an injector attached). */
+    void injectMasterFaults();
+    void injectSlaveFaults();
     /** Get a fresh (or recycled) task shell. */
     std::unique_ptr<Task> allocTask();
     /** Return a retired task shell to the pool. */
@@ -177,7 +251,10 @@ class MsspMachine
         Task *task;
     };
     /** Forked tasks in transit (FIFO: fork order, fixed latency).
-     *  Replaces a generic event queue on the once-per-fork path. */
+     *  Replaces a generic event queue on the once-per-fork path.
+     *  Injected SpawnDelay faults can make a head entry due later
+     *  than its successors; delivery then head-of-line blocks, like
+     *  a congested interconnect would. */
     std::deque<PendingSpawn> spawn_queue_;
 
     /** Retired Task shells for reuse (their maps keep capacity). */
@@ -189,6 +266,10 @@ class MsspMachine
     Cycle commit_busy_until_ = 0;
     Cycle last_commit_cycle_ = 0;
     unsigned engage_failures_ = 0;
+    /** Watchdog firings since the last commit (escalation trigger). */
+    unsigned consecutive_watchdog_ = 0;
+    /** Master inst count at its last spawned fork (runaway switch). */
+    uint64_t master_insts_at_last_fork_ = 0;
     /** Current sequential-backoff length (0 = no backoff active). */
     uint64_t seq_backoff_ = 0;
     /** Instructions left to execute sequentially before the machine
@@ -210,6 +291,11 @@ class MsspMachine
     MsspCounters ctrs_;
     CommitHook commit_hook_;
     SquashHook squash_hook_;
+    /** Fault injector (null = no hooks fire; see setFaultInjector). */
+    FaultInjector *injector_ = nullptr;
+    /** Patchable distilled-code addresses (built on injector attach;
+     *  ImagePatch targets). */
+    std::vector<uint32_t> dist_code_addrs_;
 
     // Statistics (mirrors of ctrs_ for table dumping).
     mutable stats::Group stats_root_{"mssp"};

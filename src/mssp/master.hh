@@ -157,6 +157,29 @@ class MasterCore final : public ExecContext
 
     uint32_t pc() const { return pc_; }
 
+    // -- Fault-injection surface (src/fault/) -----------------------------
+    // Nothing the master does can affect correctness, so corrupting it
+    // is always safe; these exist so campaigns corrupt *exactly* the
+    // state a flaky core would, through one auditable door.
+
+    /** Flip bits of register @p r (marks it dirty: the corruption
+     *  propagates into the next checkpoint, as real damage would). */
+    void
+    corruptReg(unsigned r, uint32_t xor_mask)
+    {
+        if (r == 0 || r >= NumRegs)
+            return;
+        regs_[r] ^= xor_mask;
+        dirty_regs_ |= 1u << r;
+    }
+
+    /** Redirect the PC (wild jump within the private I-space). */
+    void corruptPc(uint32_t pc) { pc_ = pc; }
+
+    /** Invalidate the predecoded page holding @p pc after the machine
+     *  patches a distilled-image word at runtime. */
+    void invalidateDecode(uint32_t pc) { decode_.invalidate(pc); }
+
     // -- ExecContext ------------------------------------------------------
     uint32_t readReg(unsigned r) override { return regs_[r]; }
     void

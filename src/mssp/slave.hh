@@ -159,6 +159,7 @@ class SlaveCore
 
     bool idle() const { return task_ == nullptr; }
     Task *task() { return task_; }
+    int id() const { return id_; }
 
     /** Begin executing @p task (it must be freshly spawned). */
     void
@@ -210,6 +211,11 @@ class SlaveCore
         }
         return tickActive();
     }
+
+    /** Fault-injection surface: freeze this core for @p n extra
+     *  cycles, as a stalled or flaky core would (timing-only; the
+     *  verify/commit unit never learns the difference). */
+    void injectStall(Cycle n) { stall_ += n; }
 
     /** Flash-invalidate the speculative L1 (squash/serialize). */
     void

@@ -44,6 +44,7 @@ enum class TaskOutcome : uint8_t
     SquashedWrongPc,   ///< start PC mismatched architected PC
     SquashedOverrun,
     SquashedCascade,   ///< discarded because an older task squashed
+    SquashedSpurious,  ///< fault-injected squash of a verifying task
 };
 
 /** One speculative task. */

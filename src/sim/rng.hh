@@ -64,6 +64,21 @@ class Rng
                (1.0 / 9007199254740992.0);
     }
 
+    /**
+     * Deterministically derive a sub-seed from a parent seed and a
+     * stream index (splitmix finalizer). Fault campaigns use this to
+     * give every (workload, fault, rate) run an independent,
+     * reproducible stream from one campaign seed.
+     */
+    static uint64_t
+    mix(uint64_t seed, uint64_t stream)
+    {
+        uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
   private:
     uint64_t state;
 };

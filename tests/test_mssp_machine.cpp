@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.hh"
 #include "helpers.hh"
 
 namespace mssp
@@ -225,6 +226,120 @@ TEST(MsspMachine, CommitHookObservesTaskSafety)
     MsspResult r = machine.run(10000000);
     expectEquivalent(w.orig, r);
     EXPECT_GT(checked, 0u);
+}
+
+TEST(MsspMachine, StopReasonReportsHowTheRunEnded)
+{
+    PreparedWorkload w = prepare(biasedSumSource(200, 61),
+                                 biasedSumSource(128, 62));
+    MsspConfig cfg;
+    MsspMachine machine(w.orig, w.dist, cfg);
+    MsspResult r = machine.run(10000000);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.stopReason, StopReason::Halted);
+    EXPECT_STREQ(toString(r.stopReason), "halted");
+
+    MsspMachine starved(w.orig, w.dist, cfg);
+    MsspResult t = starved.run(10);   // nowhere near enough cycles
+    EXPECT_FALSE(t.halted);
+    EXPECT_EQ(t.stopReason, StopReason::TimedOut);
+}
+
+TEST(MsspMachine, DeadDistilledProgramStillCompletesViaSeq)
+{
+    // Zero every distilled-code word: the master faults on its first
+    // fetch after every engagement (decode(0) is Illegal), forever.
+    // The machine must notice the dead master without burning a full
+    // watchdog interval per attempt, escalate into sequential
+    // backoff, and finish the program output-equivalent to SEQ well
+    // within a budget a livelock would blow through.
+    PreparedWorkload w = prepare(biasedSumSource(400, 71),
+                                 biasedSumSource(256, 72));
+    for (const auto &[addr, word] : w.dist.prog.image()) {
+        (void)word;
+        if (addr >= DistilledCodeBase)
+            w.dist.prog.setWord(addr, 0);
+    }
+    SeqMachine oracle(w.orig);
+    oracle.run(100000000ull);
+    ASSERT_TRUE(oracle.halted());
+
+    MsspConfig cfg;
+    cfg.watchdogCycles = 2000;
+    // Budget: sequential execution plus generous recovery slack. A
+    // restart/fault livelock would never halt at all.
+    uint64_t budget = 20 * oracle.instCount() + 100000;
+    MsspMachine machine(w.orig, w.dist, cfg);
+    MsspResult r = machine.run(budget);
+    ASSERT_TRUE(r.halted) << "livelocked on a dead master";
+    EXPECT_EQ(r.outputs, oracle.outputs());
+    EXPECT_EQ(r.committedInsts, oracle.instCount());
+
+    const MsspCounters &c = machine.counters();
+    EXPECT_GT(c.masterDeadRestarts, 0u);
+    EXPECT_GT(c.seqBackoffEvents, 0u);
+    EXPECT_GT(c.seqModeInsts, 0u);
+}
+
+TEST(MsspMachine, SeqBackoffFullyDecaysAfterRecovery)
+{
+    // Engage backoff early — drop the machine's first spawns so the
+    // watchdog squashes — then run the long clean remainder. Commits
+    // must decay the backoff all the way to zero (the old
+    // seq_backoff_ /= 2 could never get below seqBackoffInsts once
+    // the max(2x, floor) doubling engaged: re-speculation stayed
+    // penalized forever after one bad patch).
+    PreparedWorkload w = prepare(biasedSumSource(800, 41),
+                                 biasedSumSource(512, 42));
+    FaultPlan plan;
+    plan.type = FaultType::SpawnDrop;
+    plan.rate = 1.0;
+    plan.maxInjections = 8;   // only the early forks are lost
+    plan.seed = 23;
+    FaultInjector injector(plan.seed, {plan});
+
+    MsspConfig cfg;
+    cfg.maxEngageFailures = 0;   // first squash engages backoff
+    cfg.seqBackoffInsts = 64;
+    cfg.watchdogCycles = 1500;
+    MsspMachine machine(w.orig, w.dist, cfg);
+    machine.setFaultInjector(&injector);
+    MsspResult r = machine.run(50000000);
+    expectEquivalent(w.orig, r);
+    const MsspCounters &c = machine.counters();
+    ASSERT_GT(c.seqBackoffEvents, 0u);
+    EXPECT_GT(c.seqBackoffDecays, 0u);
+    EXPECT_GT(c.tasksCommitted, 20u);
+    EXPECT_EQ(machine.currentSeqBackoff(), 0u)
+        << "backoff pinned above zero after successful recovery";
+}
+
+TEST(MsspMachine, WatchdogEscalationBoundsSquashStorms)
+{
+    // Dead master again, but with the fast-restart path effectively
+    // disabled by a spawned-but-undeliverable window: drop every
+    // spawn via an injector so the watchdog (not the master-dead
+    // path) must do the recovering, and verify the escalation
+    // counter advances and the storm ends in sequential mode.
+    PreparedWorkload w = prepare(biasedSumSource(400, 81),
+                                 biasedSumSource(256, 82));
+    FaultPlan plan;
+    plan.type = FaultType::SpawnDrop;
+    plan.rate = 1.0;
+    plan.seed = 17;
+    FaultInjector injector(plan.seed, {plan});
+
+    MsspConfig cfg;
+    cfg.watchdogCycles = 1500;
+    cfg.watchdogEscalateAfter = 2;
+    MsspMachine machine(w.orig, w.dist, cfg);
+    machine.setFaultInjector(&injector);
+    MsspResult r = machine.run(50000000);
+    expectEquivalent(w.orig, r);
+    const MsspCounters &c = machine.counters();
+    EXPECT_GT(c.watchdogSquashes, 2u);
+    EXPECT_GT(c.watchdogEscalations, 0u);
+    EXPECT_GT(c.seqModeInsts, 0u);
 }
 
 } // anonymous namespace

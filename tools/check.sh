@@ -2,12 +2,14 @@
 # Repo health check: formatting (advisory), a normal build + ctest, a
 # tree-wide clang-tidy pass (gating when the binary is available), a
 # lint-gate smoke test on a deliberately corrupted distilled object,
-# a Release-build benchmark smoke run (regression gate), and a second
-# build + ctest under ASan+UBSan (MSSP_SANITIZE).
+# a fault-injection campaign smoke (all fault types, determinism
+# checked), a Release-build benchmark smoke run (regression gate), and
+# a second build + ctest under ASan+UBSan (MSSP_SANITIZE).
 #
 #   tools/check.sh [--fast]     # --fast skips the sanitizer pass
 #   MSSP_SKIP_BENCH=1 tools/check.sh    # skip the benchmark smoke
 #   MSSP_SKIP_TIDY=1 tools/check.sh     # skip the clang-tidy gate
+#   MSSP_SKIP_FAULTS=1 tools/check.sh   # skip the fault-campaign smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -66,6 +68,25 @@ if build/tools/mssp-lint "$tmp/prog.s" --image "$tmp/bad.mdo" \
     exit 1
 fi
 echo "corrupted image rejected, as it should be"
+
+if [[ "${MSSP_SKIP_FAULTS:-0}" == "1" ]]; then
+    echo "== skipping fault-campaign smoke (MSSP_SKIP_FAULTS=1)"
+else
+    # Quick sweep: every fault type on two workloads. The binary exits
+    # nonzero if any invariant (output equivalence, forward progress,
+    # clean architected state) fails or a fault type never fired. Two
+    # runs with the same seed must produce byte-identical JSON.
+    echo "== fault-campaign smoke (all fault types, 2 workloads)"
+    build/tools/mssp-faultcamp --workloads gzip,mcf --scale 0.05 \
+        --seed 12345 --quiet --json "$tmp/camp1.json"
+    build/tools/mssp-faultcamp --workloads gzip,mcf --scale 0.05 \
+        --seed 12345 --quiet --json "$tmp/camp2.json"
+    if ! cmp -s "$tmp/camp1.json" "$tmp/camp2.json"; then
+        echo "check.sh: fault campaign is not deterministic" >&2
+        exit 1
+    fi
+    echo "campaign passed and reproduced byte-identically"
+fi
 
 if [[ "${MSSP_SKIP_BENCH:-0}" == "1" ]]; then
     echo "== skipping benchmark smoke (MSSP_SKIP_BENCH=1)"

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * mssp-faultcamp: sweep fault types x rates across the workload suite
+ * and verify the safety invariants on every run (docs/FAULTS.md).
+ *
+ *   mssp-faultcamp [--workloads gzip,mcf,...] [--types a,b,...]
+ *                  [--intensities 1,10] [--scale F] [--seed N]
+ *                  [--max-cycles N] [--json FILE] [--quiet]
+ *                  [--list-types]
+ *
+ * Exit status: 0 when every run satisfied all invariants AND every
+ * swept fault type injected at least once; 1 otherwise. The JSON
+ * report is byte-deterministic for fixed options (CI runs the sweep
+ * twice and diffs).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "sim/logging.hh"
+#include "util/string_utils.hh"
+
+using namespace mssp;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    for (std::string_view part : split(s, ',')) {
+        if (!part.empty())
+            out.emplace_back(part);
+    }
+    return out;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mssp-faultcamp [--workloads a,b,...] [--types a,b,...]\n"
+        "                      [--intensities 1,10] [--scale F]\n"
+        "                      [--seed N] [--max-cycles N]\n"
+        "                      [--json FILE] [--quiet] [--list-types]\n");
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CampaignOptions opts;
+    std::string json_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--workloads" && i + 1 < argc) {
+            opts.workloads = splitList(argv[++i]);
+        } else if (arg == "--types" && i + 1 < argc) {
+            opts.types.clear();
+            for (const std::string &name : splitList(argv[++i])) {
+                FaultType t = faultTypeFromString(name);
+                if (t == FaultType::None) {
+                    std::fprintf(stderr,
+                                 "mssp-faultcamp: unknown fault type "
+                                 "'%s' (try --list-types)\n",
+                                 name.c_str());
+                    return 2;
+                }
+                opts.types.push_back(t);
+            }
+        } else if (arg == "--intensities" && i + 1 < argc) {
+            opts.intensities.clear();
+            for (const std::string &v : splitList(argv[++i]))
+                opts.intensities.push_back(std::atof(v.c_str()));
+        } else if (arg == "--scale" && i + 1 < argc) {
+            opts.scale = std::atof(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            opts.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--max-cycles" && i + 1 < argc) {
+            opts.maxCycles =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list-types") {
+            for (FaultType t : allFaultTypes()) {
+                std::printf("%-19s base rate %g\n", toString(t),
+                            faultBaseRate(t));
+            }
+            return 0;
+        } else {
+            return usage();
+        }
+    }
+
+    try {
+        CampaignReport report =
+            runFaultCampaign(opts, quiet ? nullptr : &std::cerr);
+
+        if (!json_path.empty()) {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::fprintf(stderr,
+                             "mssp-faultcamp: cannot write %s\n",
+                             json_path.c_str());
+                return 1;
+            }
+            out << report.toJson();
+        }
+        if (!quiet || json_path.empty())
+            std::fputs(report.summary().c_str(), stdout);
+
+        if (report.failures() != 0) {
+            std::fprintf(stderr,
+                         "mssp-faultcamp: %zu run(s) violated an "
+                         "invariant\n",
+                         report.failures());
+            return 1;
+        }
+        if (!report.allTypesFired()) {
+            std::fprintf(stderr,
+                         "mssp-faultcamp: some fault types never "
+                         "injected (raise --intensities or the "
+                         "cycle budget)\n");
+            return 1;
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "mssp-faultcamp: %s\n", e.what());
+        return 1;
+    }
+}

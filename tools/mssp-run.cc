@@ -113,10 +113,7 @@ main(int argc, char **argv)
         printOutputs(r.outputs);
         std::printf("%s: %s after %llu cycles, %llu committed "
                     "instructions\n",
-                    prog_path.c_str(),
-                    r.halted    ? "halted"
-                    : r.faulted ? "FAULTED"
-                                : "cycle limit",
+                    prog_path.c_str(), toString(r.stopReason),
                     static_cast<unsigned long long>(r.cycles),
                     static_cast<unsigned long long>(
                         r.committedInsts));
