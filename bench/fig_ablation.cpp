@@ -10,11 +10,13 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "eval/experiment.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 using namespace mssp;
 
@@ -63,23 +65,41 @@ variants()
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    unsigned jobs = benchJobs(argc, argv, "fig_ablation");
     Table table({"distiller variant", "dyn ratio", "speedup",
                  "squash/1k tasks"});
 
-    for (const auto &variant : variants()) {
+    const auto vars = variants();
+    const auto workloads = specAnalogues();
+
+    // One job per (variant, workload); results merge in canonical
+    // order so geomeans and FAIL diagnostics match a serial sweep.
+    std::vector<std::function<WorkloadRun()>> work;
+    for (const auto &variant : vars) {
+        for (const auto &wl : workloads) {
+            work.push_back([&variant, &wl] {
+                MsspConfig cfg;
+                return runWorkload(wl, cfg, variant.opts);
+            });
+        }
+    }
+    std::vector<WorkloadRun> runs =
+        runSharded<WorkloadRun>(jobs, std::move(work));
+
+    for (size_t v = 0; v < vars.size(); ++v) {
+        const Variant &variant = vars[v];
         std::vector<double> ratios;
         std::vector<double> speedups;
         uint64_t squashes = 0;
         uint64_t forked = 0;
-        for (const auto &wl : specAnalogues()) {
-            MsspConfig cfg;
-            WorkloadRun run = runWorkload(wl, cfg, variant.opts);
+        for (size_t w = 0; w < workloads.size(); ++w) {
+            const WorkloadRun &run = runs[v * workloads.size() + w];
             if (!run.ok) {
                 std::fprintf(stderr, "FAIL: %s on %s\n", variant.name,
-                             wl.name.c_str());
+                             workloads[w].name.c_str());
                 continue;
             }
             ratios.push_back(run.distillRatio);

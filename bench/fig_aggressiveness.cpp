@@ -14,18 +14,21 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "eval/experiment.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 using namespace mssp;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    unsigned jobs = benchJobs(argc, argv, "fig_aggressiveness");
     const std::vector<double> thetas = {1.0, 0.9999, 0.999, 0.99,
                                         0.95, 0.85, 0.7};
     const std::vector<std::string> names = {"perlbmk", "vpr", "gcc",
@@ -34,6 +37,8 @@ main()
     Table table({"theta", "vspec", "speedup(gm)", "dyn ratio",
                  "squash/1k", "ok"});
 
+    // One job per (vspec arm, theta, workload), canonical order.
+    std::vector<std::function<WorkloadRun()>> work;
     for (bool risky_vspec : {false, true}) {
         for (double theta : thetas) {
             DistillerOptions dopts = DistillerOptions::paperPreset();
@@ -44,14 +49,26 @@ main()
                 // merely-mostly-invariant loads get baked in.
                 dopts.valueSpecThreshold = 0.9;
             }
+            for (const auto &name : names) {
+                work.push_back([name, dopts] {
+                    Workload wl = workloadByName(name);
+                    MsspConfig cfg;
+                    return runWorkload(wl, cfg, dopts);
+                });
+            }
+        }
+    }
+    std::vector<WorkloadRun> runs =
+        runSharded<WorkloadRun>(jobs, std::move(work));
 
+    size_t next = 0;
+    for (bool risky_vspec : {false, true}) {
+        for (double theta : thetas) {
             std::vector<double> speedups, ratios;
             uint64_t squashes = 0, forked = 0;
             bool all_ok = true;
-            for (const auto &name : names) {
-                Workload wl = workloadByName(name);
-                MsspConfig cfg;
-                WorkloadRun run = runWorkload(wl, cfg, dopts);
+            for (size_t i = 0; i < names.size(); ++i) {
+                const WorkloadRun &run = runs[next++];
                 all_ok &= run.ok;
                 speedups.push_back(run.speedup);
                 ratios.push_back(run.distillRatio);

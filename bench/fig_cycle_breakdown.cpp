@@ -11,24 +11,37 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "eval/experiment.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 using namespace mssp;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    unsigned jobs = benchJobs(argc, argv, "fig_cycle_breakdown");
     Table table({"benchmark", "exec", "archStall", "paused", "idle",
                  "L1 hit rate"});
 
-    for (const auto &wl : specAnalogues()) {
+    auto workloads = specAnalogues();
+    std::vector<std::function<WorkloadRun()>> work;
+    for (const auto &wl : workloads) {
+        work.push_back([&wl] {
+            MsspConfig cfg;
+            return runWorkload(wl, cfg,
+                               DistillerOptions::paperPreset());
+        });
+    }
+
+    for (const WorkloadRun &run :
+         runSharded<WorkloadRun>(jobs, std::move(work))) {
         MsspConfig cfg;
-        WorkloadRun run = runWorkload(wl, cfg,
-                                      DistillerOptions::paperPreset());
         const MsspCounters &c = run.counters;
         double total = static_cast<double>(
             run.msspCycles * cfg.numSlaves);
@@ -43,7 +56,7 @@ main()
                 ? static_cast<double>(c.l1Hits) /
                       static_cast<double>(c.l1Hits + c.l1Misses)
                 : 0.0;
-        table.addRow({wl.name, fmtPct(exec), fmtPct(stall),
+        table.addRow({run.name, fmtPct(exec), fmtPct(stall),
                       fmtPct(paused), fmtPct(idle), fmtPct(l1_rate)});
     }
 

@@ -11,30 +11,42 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "eval/experiment.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 using namespace mssp;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    unsigned jobs = benchJobs(argc, argv, "fig_distillation");
     Table table({"benchmark", "static orig", "static dist",
                  "dyn ratio", "pruned", "dce", "folded", "stores",
                  "vspec", "sites"});
 
+    auto workloads = specAnalogues();
+    std::vector<std::function<WorkloadRun()>> work;
+    for (const auto &wl : workloads) {
+        work.push_back([&wl] {
+            MsspConfig cfg;
+            return runWorkload(wl, cfg,
+                               DistillerOptions::paperPreset());
+        });
+    }
+
     std::vector<double> ratios;
-    for (const auto &wl : specAnalogues()) {
-        MsspConfig cfg;
-        WorkloadRun run = runWorkload(wl, cfg,
-                                      DistillerOptions::paperPreset());
+    for (const WorkloadRun &run :
+         runSharded<WorkloadRun>(jobs, std::move(work))) {
         const DistillReport &r = run.report;
         ratios.push_back(run.distillRatio);
         table.addRow({
-            wl.name,
+            run.name,
             std::to_string(r.origStaticInsts),
             std::to_string(r.distilledStaticInsts),
             fmtPct(run.distillRatio),

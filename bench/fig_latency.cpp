@@ -10,70 +10,82 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "eval/experiment.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 using namespace mssp;
 
+namespace
+{
+
+/** One latency sweep: run every (latency, workload) point sharded and
+ *  render the table in canonical order. */
+void
+sweep(const char *title, const std::vector<Cycle> &latencies,
+      const std::vector<std::string> &names,
+      const std::vector<PreparedWorkload> &prepared, unsigned jobs,
+      const std::function<void(MsspConfig &, Cycle)> &apply)
+{
+    std::vector<std::function<WorkloadRun()>> work;
+    for (Cycle lat : latencies) {
+        for (size_t i = 0; i < names.size(); ++i) {
+            work.push_back([&names, &prepared, &apply, lat, i] {
+                MsspConfig cfg;
+                apply(cfg, lat);
+                return runPrepared(names[i], prepared[i], cfg);
+            });
+        }
+    }
+    std::vector<WorkloadRun> runs =
+        runSharded<WorkloadRun>(jobs, std::move(work));
+
+    std::vector<std::string> headers = {"latency"};
+    for (const auto &n : names)
+        headers.push_back(n);
+    Table table(headers);
+    size_t next = 0;
+    for (Cycle lat : latencies) {
+        std::vector<std::string> row = {std::to_string(lat)};
+        for (size_t i = 0; i < names.size(); ++i) {
+            const WorkloadRun &run = runs[next++];
+            row.push_back(run.ok ? fmt2(run.speedup) : "FAIL");
+        }
+        table.addRow(row);
+    }
+    std::fputs(table.render(title).c_str(), stdout);
+}
+
+} // anonymous namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
-    const std::vector<Cycle> latencies = {2, 4, 8, 16, 32, 64};
+    unsigned jobs = benchJobs(argc, argv, "fig_latency");
     const std::vector<std::string> names = {"perlbmk", "mcf",
                                             "parser"};
 
-    std::vector<PreparedWorkload> prepared;
-    for (const auto &name : names) {
-        Workload wl = workloadByName(name);
-        prepared.push_back(prepare(wl.refSource, wl.trainSource,
-                                   DistillerOptions::paperPreset()));
-    }
+    std::vector<Workload> workloads;
+    for (const auto &name : names)
+        workloads.push_back(workloadByName(name));
+    auto prepared = prepareAll(workloads,
+                               DistillerOptions::paperPreset(), jobs);
 
-    {
-        std::vector<std::string> headers = {"fork/commit lat"};
-        for (const auto &n : names)
-            headers.push_back(n);
-        Table table(headers);
-        for (Cycle lat : latencies) {
-            std::vector<std::string> row = {std::to_string(lat)};
-            for (size_t i = 0; i < names.size(); ++i) {
-                MsspConfig cfg;
-                cfg.forkLatency = lat;
-                cfg.commitLatency = lat;
-                WorkloadRun run = runPrepared(names[i], prepared[i],
-                                              cfg);
-                row.push_back(run.ok ? fmt2(run.speedup) : "FAIL");
-            }
-            table.addRow(row);
-        }
-        std::fputs(table.render(
-            "E7a: speedup vs fork/commit latency (cycles)").c_str(),
-            stdout);
-    }
-
-    {
-        std::vector<std::string> headers = {"L2 read lat"};
-        for (const auto &n : names)
-            headers.push_back(n);
-        Table table(headers);
-        for (Cycle lat : {0ull, 1ull, 2ull, 4ull, 8ull, 16ull}) {
-            std::vector<std::string> row = {std::to_string(lat)};
-            for (size_t i = 0; i < names.size(); ++i) {
-                MsspConfig cfg;
-                cfg.archReadLatency = lat;
-                WorkloadRun run = runPrepared(names[i], prepared[i],
-                                              cfg);
-                row.push_back(run.ok ? fmt2(run.speedup) : "FAIL");
-            }
-            table.addRow(row);
-        }
-        std::fputs(table.render(
-            "E7b: speedup vs slave read-through latency "
-            "(cycles)").c_str(), stdout);
-    }
+    sweep("E7a: speedup vs fork/commit latency (cycles)",
+          {2, 4, 8, 16, 32, 64}, names, prepared, jobs,
+          [](MsspConfig &cfg, Cycle lat) {
+              cfg.forkLatency = lat;
+              cfg.commitLatency = lat;
+          });
+    sweep("E7b: speedup vs slave read-through latency (cycles)",
+          {0, 1, 2, 4, 8, 16}, names, prepared, jobs,
+          [](MsspConfig &cfg, Cycle lat) {
+              cfg.archReadLatency = lat;
+          });
     return 0;
 }

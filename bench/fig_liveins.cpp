@@ -10,24 +10,36 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "eval/experiment.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 using namespace mssp;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    unsigned jobs = benchJobs(argc, argv, "fig_liveins");
     Table table({"benchmark", "cells checked", "mismatched",
                  "mismatch rate", "archReads/task", "tasks"});
 
-    for (const auto &wl : specAnalogues()) {
-        MsspConfig cfg;
-        WorkloadRun run = runWorkload(wl, cfg,
-                                      DistillerOptions::paperPreset());
+    auto workloads = specAnalogues();
+    std::vector<std::function<WorkloadRun()>> work;
+    for (const auto &wl : workloads) {
+        work.push_back([&wl] {
+            MsspConfig cfg;
+            return runWorkload(wl, cfg,
+                               DistillerOptions::paperPreset());
+        });
+    }
+
+    for (const WorkloadRun &run :
+         runSharded<WorkloadRun>(jobs, std::move(work))) {
         const MsspCounters &c = run.counters;
         double rate = c.liveInCellsChecked
             ? static_cast<double>(c.liveInCellsMismatched) /
@@ -38,7 +50,7 @@ main()
                   static_cast<double>(c.tasksCommitted)
             : 0.0;
         table.addRow({
-            wl.name,
+            run.name,
             std::to_string(c.liveInCellsChecked),
             std::to_string(c.liveInCellsMismatched),
             fmtPct(rate),

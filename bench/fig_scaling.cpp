@@ -8,19 +8,23 @@
  * strongly distilled workloads (perlbmk).
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "eval/experiment.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 using namespace mssp;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    unsigned jobs = benchJobs(argc, argv, "fig_scaling");
     const std::vector<unsigned> slave_counts = {1, 2, 3, 4, 6, 8, 12,
                                                 16};
     const std::vector<std::string> names = {"perlbmk", "mcf",
@@ -32,20 +36,31 @@ main()
     Table table(headers);
 
     // Prepare once per workload; sweep the machine.
-    std::vector<PreparedWorkload> prepared;
-    for (const auto &name : names) {
-        Workload wl = workloadByName(name);
-        prepared.push_back(prepare(wl.refSource, wl.trainSource,
-                                   DistillerOptions::paperPreset()));
-    }
+    std::vector<Workload> workloads;
+    for (const auto &name : names)
+        workloads.push_back(workloadByName(name));
+    auto prepared = prepareAll(workloads,
+                               DistillerOptions::paperPreset(), jobs);
 
+    std::vector<std::function<WorkloadRun()>> work;
+    for (unsigned slaves : slave_counts) {
+        for (size_t i = 0; i < names.size(); ++i) {
+            work.push_back([&names, &prepared, slaves, i] {
+                MsspConfig cfg;
+                cfg.numSlaves = slaves;
+                cfg.maxInFlightTasks = std::max(2 * slaves, 8u);
+                return runPrepared(names[i], prepared[i], cfg);
+            });
+        }
+    }
+    std::vector<WorkloadRun> runs =
+        runSharded<WorkloadRun>(jobs, std::move(work));
+
+    size_t next = 0;
     for (unsigned slaves : slave_counts) {
         std::vector<std::string> row = {std::to_string(slaves)};
         for (size_t i = 0; i < names.size(); ++i) {
-            MsspConfig cfg;
-            cfg.numSlaves = slaves;
-            cfg.maxInFlightTasks = std::max(2 * slaves, 8u);
-            WorkloadRun run = runPrepared(names[i], prepared[i], cfg);
+            const WorkloadRun &run = runs[next++];
             row.push_back(run.ok ? fmt2(run.speedup) : "FAIL");
         }
         table.addRow(row);

@@ -10,36 +10,53 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "eval/experiment.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 using namespace mssp;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    unsigned jobs = benchJobs(argc, argv, "fig_speedup");
     const std::vector<unsigned> slave_counts = {2, 4, 8};
     auto workloads = specAnalogues();
+    auto prepared = prepareAll(workloads,
+                               DistillerOptions::paperPreset(), jobs);
 
     Table table({"benchmark", "insts", "distill",
                  "2 slaves", "4 slaves", "8 slaves", "ok"});
     std::vector<std::vector<double>> speedups(slave_counts.size());
 
-    for (const auto &wl : workloads) {
-        PreparedWorkload prepared = prepare(
-            wl.refSource, wl.trainSource,
-            DistillerOptions::paperPreset());
-        std::vector<std::string> row{wl.name, "", "", "", "", "", ""};
+    // One job per (workload, slave count) point, merged in canonical
+    // order so the table is identical for any --jobs.
+    std::vector<std::function<WorkloadRun()>> work;
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        for (unsigned slaves : slave_counts) {
+            work.push_back([&workloads, &prepared, w, slaves] {
+                MsspConfig cfg;
+                cfg.numSlaves = slaves;
+                cfg.maxInFlightTasks = 2 * slaves;
+                return runPrepared(workloads[w].name, prepared[w],
+                                   cfg);
+            });
+        }
+    }
+    std::vector<WorkloadRun> runs =
+        runSharded<WorkloadRun>(jobs, std::move(work));
+
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        std::vector<std::string> row{workloads[w].name, "", "", "",
+                                     "", "", ""};
         bool all_ok = true;
         for (size_t i = 0; i < slave_counts.size(); ++i) {
-            MsspConfig cfg;
-            cfg.numSlaves = slave_counts[i];
-            cfg.maxInFlightTasks = 2 * slave_counts[i];
-            WorkloadRun run = runPrepared(wl.name, prepared, cfg);
+            const WorkloadRun &run = runs[w * slave_counts.size() + i];
             all_ok &= run.ok;
             speedups[i].push_back(run.speedup);
             row[3 + i] = fmt2(run.speedup);

@@ -9,32 +9,44 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "eval/experiment.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 using namespace mssp;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    unsigned jobs = benchJobs(argc, argv, "fig_task_breakdown");
     Table table({"benchmark", "forked", "committed", "commit%",
                  "livein", "wrongpc", "overrun", "cascade",
                  "squashes", "mean task"});
 
-    for (const auto &wl : specAnalogues()) {
-        MsspConfig cfg;
-        WorkloadRun run = runWorkload(wl, cfg,
-                                      DistillerOptions::paperPreset());
+    auto workloads = specAnalogues();
+    std::vector<std::function<WorkloadRun()>> work;
+    for (const auto &wl : workloads) {
+        work.push_back([&wl] {
+            MsspConfig cfg;
+            return runWorkload(wl, cfg,
+                               DistillerOptions::paperPreset());
+        });
+    }
+
+    for (const WorkloadRun &run :
+         runSharded<WorkloadRun>(jobs, std::move(work))) {
         const MsspCounters &c = run.counters;
         double commit_frac =
             c.tasksForked ? static_cast<double>(c.tasksCommitted) /
                                 static_cast<double>(c.tasksForked)
                           : 0.0;
         table.addRow({
-            wl.name,
+            run.name,
             std::to_string(c.tasksForked),
             std::to_string(c.tasksCommitted),
             fmtPct(commit_frac),

@@ -9,18 +9,21 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "eval/experiment.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 using namespace mssp;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    unsigned jobs = benchJobs(argc, argv, "fig_task_size");
     const std::vector<uint64_t> targets = {10, 25, 50, 100, 150, 300,
                                            600, 1200};
     const std::vector<std::string> names = {"perlbmk", "mcf",
@@ -33,14 +36,27 @@ main()
     }
     Table table(headers);
 
+    std::vector<std::function<WorkloadRun()>> work;
+    for (uint64_t target : targets) {
+        for (const auto &name : names) {
+            work.push_back([name, target] {
+                Workload wl = workloadByName(name);
+                DistillerOptions dopts =
+                    DistillerOptions::paperPreset();
+                dopts.forkSelect.targetTaskSize = target;
+                MsspConfig cfg;
+                return runWorkload(wl, cfg, dopts);
+            });
+        }
+    }
+    std::vector<WorkloadRun> runs =
+        runSharded<WorkloadRun>(jobs, std::move(work));
+
+    size_t next = 0;
     for (uint64_t target : targets) {
         std::vector<std::string> row = {std::to_string(target)};
-        for (const auto &name : names) {
-            Workload wl = workloadByName(name);
-            DistillerOptions dopts = DistillerOptions::paperPreset();
-            dopts.forkSelect.targetTaskSize = target;
-            MsspConfig cfg;
-            WorkloadRun run = runWorkload(wl, cfg, dopts);
+        for (size_t i = 0; i < names.size(); ++i) {
+            const WorkloadRun &run = runs[next++];
             row.push_back(run.ok ? fmt2(run.speedup) : "FAIL");
             row.push_back(fmt2(run.meanTaskSize));
         }

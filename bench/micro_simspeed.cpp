@@ -3,6 +3,13 @@
  * M1 — simulator throughput microbenchmarks (google-benchmark): the
  * SEQ interpreter, the profiler, the distiller and the full MSSP
  * machine, in simulated instructions (or distillations) per second.
+ *
+ * Besides the timing numbers, every benchmark exports `sim_*`
+ * counters (simulated instructions, cycles, tasks, ...). Those are
+ * pure simulation outputs — identical on any host at any load — so
+ * tools/bench_compare.py --counters-only can gate CI on them exactly
+ * while treating the wall-clock throughput as a non-gating artifact
+ * (shared runners are far too noisy to gate on time).
  */
 
 #include <benchmark/benchmark.h>
@@ -29,13 +36,17 @@ BM_SeqInterpreter(benchmark::State &state)
     setQuiet(true);
     Program prog = assemble(benchWorkload().refSource);
     uint64_t insts = 0;
+    uint64_t per_run = 0;
     for (auto _ : state) {
         SeqMachine m(prog);
         m.run(100000000);
         insts += m.instCount();
+        per_run = m.instCount();
         benchmark::DoNotOptimize(m.state().pc());
     }
     state.SetItemsProcessed(static_cast<int64_t>(insts));
+    // Deterministic simulation outputs (per run, not per batch).
+    state.counters["sim_insts"] = static_cast<double>(per_run);
 }
 BENCHMARK(BM_SeqInterpreter);
 
@@ -45,12 +56,15 @@ BM_Profiler(benchmark::State &state)
     setQuiet(true);
     Program prog = assemble(benchWorkload().trainSource);
     uint64_t insts = 0;
+    uint64_t per_run = 0;
     for (auto _ : state) {
         ProfileData prof = profileProgram(prog, 100000000);
         insts += prof.totalInsts;
+        per_run = prof.totalInsts;
         benchmark::DoNotOptimize(prof.totalInsts);
     }
     state.SetItemsProcessed(static_cast<int64_t>(insts));
+    state.counters["sim_insts"] = static_cast<double>(per_run);
 }
 BENCHMARK(BM_Profiler);
 
@@ -61,12 +75,15 @@ BM_Distiller(benchmark::State &state)
     Program prog = assemble(benchWorkload().refSource);
     ProfileData prof = profileProgram(
         assemble(benchWorkload().trainSource), 100000000);
+    uint64_t tasks = 0;
     for (auto _ : state) {
         DistilledProgram d = distill(
             prog, prof, DistillerOptions::paperPreset());
+        tasks = d.taskMap.size();
         benchmark::DoNotOptimize(d.taskMap.size());
     }
     state.SetItemsProcessed(state.iterations());
+    state.counters["sim_tasks"] = static_cast<double>(tasks);
 }
 BENCHMARK(BM_Distiller);
 
@@ -78,13 +95,19 @@ BM_MsspMachine(benchmark::State &state)
                                  benchWorkload().trainSource,
                                  DistillerOptions::paperPreset());
     uint64_t insts = 0;
+    uint64_t per_run = 0;
+    uint64_t cycles = 0;
     for (auto _ : state) {
         MsspMachine machine(p.orig, p.dist, MsspConfig{});
         MsspResult r = machine.run(100000000ull);
         insts += r.committedInsts;
+        per_run = r.committedInsts;
+        cycles = r.cycles;
         benchmark::DoNotOptimize(r.cycles);
     }
     state.SetItemsProcessed(static_cast<int64_t>(insts));
+    state.counters["sim_insts"] = static_cast<double>(per_run);
+    state.counters["sim_cycles"] = static_cast<double>(cycles);
 }
 BENCHMARK(BM_MsspMachine);
 
@@ -93,11 +116,14 @@ BM_Assembler(benchmark::State &state)
 {
     setQuiet(true);
     const std::string &src = benchWorkload().refSource;
+    uint64_t words = 0;
     for (auto _ : state) {
         Program p = assemble(src);
+        words = p.sizeWords();
         benchmark::DoNotOptimize(p.sizeWords());
     }
     state.SetItemsProcessed(state.iterations());
+    state.counters["sim_words"] = static_cast<double>(words);
 }
 BENCHMARK(BM_Assembler);
 

@@ -1,9 +1,12 @@
 #include "eval/crossval.hh"
 
+#include <functional>
+
 #include "analysis/verifier.hh"
 #include "asm/assembler.hh"
 #include "core/pipeline.hh"
 #include "eval/experiment.hh"
+#include "sim/parallel.hh"
 #include "util/string_utils.hh"
 #include "workloads/workloads.hh"
 
@@ -39,41 +42,50 @@ CrossValReport::toText() const
 
 CrossValReport
 crossValidate(double scale, const MsspConfig &cfg,
-              uint64_t max_cycles)
+              uint64_t max_cycles, unsigned jobs)
 {
-    CrossValReport rep;
-    for (const Workload &wl : specAnalogues(scale)) {
-        CrossValRow row;
-        row.name = wl.name;
+    std::vector<Workload> workloads = specAnalogues(scale);
+    std::vector<std::function<CrossValRow()>> work;
+    work.reserve(workloads.size());
+    for (const Workload &wl : workloads) {
+        work.push_back([&wl, &cfg, max_cycles] {
+            CrossValRow row;
+            row.name = wl.name;
 
-        PreparedWorkload prepared =
-            prepare(assemble(wl.refSource), assemble(wl.trainSource),
-                    DistillerOptions::paperPreset());
+            PreparedWorkload prepared =
+                prepare(assemble(wl.refSource),
+                        assemble(wl.trainSource),
+                        DistillerOptions::paperPreset());
 
-        analysis::SemanticResult sem =
-            analysis::verifyDistilledSemantic(prepared.orig,
-                                              prepared.dist);
-        row.edits = sem.semantic.verdicts.size();
-        row.proven = sem.semantic.proven();
-        row.risky = sem.semantic.risky();
-        row.unknown = sem.semantic.unknown();
-        row.semanticErrors = sem.lint.errors();
+            analysis::SemanticResult sem =
+                analysis::verifyDistilledSemantic(prepared.orig,
+                                                  prepared.dist);
+            row.edits = sem.semantic.verdicts.size();
+            row.proven = sem.semantic.proven();
+            row.risky = sem.semantic.risky();
+            row.unknown = sem.semantic.unknown();
+            row.semanticErrors = sem.lint.errors();
 
-        WorkloadRun run =
-            runPrepared(wl.name, prepared, cfg, max_cycles);
-        row.ok = run.ok;
-        row.divergenceSquashes = run.counters.tasksSquashedLiveIn +
-                                 run.counters.tasksSquashedWrongPc;
+            WorkloadRun run =
+                runPrepared(wl.name, prepared, cfg, max_cycles);
+            row.ok = run.ok;
+            row.divergenceSquashes =
+                run.counters.tasksSquashedLiveIn +
+                run.counters.tasksSquashedWrongPc;
 
-        // The validator's claim is one-directional: a workload whose
-        // edits are all Proven must not squash on divergence. The
-        // converse (risky edits must squash) does not hold — static
-        // analysis over-approximates dynamic behaviour.
-        bool all_proven = row.proven == row.edits;
-        row.consistent =
-            run.ok && (!all_proven || row.divergenceSquashes == 0);
-        rep.rows.push_back(std::move(row));
+            // The validator's claim is one-directional: a workload
+            // whose edits are all Proven must not squash on
+            // divergence. The converse (risky edits must squash) does
+            // not hold — static analysis over-approximates dynamic
+            // behaviour.
+            bool all_proven = row.proven == row.edits;
+            row.consistent =
+                run.ok && (!all_proven || row.divergenceSquashes == 0);
+            return row;
+        });
     }
+    CrossValReport rep;
+    rep.rows = runSharded<CrossValRow>(jobs, std::move(work));
     return rep;
 }
 

@@ -60,9 +60,13 @@ struct CrossValReport
 /**
  * Run the cross-validation over all registry workloads at @p scale
  * (1.0 = paper-size inputs), using the paper-preset distiller.
+ * Workloads shard across @p jobs host threads (sim/parallel.hh);
+ * rows always come back in registry order, so the report is
+ * identical for any job count.
  */
 CrossValReport crossValidate(double scale, const MsspConfig &cfg,
-                             uint64_t max_cycles = 400000000ull);
+                             uint64_t max_cycles = 400000000ull,
+                             unsigned jobs = 1);
 
 } // namespace mssp
 

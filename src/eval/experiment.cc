@@ -1,11 +1,17 @@
 #include "eval/experiment.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 
 #include "asm/assembler.hh"
 #include "exec/seq_machine.hh"
 #include "mssp/baseline.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "util/string_utils.hh"
 
 namespace mssp
@@ -58,6 +64,36 @@ runWorkload(const Workload &wl, const MsspConfig &cfg,
     PreparedWorkload prepared = prepare(wl.refSource, wl.trainSource,
                                         dopts);
     return runPrepared(wl.name, prepared, cfg, max_cycles);
+}
+
+unsigned
+benchJobs(int argc, char **argv, const char *tool)
+{
+    unsigned jobs = defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = static_cast<unsigned>(
+                std::max(1, std::atoi(argv[++i])));
+        } else {
+            std::fprintf(stderr, "usage: %s [--jobs N]\n", tool);
+            std::exit(2);
+        }
+    }
+    return jobs;
+}
+
+std::vector<PreparedWorkload>
+prepareAll(const std::vector<Workload> &workloads,
+           const DistillerOptions &dopts, unsigned jobs)
+{
+    std::vector<std::function<PreparedWorkload()>> work;
+    work.reserve(workloads.size());
+    for (const Workload &wl : workloads) {
+        work.push_back([&wl, &dopts] {
+            return prepare(wl.refSource, wl.trainSource, dopts);
+        });
+    }
+    return runSharded<PreparedWorkload>(jobs, std::move(work));
 }
 
 Table::Table(std::vector<std::string> headers)

@@ -60,6 +60,27 @@ WorkloadRun runPrepared(const std::string &name,
                         const MsspConfig &cfg,
                         uint64_t max_cycles = 400000000ull);
 
+// -- Sharded sweeps (sim/parallel.hh) -------------------------------------
+
+/**
+ * Parse the one flag every bench/eval binary takes: `--jobs N` (host
+ * threads for the sweep; default hardware concurrency, 1 = exact
+ * serial path). Unknown arguments print a usage line naming @p tool
+ * and exit(2).
+ */
+unsigned benchJobs(int argc, char **argv, const char *tool);
+
+/**
+ * Run the full pipeline (assemble -> profile -> distill) for every
+ * workload, sharded across @p jobs host threads. Results come back
+ * indexed like @p workloads regardless of job count, and each
+ * prepare is independent, so the tables built from them are
+ * byte-identical to a serial sweep.
+ */
+std::vector<PreparedWorkload>
+prepareAll(const std::vector<Workload> &workloads,
+           const DistillerOptions &dopts, unsigned jobs);
+
 // -- Table formatting -----------------------------------------------------
 
 /** A printable table with aligned columns. */

@@ -1,0 +1,200 @@
+#include "eval/suite.hh"
+
+#include <functional>
+#include <mutex>
+#include <ostream>
+
+#include "analysis/verifier.hh"
+#include "sim/logging.hh"
+#include "sim/parallel.hh"
+#include "workloads/workloads.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+std::string
+fmtG(double v)
+{
+    return strfmt("%g", v);
+}
+
+} // anonymous namespace
+
+size_t
+SuiteReport::evalFailures() const
+{
+    size_t n = 0;
+    for (const SuiteWorkloadResult &w : workloads)
+        n += w.ok() ? 0 : 1;
+    return n;
+}
+
+bool
+SuiteReport::ok() const
+{
+    return evalFailures() == 0 && campaign.failures() == 0 &&
+           campaign.allTypesFired();
+}
+
+std::string
+SuiteReport::toJson() const
+{
+    std::string out = "{\"schema\": \"mssp-suite-v1\",\n";
+    out += strfmt(" \"seed\": %llu, \"scale\": %s, ",
+                  static_cast<unsigned long long>(options.seed),
+                  fmtG(options.scale).c_str());
+    out += "\"workloads\": [";
+    for (size_t i = 0; i < options.workloads.size(); ++i) {
+        out += strfmt("%s\"%s\"", i ? ", " : "",
+                      options.workloads[i].c_str());
+    }
+    out += "],\n \"eval\": [\n";
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const SuiteWorkloadResult &w = workloads[i];
+        out += strfmt(
+            "  {\"workload\": \"%s\", "
+            "\"lint\": {\"errors\": %zu, \"warnings\": %zu}, "
+            "\"semantic\": {\"edits\": %zu, \"proven\": %zu, "
+            "\"risky\": %zu, \"unknown\": %zu, \"errors\": %zu}, "
+            "\"run\": {\"ok\": %s, \"stopReason\": \"%s\", "
+            "\"seqInsts\": %llu, \"baselineCycles\": %llu, "
+            "\"msspCycles\": %llu, \"speedup\": %s, "
+            "\"distillRatio\": %s, \"meanTaskSize\": %s}, "
+            "\"crossval\": {\"divergenceSquashes\": %llu, "
+            "\"consistent\": %s}, \"ok\": %s}%s\n",
+            w.name.c_str(), w.lintErrors, w.lintWarnings, w.edits,
+            w.proven, w.risky, w.unknown, w.semanticErrors,
+            w.run.ok ? "true" : "false", toString(w.run.stopReason),
+            static_cast<unsigned long long>(w.run.seqInsts),
+            static_cast<unsigned long long>(w.run.baselineCycles),
+            static_cast<unsigned long long>(w.run.msspCycles),
+            fmtG(w.run.speedup).c_str(),
+            fmtG(w.run.distillRatio).c_str(),
+            fmtG(w.run.meanTaskSize).c_str(),
+            static_cast<unsigned long long>(w.divergenceSquashes),
+            w.consistent ? "true" : "false",
+            w.ok() ? "true" : "false",
+            i + 1 < workloads.size() ? "," : "");
+    }
+    // Embed the campaign's own deterministic document as the value of
+    // "campaign" (its trailing newline dropped).
+    std::string camp = campaign.toJson();
+    while (!camp.empty() && camp.back() == '\n')
+        camp.pop_back();
+    out += " ],\n \"campaign\": " + camp + ",\n";
+    out += strfmt(" \"evalFailures\": %zu, \"ok\": %s}\n",
+                  evalFailures(), ok() ? "true" : "false");
+    return out;
+}
+
+std::string
+SuiteReport::summary() const
+{
+    Table t({"workload", "lint", "sem-err", "proven/edits", "run",
+             "speedup", "div-squash", "consistent", "verdict"});
+    for (const SuiteWorkloadResult &w : workloads) {
+        t.addRow({w.name,
+                  w.lintErrors ? strfmt("%zu ERR", w.lintErrors)
+                               : "clean",
+                  strfmt("%zu", w.semanticErrors),
+                  strfmt("%zu/%zu", w.proven, w.edits),
+                  w.run.ok ? "ok" : toString(w.run.stopReason),
+                  fmt2(w.run.speedup),
+                  strfmt("%llu", static_cast<unsigned long long>(
+                                     w.divergenceSquashes)),
+                  w.consistent ? "yes" : "NO",
+                  w.ok() ? "ok" : "FAIL"});
+    }
+    std::string s =
+        t.render("mssp-suite: distill + lint + semantic + run + "
+                 "crossval");
+    s += "\n" + campaign.summary();
+    s += strfmt("\nsuite: %zu eval failure(s), %zu campaign "
+                "failure(s) -> %s\n",
+                evalFailures(), campaign.failures(),
+                ok() ? "OK" : "FAIL");
+    return s;
+}
+
+SuiteReport
+runSuite(const SuiteOptions &opts, std::ostream *log)
+{
+    SuiteReport report;
+    report.options = opts;
+    if (report.options.workloads.empty()) {
+        for (const Workload &wl : specAnalogues(opts.scale))
+            report.options.workloads.push_back(wl.name);
+    }
+    const std::vector<std::string> &names = report.options.workloads;
+    unsigned jobs = opts.jobs ? opts.jobs : 1;
+
+    // Phase one: one job per workload runs the evaluation chain and
+    // seeds the campaign's oracle cache from the prepared pipeline.
+    SeqOracleCache oracles(opts.scale);
+    std::mutex log_m;
+    std::vector<std::function<SuiteWorkloadResult()>> work;
+    work.reserve(names.size());
+    for (const std::string &name : names) {
+        work.push_back([&opts, &oracles, &log_m, log, &name] {
+            SuiteWorkloadResult r;
+            r.name = name;
+
+            Workload wl = workloadByName(name, opts.scale);
+            PreparedWorkload prepared =
+                prepare(wl.refSource, wl.trainSource,
+                        DistillerOptions::paperPreset());
+
+            analysis::LintReport lint =
+                analysis::verifyDistilled(prepared.orig,
+                                          prepared.dist);
+            r.lintErrors = lint.errors();
+            r.lintWarnings = lint.warnings();
+
+            analysis::SemanticResult sem =
+                analysis::verifyDistilledSemantic(prepared.orig,
+                                                  prepared.dist);
+            r.edits = sem.semantic.verdicts.size();
+            r.proven = sem.semantic.proven();
+            r.risky = sem.semantic.risky();
+            r.unknown = sem.semantic.unknown();
+            r.semanticErrors = sem.lint.errors();
+
+            r.run = runPrepared(name, prepared, MsspConfig{},
+                                opts.runMaxCycles);
+            r.divergenceSquashes =
+                r.run.counters.tasksSquashedLiveIn +
+                r.run.counters.tasksSquashedWrongPc;
+            bool all_proven = r.proven == r.edits;
+            r.consistent = r.run.ok &&
+                           (!all_proven || r.divergenceSquashes == 0);
+
+            oracles.put(name, std::move(prepared));
+            if (log) {
+                std::lock_guard<std::mutex> lock(log_m);
+                *log << strfmt("  [eval] %-10s %s\n", r.name.c_str(),
+                               r.ok() ? "ok" : "FAIL");
+                log->flush();
+            }
+            return r;
+        });
+    }
+    report.workloads =
+        runSharded<SuiteWorkloadResult>(jobs, std::move(work));
+
+    // Phase two: the fault-campaign cell sweep over the same pool,
+    // reusing phase one's oracles (no workload is prepared twice).
+    CampaignOptions copts;
+    copts.workloads = names;
+    copts.intensities = opts.intensities;
+    copts.scale = opts.scale;
+    copts.seed = opts.seed;
+    copts.maxCycles = opts.campaignMaxCycles;
+    copts.jobs = jobs;
+    report.campaign = runFaultCampaign(copts, log, &oracles);
+    return report;
+}
+
+} // namespace mssp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * mssp-suite: the whole evaluation as one sharded job graph.
+ *
+ * One invocation runs, for every registry workload, the full chain
+ * the repo's individual tools cover piecemeal:
+ *
+ *   distill   assemble + profile + distill (core/pipeline.hh)
+ *   lint      structural verification (analysis/verifier.hh)
+ *   semantic  translation validation of every distiller edit
+ *   run       full MSSP machine vs the sequential baseline
+ *   crossval  static risk vs dynamic divergence-squash consistency
+ *   campaign  the fault-injection sweep against the SEQ oracle
+ *
+ * The job graph has two sharded phases (sim/parallel.hh). Phase one
+ * runs one job per workload: the pipeline stages above through
+ * crossval, then seeds the campaign's SeqOracleCache from the
+ * already-prepared pipeline. Phase two is the campaign cell sweep
+ * (workload x fault type x intensity), sharded over the same pool
+ * and reusing those oracles — no workload is ever prepared twice.
+ *
+ * The report is one deterministic JSON document (schema
+ * mssp-suite-v1): per-run seeds derive from canonical job indices
+ * and results merge in canonical order, so `--jobs N` output is
+ * byte-identical to `--jobs 1`. CI runs the suite on every push with
+ * all 12 workloads and diffs a serial rerun against it (docs/CI.md).
+ */
+
+#ifndef MSSP_EVAL_SUITE_HH
+#define MSSP_EVAL_SUITE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "fault/campaign.hh"
+
+namespace mssp
+{
+
+/** What to run (defaults reproduce the CI suite job). */
+struct SuiteOptions
+{
+    /** Workload names; empty = all registry analogues. */
+    std::vector<std::string> workloads;
+    double scale = 0.05;     ///< workload scale (see specAnalogues)
+    uint64_t seed = 1;       ///< campaign seed (per-run seeds derive)
+    unsigned jobs = 1;       ///< host threads (CLIs default to hw)
+    /** Campaign intensity multipliers (see CampaignOptions). */
+    std::vector<double> intensities{1.0, 10.0};
+    uint64_t campaignMaxCycles = 0;   ///< 0 = derive from oracle
+    uint64_t runMaxCycles = 400000000ull;   ///< MSSP run cycle cap
+};
+
+/** Everything phase one measures for one workload. */
+struct SuiteWorkloadResult
+{
+    std::string name;
+
+    // lint (structural verification)
+    size_t lintErrors = 0;
+    size_t lintWarnings = 0;
+
+    // semantic translation validation
+    size_t edits = 0;
+    size_t proven = 0;
+    size_t risky = 0;
+    size_t unknown = 0;
+    size_t semanticErrors = 0;
+
+    // MSSP run vs baseline
+    WorkloadRun run;
+
+    // crossval: all-proven workloads must not squash on divergence
+    uint64_t divergenceSquashes = 0;
+    bool consistent = false;
+
+    bool
+    ok() const
+    {
+        return lintErrors == 0 && semanticErrors == 0 && run.ok &&
+               consistent;
+    }
+};
+
+/** The whole evaluation. */
+struct SuiteReport
+{
+    SuiteOptions options;            ///< as resolved (lists filled in)
+    std::vector<SuiteWorkloadResult> workloads;
+    CampaignReport campaign;
+
+    /** Workloads failing any phase-one gate. */
+    size_t evalFailures() const;
+
+    /** True when every stage of every workload passed: lint and
+     *  semantic clean, run equivalent, crossval consistent, campaign
+     *  invariants held and every fault type fired. */
+    bool ok() const;
+
+    /** Deterministic JSON document (schema mssp-suite-v1; embeds the
+     *  campaign's mssp-faultcamp-v1 object under "campaign"). */
+    std::string toJson() const;
+
+    /** Human-readable result tables. */
+    std::string summary() const;
+};
+
+/** Run the whole suite. @p log (optional) receives progress lines. */
+SuiteReport runSuite(const SuiteOptions &opts,
+                     std::ostream *log = nullptr);
+
+} // namespace mssp
+
+#endif // MSSP_EVAL_SUITE_HH

@@ -1,10 +1,11 @@
 #include "fault/campaign.hh"
 
 #include <algorithm>
+#include <functional>
 
-#include "core/pipeline.hh"
 #include "exec/seq_machine.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "sim/rng.hh"
 #include "workloads/workloads.hh"
 
@@ -47,24 +48,11 @@ campaignConfig()
     return cfg;
 }
 
-namespace
+SeqOracle
+makeSeqOracle(PreparedWorkload prepared)
 {
-
-/** The sequential truth for one workload (computed once, reused by
- *  every fault type x rate cell). */
-struct Oracle
-{
-    PreparedWorkload prepared;
-    OutputStream outputs;
-    std::array<uint32_t, NumRegs> regs;
-    uint64_t insts = 0;
-};
-
-Oracle
-makeOracle(const Workload &wl)
-{
-    Oracle o;
-    o.prepared = prepare(wl.refSource, wl.trainSource);
+    SeqOracle o;
+    o.prepared = std::move(prepared);
     SeqMachine seq(o.prepared.orig);
     SeqRunResult r = seq.run(500000000ull);
     MSSP_ASSERT(r.halted);   // registry workloads all terminate
@@ -74,9 +62,54 @@ makeOracle(const Workload &wl)
     return o;
 }
 
+SeqOracle
+makeSeqOracle(const Workload &wl)
+{
+    return makeSeqOracle(prepare(wl.refSource, wl.trainSource));
+}
+
+SeqOracleCache::Entry &
+SeqOracleCache::entry(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::unique_ptr<Entry> &e = entries_[name];
+    if (!e)
+        e = std::make_unique<Entry>();
+    return *e;
+}
+
+const SeqOracle &
+SeqOracleCache::get(const std::string &name)
+{
+    Entry &e = entry(name);
+    std::call_once(e.once, [this, &e, &name] {
+        e.oracle = makeSeqOracle(workloadByName(name, scale_));
+    });
+    return e.oracle;
+}
+
+void
+SeqOracleCache::put(const std::string &name, PreparedWorkload prepared)
+{
+    Entry &e = entry(name);
+    std::call_once(e.once, [&e, &prepared] {
+        e.oracle = makeSeqOracle(std::move(prepared));
+    });
+}
+
+uint64_t
+campaignBudget(const CampaignOptions &opts, uint64_t oracle_insts)
+{
+    return opts.maxCycles
+               ? opts.maxCycles
+               : std::max<uint64_t>(opts.minCycles,
+                                    opts.cyclesPerInst * oracle_insts);
+}
+
 CampaignRun
-runOne(const std::string &name, const Oracle &oracle, FaultType type,
-       double rate, uint64_t seed, uint64_t budget)
+runCampaignCell(const std::string &name, const SeqOracle &oracle,
+                FaultType type, double rate, uint64_t seed,
+                uint64_t budget)
 {
     CampaignRun run;
     run.workload = name;
@@ -114,6 +147,9 @@ runOne(const std::string &name, const Oracle &oracle, FaultType type,
     run.archClean = res.halted && machine.arch().regs() == oracle.regs;
     return run;
 }
+
+namespace
+{
 
 std::string
 fmtRate(double r)
@@ -260,7 +296,8 @@ CampaignReport::summary() const
 }
 
 CampaignReport
-runFaultCampaign(const CampaignOptions &opts, std::ostream *log)
+runFaultCampaign(const CampaignOptions &opts, std::ostream *log,
+                 SeqOracleCache *cache)
 {
     CampaignReport report;
     report.options = opts;
@@ -273,37 +310,77 @@ runFaultCampaign(const CampaignOptions &opts, std::ostream *log)
     if (report.options.intensities.empty())
         report.options.intensities = {1.0};
 
+    // Enumerate every (workload, type, intensity) cell in canonical
+    // order and preassign its seed from that order, so scheduling can
+    // never leak into a run (DESIGN.md §10 determinism contract).
+    struct Cell
+    {
+        std::string workload;
+        FaultType type;
+        double rate;
+        uint64_t seed;
+        uint64_t index;
+    };
+    std::vector<Cell> cells;
     uint64_t run_index = 0;
     for (const std::string &name : report.options.workloads) {
-        Oracle oracle = makeOracle(workloadByName(name, opts.scale));
-        uint64_t budget = opts.maxCycles
-                              ? opts.maxCycles
-                              : std::max<uint64_t>(
-                                    opts.minCycles,
-                                    opts.cyclesPerInst * oracle.insts);
         for (FaultType type : report.options.types) {
             for (double intensity : report.options.intensities) {
                 double rate = std::min(
                     1.0, faultBaseRate(type) * intensity);
-                uint64_t seed = Rng::mix(opts.seed, run_index++);
-                CampaignRun run =
-                    runOne(name, oracle, type, rate, seed, budget);
-                if (log) {
-                    *log << strfmt(
-                        "  [%3llu] %-10s %-19s rate=%-9s inj=%-5llu "
-                        "%s\n",
-                        static_cast<unsigned long long>(run_index),
-                        name.c_str(), toString(type),
-                        fmtRate(rate).c_str(),
-                        static_cast<unsigned long long>(
-                            run.injections),
-                        run.ok() ? "ok" : "FAIL");
-                    log->flush();
-                }
-                report.runs.push_back(std::move(run));
+                cells.push_back({name, type, rate,
+                                 Rng::mix(opts.seed, run_index),
+                                 ++run_index});
             }
         }
     }
+
+    // Warm the oracle cache with one sharded job per workload first:
+    // oracle construction (prepare + SEQ run) dominates small-scale
+    // campaigns, and cells pulled lazily would make every shard block
+    // on the same workload's once-init in lockstep.
+    SeqOracleCache own_cache(opts.scale);
+    SeqOracleCache &oracles = cache ? *cache : own_cache;
+    unsigned jobs = opts.jobs ? opts.jobs : 1;
+    {
+        std::vector<std::function<bool()>> warm;
+        warm.reserve(report.options.workloads.size());
+        for (const std::string &name : report.options.workloads) {
+            warm.push_back([&oracles, &name] {
+                oracles.get(name);
+                return true;
+            });
+        }
+        runSharded<bool>(jobs, std::move(warm));
+    }
+    std::mutex log_m;
+    std::vector<std::function<CampaignRun()>> work;
+    work.reserve(cells.size());
+    for (const Cell &cell : cells) {
+        work.push_back([&opts, &oracles, &log_m, log, cell] {
+            const SeqOracle &oracle = oracles.get(cell.workload);
+            CampaignRun run = runCampaignCell(
+                cell.workload, oracle, cell.type, cell.rate,
+                cell.seed, campaignBudget(opts, oracle.insts));
+            if (log) {
+                // Progress lines stream as cells finish (completion
+                // order under --jobs > 1); the JSON report is the
+                // deterministic artifact.
+                std::lock_guard<std::mutex> lock(log_m);
+                *log << strfmt(
+                    "  [%3llu] %-10s %-19s rate=%-9s inj=%-5llu "
+                    "%s\n",
+                    static_cast<unsigned long long>(cell.index),
+                    cell.workload.c_str(), toString(cell.type),
+                    fmtRate(cell.rate).c_str(),
+                    static_cast<unsigned long long>(run.injections),
+                    run.ok() ? "ok" : "FAIL");
+                log->flush();
+            }
+            return run;
+        });
+    }
+    report.runs = runSharded<CampaignRun>(jobs, std::move(work));
     return report;
 }
 

@@ -26,11 +26,16 @@
 #define MSSP_FAULT_CAMPAIGN_HH
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/pipeline.hh"
 #include "fault/fault.hh"
 #include "mssp/machine.hh"
+#include "workloads/workloads.hh"
 
 namespace mssp
 {
@@ -57,6 +62,13 @@ struct CampaignOptions
     uint64_t maxCycles = 0;
     uint64_t cyclesPerInst = 40;
     uint64_t minCycles = 200000;
+    /**
+     * Host threads for the sweep (sim/parallel.hh). 1 (the library
+     * default — CLIs default to defaultJobs()) is the exact serial
+     * path; any value produces byte-identical reports because every
+     * run's seed derives from its canonical index, not scheduling.
+     */
+    unsigned jobs = 1;
 };
 
 /** Default per-opportunity Bernoulli rate for @p t at intensity 1. */
@@ -117,9 +129,77 @@ struct CampaignReport
  *  dominates even at small workload scales. */
 MsspConfig campaignConfig();
 
-/** Run the sweep. @p log (optional) receives one line per run. */
+/** The sequential truth for one workload (computed once per workload,
+ *  reused by every fault type x rate cell). */
+struct SeqOracle
+{
+    PreparedWorkload prepared;
+    OutputStream outputs;
+    std::array<uint32_t, NumRegs> regs{};
+    uint64_t insts = 0;
+};
+
+/** Compute the oracle from an already-prepared pipeline. */
+SeqOracle makeSeqOracle(PreparedWorkload prepared);
+
+/** Prepare @p wl and compute its oracle. */
+SeqOracle makeSeqOracle(const Workload &wl);
+
+/**
+ * Thread-safe per-workload oracle cache. The first shard to ask for a
+ * workload computes its oracle under a per-workload once-init; every
+ * later shard (on any thread) reuses it. mssp-suite pre-seeds the
+ * cache via put() so its campaign stage reuses the pipeline its
+ * earlier stages already prepared.
+ */
+class SeqOracleCache
+{
+  public:
+    explicit SeqOracleCache(double scale) : scale_(scale) {}
+
+    /** The oracle for registry workload @p name (compute-once). */
+    const SeqOracle &get(const std::string &name);
+
+    /** Pre-seed @p name from an existing pipeline. Must happen before
+     *  any get(name); later puts for the same name are ignored. */
+    void put(const std::string &name, PreparedWorkload prepared);
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        SeqOracle oracle;
+    };
+
+    Entry &entry(const std::string &name);
+
+    double scale_;
+    std::mutex m_;
+    std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+/** Execute one (workload, fault type, rate) campaign cell. Pure
+ *  function of its arguments — safe to run on any shard. */
+CampaignRun runCampaignCell(const std::string &workload,
+                            const SeqOracle &oracle, FaultType type,
+                            double rate, uint64_t seed,
+                            uint64_t budget);
+
+/** Forward-progress budget for one workload under @p opts. */
+uint64_t campaignBudget(const CampaignOptions &opts,
+                        uint64_t oracle_insts);
+
+/**
+ * Run the sweep, sharded across opts.jobs host threads. @p log
+ * (optional) receives one line per run (completion order); the
+ * returned report is byte-deterministic for fixed options. @p cache
+ * (optional) supplies pre-seeded oracles — mssp-suite passes the
+ * cache its evaluation stages already filled so the campaign does
+ * not re-prepare any workload.
+ */
 CampaignReport runFaultCampaign(const CampaignOptions &opts,
-                                std::ostream *log = nullptr);
+                                std::ostream *log = nullptr,
+                                SeqOracleCache *cache = nullptr);
 
 } // namespace mssp
 

@@ -1,0 +1,142 @@
+#include "sim/parallel.hh"
+
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+unsigned
+defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    shards_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::run(std::vector<std::function<void()>> jobs)
+{
+    if (jobs.empty())
+        return;
+
+    std::vector<std::exception_ptr> errors(jobs.size());
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        // Publish the batch state *before* dealing indices: a worker
+        // still draining the previous batch may pop a new index the
+        // moment it hits a shard queue, and the shard mutex only
+        // orders it after the push below.
+        jobs_ = &jobs;
+        errors_ = &errors;
+        remaining_.store(jobs.size(), std::memory_order_release);
+        ++batch_;
+        // Deal indices round-robin: similar-cost neighbours spread
+        // over all workers, stealing rebalances the rest.
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            Shard &s = *shards_[i % shards_.size()];
+            std::lock_guard<std::mutex> qlock(s.m);
+            s.q.push_back(i);
+        }
+    }
+    wake_.notify_all();
+
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        done_.wait(lock, [this] {
+            return remaining_.load(std::memory_order_acquire) == 0;
+        });
+        jobs_ = nullptr;
+        errors_ = nullptr;
+    }
+
+    // First failure by job index, not completion time: deterministic.
+    for (std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+bool
+ThreadPool::nextJob(unsigned self, size_t &idx)
+{
+    {
+        Shard &own = *shards_[self];
+        std::lock_guard<std::mutex> lock(own.m);
+        if (!own.q.empty()) {
+            idx = own.q.back();   // LIFO: most recently dealt, warm
+            own.q.pop_back();
+            return true;
+        }
+    }
+    for (size_t off = 1; off < shards_.size(); ++off) {
+        Shard &victim = *shards_[(self + off) % shards_.size()];
+        std::lock_guard<std::mutex> lock(victim.m);
+        if (!victim.q.empty()) {
+            idx = victim.q.front();   // steal oldest: FIFO fairness
+            victim.q.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::execute(size_t idx)
+{
+    try {
+        (*jobs_)[idx]();
+    } catch (...) {
+        (*errors_)[idx] = std::current_exception();
+    }
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last job out: wake the caller. Taking the lock orders this
+        // notify after the caller's wait() registration.
+        std::lock_guard<std::mutex> lock(m_);
+        done_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerMain(unsigned self)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            wake_.wait(lock,
+                       [this, seen] { return stop_ || batch_ != seen; });
+            if (stop_)
+                return;
+            seen = batch_;
+        }
+        size_t idx;
+        while (nextJob(self, idx))
+            execute(idx);
+        // Batch drained (for this worker). Other workers may still be
+        // executing; run() waits on remaining_, not on us.
+    }
+}
+
+} // namespace mssp

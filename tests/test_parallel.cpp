@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Host-parallel execution tests (sim/parallel.hh): the work-stealing
+ * pool runs every job exactly once across batches and pool sizes,
+ * exceptions propagate deterministically (lowest job index wins),
+ * runSharded merges in canonical order, and the repo's flagship
+ * determinism contract holds in-process — a sharded fault campaign's
+ * JSON report is byte-identical to the serial one. This is the test
+ * the TSan build (MSSP_SANITIZE=thread) exercises for data races.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "sim/parallel.hh"
+#include "sim/rng.hh"
+
+using namespace mssp;
+
+namespace
+{
+
+TEST(Parallel, DefaultJobsAtLeastOne)
+{
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(Parallel, EmptyBatchReturnsImmediately)
+{
+    ThreadPool pool(4);
+    pool.run({});
+
+    std::vector<std::function<int()>> work;
+    EXPECT_TRUE(runSharded<int>(8, std::move(work)).empty());
+}
+
+TEST(Parallel, PoolSizeClampedToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 1u);
+
+    std::atomic<int> ran{0};
+    pool.run({[&ran] { ++ran; }});
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Parallel, ManyMoreJobsThanThreads)
+{
+    // 500 jobs on 3 threads: every job runs exactly once (work
+    // stealing loses or duplicates nothing) and results land in
+    // canonical slots.
+    const size_t n = 500;
+    std::vector<std::function<uint64_t()>> work;
+    work.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        work.push_back([i] { return Rng::mix(42, i); });
+
+    std::vector<uint64_t> got = runSharded<uint64_t>(3, std::move(work));
+    ASSERT_EQ(got.size(), n);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(got[i], Rng::mix(42, i)) << "slot " << i;
+}
+
+TEST(Parallel, PoolReusedAcrossBatches)
+{
+    ThreadPool pool(4);
+    for (int batch = 0; batch < 10; ++batch) {
+        std::atomic<int> sum{0};
+        std::vector<std::function<void()>> jobs;
+        for (int i = 0; i < 16; ++i)
+            jobs.push_back([&sum, i] { sum += i; });
+        pool.run(std::move(jobs));
+        EXPECT_EQ(sum.load(), 120) << "batch " << batch;
+    }
+}
+
+TEST(Parallel, JobsActuallyRunConcurrently)
+{
+    // Eight jobs rendezvous at a barrier: this only completes if the
+    // pool really has eight jobs in flight at once (a serial or
+    // lossy pool would time out at the wait below, not deadlock).
+    const unsigned n = 8;
+    std::mutex m;
+    std::condition_variable cv;
+    unsigned arrived = 0;
+    bool all_arrived = false;
+
+    ThreadPool pool(n);
+    std::vector<std::function<void()>> jobs;
+    for (unsigned i = 0; i < n; ++i) {
+        jobs.push_back([&] {
+            std::unique_lock<std::mutex> lock(m);
+            if (++arrived == n) {
+                all_arrived = true;
+                cv.notify_all();
+            } else {
+                cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return all_arrived; });
+            }
+            EXPECT_TRUE(all_arrived);
+        });
+    }
+    pool.run(std::move(jobs));
+    EXPECT_EQ(arrived, n);
+}
+
+TEST(Parallel, ExceptionPropagates)
+{
+    ThreadPool pool(4);
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back([] {});
+    jobs.push_back([] { throw std::runtime_error("job failed"); });
+
+    EXPECT_THROW(pool.run(std::move(jobs)), std::runtime_error);
+
+    // The pool survives a throwing batch.
+    std::atomic<int> ran{0};
+    pool.run({[&ran] { ++ran; }, [&ran] { ++ran; }});
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(Parallel, LowestIndexExceptionWins)
+{
+    // Every job throws; the rethrown message must always be job 0's,
+    // no matter which failure completed first.
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        ThreadPool pool(4);
+        std::vector<std::function<void()>> jobs;
+        for (int i = 0; i < 12; ++i) {
+            jobs.push_back([i] {
+                throw std::runtime_error("job " + std::to_string(i));
+            });
+        }
+        try {
+            pool.run(std::move(jobs));
+            FAIL() << "batch of throwing jobs did not throw";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "job 0");
+        }
+    }
+}
+
+TEST(Parallel, RunShardedExceptionFromWorkItem)
+{
+    std::vector<std::function<int()>> work;
+    for (int i = 0; i < 6; ++i)
+        work.push_back([i] { return i; });
+    work.push_back([]() -> int {
+        throw std::runtime_error("sharded failure");
+    });
+    EXPECT_THROW(runSharded<int>(4, std::move(work)),
+                 std::runtime_error);
+}
+
+TEST(Parallel, MergeRunsInCanonicalOrder)
+{
+    std::vector<std::function<size_t()>> work;
+    for (size_t i = 0; i < 64; ++i)
+        work.push_back([i] { return i * i; });
+
+    std::vector<size_t> order;
+    runSharded<size_t>(4, std::move(work),
+                       [&order](size_t i, size_t r) {
+                           EXPECT_EQ(r, i * i);
+                           order.push_back(i);
+                       });
+    ASSERT_EQ(order.size(), 64u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Parallel, ShardedMatchesSerial)
+{
+    auto sweep = [](unsigned jobs) {
+        std::vector<std::function<uint64_t()>> work;
+        for (size_t i = 0; i < 100; ++i) {
+            work.push_back([i] {
+                uint64_t h = Rng::mix(7, i);
+                for (int k = 0; k < 50; ++k)
+                    h = Rng::mix(h, k);
+                return h;
+            });
+        }
+        return runSharded<uint64_t>(jobs, std::move(work));
+    };
+    EXPECT_EQ(sweep(1), sweep(8));
+}
+
+// The flagship contract, in-process: a sharded fault campaign's JSON
+// report is byte-identical to the serial one (what CI checks with
+// `mssp-faultcamp --jobs N` / `--jobs 1` at full scale).
+TEST(Parallel, FaultCampaignShardedByteIdentical)
+{
+    CampaignOptions opts;
+    opts.workloads = {"gzip", "mcf"};
+    opts.scale = 0.05;
+    opts.seed = 12345;
+    opts.intensities = {1.0, 10.0};
+
+    opts.jobs = 1;
+    std::string serial = runFaultCampaign(opts).toJson();
+
+    opts.jobs = 8;
+    std::string sharded = runFaultCampaign(opts).toJson();
+
+    EXPECT_EQ(serial, sharded);
+}
+
+} // anonymous namespace

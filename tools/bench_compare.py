@@ -12,12 +12,25 @@ The committed file has two sections:
             drops more than --tolerance below any committed current
             number fails the compare.
 
+Each benchmark also exports deterministic `sim_*` counters (simulated
+instructions, cycles, tasks, ...). Unlike items/sec those are pure
+simulation outputs — identical on any host — so they are compared
+EXACTLY, and --counters-only restricts the gate to them. That is what
+CI's bench-smoke job runs: a counter mismatch means the simulation
+changed behaviour, a throughput dip on a noisy shared runner does not
+fail the build (the wall-clock numbers ride along as an artifact).
+
 Usage:
   bench_compare.py BENCH_simspeed.json run.json [--tolerance 0.10]
+  bench_compare.py BENCH_simspeed.json run.json --counters-only
   bench_compare.py BENCH_simspeed.json run.json --update [--label L]
+  bench_compare.py BENCH_simspeed.json run.json --update-counters
 
 --update rewrites the file's "current" section from run.json (the
-baseline is preserved verbatim).
+baseline is preserved verbatim). --update-counters rewrites only the
+"counters" of existing current entries, leaving the committed perf
+numbers untouched (use after a legitimate simulation change, without
+having to re-measure throughput on the reference machine).
 """
 
 import argparse
@@ -50,12 +63,41 @@ def load_run(path):
             continue
         if "items_per_second" not in b:
             continue
-        out[b["name"]] = {
+        entry = {
             "items_per_second": b["items_per_second"],
             "real_time_ns": b["real_time"],
             "iterations": b["iterations"],
         }
+        # google-benchmark flattens user counters into the benchmark
+        # object; ours all start with "sim_" and are deterministic.
+        counters = {k: v for k, v in b.items() if k.startswith("sim_")}
+        if counters:
+            entry["counters"] = counters
+        out[b["name"]] = entry
     return out
+
+
+def compare_counters(current, run):
+    """Exact-match comparison of the deterministic sim_* counters.
+    Returns (lines, failures)."""
+    lines = []
+    failures = []
+    for name, cur in sorted(current.items()):
+        committed = cur.get("counters", {})
+        if not committed:
+            continue
+        got = run.get(name, {}).get("counters", {})
+        for key, want in sorted(committed.items()):
+            have = got.get(key)
+            status = "ok" if have == want else "MISMATCH"
+            have_s = "missing" if have is None else f"{have:.10g}"
+            lines.append(f"{name + '.' + key:<34}{want:>16.10g}"
+                         f"{have_s:>16} {status}")
+            if have != want:
+                failures.append(
+                    f"{name}.{key}: run has {have_s}, committed "
+                    f"{want:.10g} (sim counters must match exactly)")
+    return lines, failures
 
 
 def fmt(ips):
@@ -72,6 +114,12 @@ def main():
     ap.add_argument("--update", action="store_true",
                     help="rewrite the reference's 'current' section "
                          "from the run instead of comparing")
+    ap.add_argument("--update-counters", action="store_true",
+                    help="rewrite only the sim_* counters of existing "
+                         "'current' entries (perf numbers untouched)")
+    ap.add_argument("--counters-only", action="store_true",
+                    help="gate only on exact sim_* counter matches; "
+                         "report throughput without failing on it")
     ap.add_argument("--label", default="updated",
                     help="label recorded with --update")
     args = ap.parse_args()
@@ -98,7 +146,24 @@ def main():
               file=sys.stderr)
         return 1
 
-    failures = []
+    if args.update_counters:
+        n = 0
+        for name, entry in current.items():
+            counters = run.get(name, {}).get("counters")
+            if counters:
+                entry["counters"] = counters
+                n += 1
+            else:
+                entry.pop("counters", None)
+        with open(args.reference, "w") as f:
+            json.dump(ref, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench_compare: rewrote counters for {n} benchmarks "
+              f"in {args.reference} (perf numbers untouched)")
+        return 0
+
+    counter_lines, counter_failures = compare_counters(current, run)
+    failures = list(counter_failures)
     print(f"{'benchmark':<20}{'baseline':>14}{'committed':>14}"
           f"{'this run':>14}{'vs base':>9}{'vs commit':>10}")
     for name, cur in sorted(current.items()):
@@ -117,19 +182,33 @@ def main():
         print(f"{name:<20}{fmt(base) if base else '--':>14}"
               f"{fmt(committed)}{fmt(now)}{vs_base:>9}{ratio:9.2f}x")
         if now < committed * (1.0 - args.tolerance):
-            failures.append(
-                f"{name}: {now:.4g} items/s is "
-                f"{(1 - ratio) * 100:.1f}% below committed "
-                f"{committed:.4g} (tolerance "
-                f"{args.tolerance * 100:.0f}%)")
+            msg = (f"{name}: {now:.4g} items/s is "
+                   f"{(1 - ratio) * 100:.1f}% below committed "
+                   f"{committed:.4g} (tolerance "
+                   f"{args.tolerance * 100:.0f}%)")
+            if args.counters_only:
+                print(f"bench_compare: (non-gating) {msg}")
+            else:
+                failures.append(msg)
+
+    if counter_lines:
+        print(f"\n{'deterministic counter':<34}{'committed':>16}"
+              f"{'this run':>16}")
+        for line in counter_lines:
+            print(line)
 
     if failures:
-        print("\nbench_compare: REGRESSION", file=sys.stderr)
+        print("\nbench_compare: FAIL", file=sys.stderr)
         for f_ in failures:
             print(f"  {f_}", file=sys.stderr)
         return 1
-    print(f"\nbench_compare: OK (no benchmark more than "
-          f"{args.tolerance * 100:.0f}% below committed numbers)")
+    if args.counters_only:
+        print("\nbench_compare: OK (all deterministic sim counters "
+              "match; throughput is informational)")
+    else:
+        print(f"\nbench_compare: OK (counters match; no benchmark "
+              f"more than {args.tolerance * 100:.0f}% below "
+              f"committed numbers)")
     return 0
 
 

@@ -14,6 +14,7 @@
  * twice and diffs).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +24,7 @@
 
 #include "fault/campaign.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "util/string_utils.hh"
 
 using namespace mssp;
@@ -48,7 +50,7 @@ usage()
         stderr,
         "usage: mssp-faultcamp [--workloads a,b,...] [--types a,b,...]\n"
         "                      [--intensities 1,10] [--scale F]\n"
-        "                      [--seed N] [--max-cycles N]\n"
+        "                      [--seed N] [--max-cycles N] [--jobs N]\n"
         "                      [--json FILE] [--quiet] [--list-types]\n");
     return 2;
 }
@@ -59,6 +61,7 @@ int
 main(int argc, char **argv)
 {
     CampaignOptions opts;
+    opts.jobs = defaultJobs();
     std::string json_path;
     bool quiet = false;
 
@@ -90,6 +93,8 @@ main(int argc, char **argv)
         } else if (arg == "--max-cycles" && i + 1 < argc) {
             opts.maxCycles =
                 static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = std::max(1, std::atoi(argv[++i]));
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
         } else if (arg == "--quiet") {

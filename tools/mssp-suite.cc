@@ -1,0 +1,142 @@
+/**
+ * @file
+ * mssp-suite: the full evaluation (distill -> lint -> semantic ->
+ * run -> crossval -> fault campaign) over the whole workload suite
+ * as one sharded job graph (docs/CI.md).
+ *
+ *   mssp-suite [--workloads gzip,mcf,...] [--scale F] [--seed N]
+ *              [--jobs N] [--intensities 1,10] [--max-cycles N]
+ *              [--run-max-cycles N] [--json FILE] [--quiet]
+ *
+ * Exit status: 0 when every workload passed every evaluation gate
+ * AND the campaign held every invariant with every fault type
+ * firing; 1 otherwise. The JSON report (schema mssp-suite-v1) is
+ * byte-deterministic for fixed options regardless of --jobs: CI runs
+ * the suite sharded, reruns it with --jobs 1, and diffs the bytes.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/suite.hh"
+#include "sim/logging.hh"
+#include "sim/parallel.hh"
+#include "util/string_utils.hh"
+
+using namespace mssp;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    for (std::string_view part : split(s, ',')) {
+        if (!part.empty())
+            out.emplace_back(part);
+    }
+    return out;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mssp-suite [--workloads a,b,...] [--scale F]\n"
+        "                  [--seed N] [--jobs N] [--intensities 1,10]\n"
+        "                  [--max-cycles N] [--run-max-cycles N]\n"
+        "                  [--json FILE] [--quiet]\n");
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    SuiteOptions opts;
+    opts.jobs = defaultJobs();
+    std::string json_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--workloads" && i + 1 < argc) {
+            opts.workloads = splitList(argv[++i]);
+        } else if (arg == "--scale" && i + 1 < argc) {
+            opts.scale = std::atof(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            opts.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = static_cast<unsigned>(
+                std::max(1, std::atoi(argv[++i])));
+        } else if (arg == "--intensities" && i + 1 < argc) {
+            opts.intensities.clear();
+            for (const std::string &v : splitList(argv[++i]))
+                opts.intensities.push_back(std::atof(v.c_str()));
+        } else if (arg == "--max-cycles" && i + 1 < argc) {
+            opts.campaignMaxCycles =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--run-max-cycles" && i + 1 < argc) {
+            opts.runMaxCycles =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            return usage();
+        }
+    }
+
+    setQuiet(true);
+    try {
+        SuiteReport report =
+            runSuite(opts, quiet ? nullptr : &std::cerr);
+
+        if (!json_path.empty()) {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::fprintf(stderr, "mssp-suite: cannot write %s\n",
+                             json_path.c_str());
+                return 1;
+            }
+            out << report.toJson();
+        }
+        if (!quiet || json_path.empty())
+            std::fputs(report.summary().c_str(), stdout);
+
+        if (report.evalFailures() != 0) {
+            std::fprintf(stderr,
+                         "mssp-suite: %zu workload(s) failed an "
+                         "evaluation gate\n",
+                         report.evalFailures());
+            return 1;
+        }
+        if (report.campaign.failures() != 0) {
+            std::fprintf(stderr,
+                         "mssp-suite: %zu campaign run(s) violated "
+                         "an invariant\n",
+                         report.campaign.failures());
+            return 1;
+        }
+        if (!report.campaign.allTypesFired()) {
+            std::fprintf(stderr,
+                         "mssp-suite: some fault types never "
+                         "injected (raise --intensities or the "
+                         "cycle budget)\n");
+            return 1;
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "mssp-suite: %s\n", e.what());
+        return 1;
+    }
+}
