@@ -280,6 +280,7 @@ struct AbsDomain
     const std::vector<uint32_t> &starts;
     const Program *image;
     const StoreSummary *stores;
+    const std::map<uint32_t, AbsState> *rootBoundary;
     std::vector<bool> is_root;
 
     /** Widening delay: per-node visit count before bounds that are
@@ -289,9 +290,11 @@ struct AbsDomain
 
     AbsDomain(const Cfg &cfg, const std::vector<uint32_t> &starts,
               const FlowGraph &g, const Program *image,
-              const StoreSummary *stores)
+              const StoreSummary *stores,
+              const std::map<uint32_t, AbsState> *rootBoundary)
         : cfg(cfg), starts(starts), image(image), stores(stores),
-          is_root(g.size(), false), visits(g.size(), 0)
+          rootBoundary(rootBoundary), is_root(g.size(), false),
+          visits(g.size(), 0)
     {
         is_root[static_cast<size_t>(g.entry)] = true;
         for (int r : g.roots)
@@ -303,8 +306,15 @@ struct AbsDomain
     Value
     boundary(int n) const
     {
-        return is_root[static_cast<size_t>(n)] ? AbsState::entry()
-                                               : AbsState{};
+        if (!is_root[static_cast<size_t>(n)])
+            return AbsState{};
+        if (rootBoundary) {
+            auto it =
+                rootBoundary->find(starts[static_cast<size_t>(n)]);
+            if (it != rootBoundary->end())
+                return it->second;
+        }
+        return AbsState::entry();
     }
 
     void
@@ -398,21 +408,22 @@ summarizeStores(const Cfg &cfg, const std::vector<uint32_t> &starts,
 } // anonymous namespace
 
 AbsintResult
-analyzeProgram(const Program &prog, const Cfg &cfg)
+analyzeProgram(const Program &prog, const Cfg &cfg,
+               const std::map<uint32_t, AbsState> *rootBoundary)
 {
     AbsintResult res;
     std::vector<uint32_t> starts;
     FlowGraph g = graphOfCfg(cfg, starts);
 
     // Round 1: loads unknown; yields a sound store summary.
-    AbsDomain dom1(cfg, starts, g, nullptr, nullptr);
+    AbsDomain dom1(cfg, starts, g, nullptr, nullptr, rootBoundary);
     auto solved1 = solveDataflow(g, dom1, Direction::Forward);
     res.sweepsRound1 = solved1.sweeps;
     StoreSummary sum1 = summarizeStores(cfg, starts, solved1.in,
                                         nullptr, nullptr);
 
     // Round 2: refine never-written loads through that summary.
-    AbsDomain dom2(cfg, starts, g, &prog, &sum1);
+    AbsDomain dom2(cfg, starts, g, &prog, &sum1, rootBoundary);
     auto solved2 = solveDataflow(g, dom2, Direction::Forward);
     res.sweepsRound2 = solved2.sweeps;
     res.stores = summarizeStores(cfg, starts, solved2.in, &prog,

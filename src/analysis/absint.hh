@@ -249,8 +249,18 @@ const BasicBlock *containingBlock(const Cfg &cfg, uint32_t pc);
 /**
  * Two-round global fixpoint over @p cfg (see file comment).
  * @p prog supplies the initial memory image for load refinement.
+ *
+ * @p rootBoundary optionally seeds specific roots (keyed by block
+ * pc) with a tighter boundary state than the default all-unknown
+ * AbsState::entry(). The speculation-safety analysis uses this to
+ * bound master restart points by the sequential original program's
+ * in-state at the corresponding pc (specsafe.hh); callers own the
+ * soundness argument for any state they seed.
  */
-AbsintResult analyzeProgram(const Program &prog, const Cfg &cfg);
+AbsintResult
+analyzeProgram(const Program &prog, const Cfg &cfg,
+               const std::map<uint32_t, AbsState> *rootBoundary =
+                   nullptr);
 
 /**
  * Abstract state just *before* the instruction at @p pc: the

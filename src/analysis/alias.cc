@@ -1,0 +1,123 @@
+#include "analysis/alias.hh"
+
+#include <deque>
+
+namespace mssp::analysis
+{
+
+namespace
+{
+
+/** Push @p mask through one instruction: a FORK starts the region
+ *  named by its task-map index; everything else passes through. */
+RegionMask
+regionStep(const Instruction &inst, RegionMask mask)
+{
+    if (inst.op == Opcode::Fork)
+        return regionBitOf(static_cast<uint32_t>(inst.imm));
+    return mask;
+}
+
+/** Forward fixpoint of the fork-region masks over @p cfg. */
+void
+solveRegions(const Cfg &cfg, AliasResult &out)
+{
+    std::map<uint32_t, RegionMask> &in = out.blockRegions;
+    std::deque<uint32_t> work;
+    auto inject = [&](uint32_t start, RegionMask mask) {
+        RegionMask &slot = in[start];
+        if ((slot | mask) != slot) {
+            slot |= mask;
+            work.push_back(start);
+        }
+    };
+
+    // The entry starts before any fork; a root that no explicit edge
+    // reaches is an indirect-jump landing pad (call continuation,
+    // restart point) and can be entered from any region.
+    inject(cfg.entry(), RegionEntry);
+    for (uint32_t r : cfg.roots()) {
+        if (r != cfg.entry() && cfg.preds(r).empty())
+            inject(r, RegionAll);
+    }
+
+    while (!work.empty()) {
+        uint32_t start = work.front();
+        work.pop_front();
+        const BasicBlock &bb = cfg.blockAt(start);
+        RegionMask mask = in[start];
+        for (const Instruction &inst : bb.insts)
+            mask = regionStep(inst, mask);
+        for (uint32_t s : bb.succs) {
+            if (cfg.hasBlock(s))
+                inject(s, mask);
+        }
+    }
+}
+
+} // anonymous namespace
+
+AliasResult
+analyzeAliases(const Program &prog, const Cfg &cfg,
+               const AbsintResult &ai)
+{
+    AliasResult out;
+    solveRegions(cfg, out);
+
+    for (const auto &[start, bb] : cfg.blocks()) {
+        // Record the fork sites even in abstractly unreachable code
+        // (the region bits must agree with the task map regardless).
+        RegionMask rm = RegionEntry;
+        auto rm_it = out.blockRegions.find(start);
+        if (rm_it != out.blockRegions.end())
+            rm = rm_it->second;
+
+        auto in_it = ai.blockIn.find(start);
+        bool reachable =
+            in_it != ai.blockIn.end() && in_it->second.reachable;
+        AbsState st =
+            reachable ? in_it->second : AbsState::entry();
+
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            const Instruction &inst = bb.insts[i];
+            uint32_t pc = bb.pcOf(i);
+            if (inst.op == Opcode::Fork) {
+                auto idx = static_cast<uint32_t>(inst.imm);
+                if (idx + 1 >= 63)
+                    out.regionOverflow = true;
+                if (idx >= out.forkPcs.size())
+                    out.forkPcs.resize(idx + 1, UINT32_MAX);
+                out.forkPcs[idx] = pc;
+            }
+            if (reachable &&
+                (isLoad(inst.op) || isStore(inst.op))) {
+                MemAccess acc;
+                acc.pc = pc;
+                acc.isStore = isStore(inst.op);
+                acc.addr = absMemAddr(st, inst);
+                if (acc.isStore)
+                    acc.value = st.reg(inst.rs2);
+                acc.block = start;
+                acc.regions = rm;
+                (acc.isStore ? out.stores : out.loads)
+                    .push_back(acc);
+            }
+            absStep(pc, inst, st, &prog, &ai.stores);
+            rm = regionStep(inst, rm);
+        }
+    }
+
+    for (const MemAccess &s : out.stores) {
+        for (unsigned bit = 0; bit < 64; ++bit) {
+            if (!(s.regions & (1ull << bit)))
+                continue;
+            RegionWriteSummary &rw = out.regionWrites[bit];
+            rw.span = rw.span.join(s.addr);
+            ++rw.storeCount;
+            rw.storePcs.push_back(s.pc);
+        }
+    }
+    return out;
+}
+
+} // namespace mssp::analysis

@@ -47,6 +47,8 @@ lintCheckName(LintCheck check)
       case LintCheck::SemanticUnreachable:
         return "semantic-unreachable";
       case LintCheck::EditMetadata: return "edit-metadata";
+      case LintCheck::SpecSafeMismatch: return "specsafe-mismatch";
+      case LintCheck::SpecSafeCoverage: return "specsafe-coverage";
     }
     return "?";
 }

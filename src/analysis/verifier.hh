@@ -83,6 +83,10 @@ enum class LintCheck : uint8_t
     SemanticLiveOut,        ///< live-out diverges between O and D
     SemanticUnreachable,    ///< removed block is abstractly reachable
     EditMetadata,           ///< region/live-out/value metadata broken
+
+    // Speculation-safety metadata checks (analysis/specsafe.hh).
+    SpecSafeMismatch,       ///< persisted load class != recomputed
+    SpecSafeCoverage,       ///< load unclassified / stale class entry
 };
 
 const char *severityName(Severity sev);

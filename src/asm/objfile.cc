@@ -10,10 +10,13 @@ namespace
 {
 
 const char *kProgramMagic = "mssp-object v1";
-/** Format v2 extends `edit` lines with semantic metadata (value,
- *  region leader, live-out mask). v1 files are rejected loudly: a
- *  misparsed edit log would silently disable the semantic checks. */
-const char *kDistilledMagic = "mssp-distilled v2";
+/** Format v2 extended `edit` lines with semantic metadata (value,
+ *  region leader, live-out mask); v3 adds per-load speculation-
+ *  safety classes (`specload` lines, analysis/specsafe.hh). Older
+ *  versions are rejected loudly: a misparsed edit log would silently
+ *  disable the semantic checks, and an image without load classes
+ *  would fail the specsafe coverage gate in confusing ways. */
+const char *kDistilledMagic = "mssp-distilled v3";
 const char *kDistilledFamily = "mssp-distilled";
 
 void
@@ -115,6 +118,10 @@ saveDistilled(const DistilledProgram &dist)
         out += strfmt("addr 0x%x 0x%x\n", orig, distilled);
     for (const auto &[orig, mask] : dist.checkpointRegs)
         out += strfmt("ckpt 0x%x 0x%x\n", orig, mask);
+    for (const auto &[pc, cls] : dist.loadClasses) {
+        out += strfmt("specload 0x%x %s\n", pc,
+                      loadSpecClassName(cls));
+    }
     for (const DistillEdit &e : dist.report.edits) {
         out += strfmt("edit %s 0x%x %u %u 0x%x 0x%x 0x%x\n",
                       distillPassName(e.pass), e.origPc, e.reg,
@@ -166,6 +173,15 @@ loadDistilled(const std::string &text)
         if (key == "ckpt" && toks.size() == 3) {
             dist.checkpointRegs[want_int(toks[1], line_no)] =
                 want_int(toks[2], line_no);
+            return true;
+        }
+        if (key == "specload" && toks.size() == 3) {
+            LoadSpecClass cls;
+            if (!loadSpecClassFromName(std::string(toks[2]), cls)) {
+                fatal("object line %d: unknown load class '%s'",
+                      line_no, std::string(toks[2]).c_str());
+            }
+            dist.loadClasses[want_int(toks[1], line_no)] = cls;
             return true;
         }
         if (key == "edit" && toks.size() == 8) {

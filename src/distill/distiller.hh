@@ -140,6 +140,32 @@ struct DistillEdit
     RegMask liveOut = 0;
 };
 
+/**
+ * Speculation-safety class of one static load in a distilled image
+ * (analysis/specsafe.hh, DESIGN.md §5.3). The future value-
+ * speculating distiller may only bake in loads the classifier proved
+ * invariant; the runtime recovers from the rest.
+ */
+enum class LoadSpecClass : uint8_t
+{
+    /** No store in the analyzed image may alias the load: its value
+     *  can never change, on any execution. */
+    ProvablyInvariant,
+    /** Aliasing stores exist, but none shares a fork region with the
+     *  load — invariant between fork boundaries, not across them. */
+    RegionInvariant,
+    /** An aliasing store may execute in the load's own region (or
+     *  the address could not be proven at all). */
+    Risky,
+};
+
+/** Stable lower-case class name ("provably-invariant", ...). */
+const char *loadSpecClassName(LoadSpecClass cls);
+
+/** Parse a class name; @retval false when unknown. */
+bool loadSpecClassFromName(const std::string &name,
+                           LoadSpecClass &cls);
+
 /** Lower-case pass name ("branch-prune", "dce", ...). */
 const char *distillPassName(DistillEdit::Pass pass);
 
@@ -213,6 +239,16 @@ struct DistilledProgram
      * over-approximations as wasted checkpoint bandwidth.
      */
     std::map<uint32_t, RegMask> checkpointRegs;
+
+    /**
+     * Speculation-safety metadata: distilled PC of every static load
+     * in the image -> its invariance class, stamped by distill() from
+     * the store-set analysis (analysis/specsafe.hh) and persisted in
+     * the .mdo format (format v3). mssp-lint --specsafe recomputes
+     * the classification and rejects images whose persisted classes
+     * disagree (docs/LINT.md).
+     */
+    std::map<uint32_t, LoadSpecClass> loadClasses;
 
     DistillReport report;
 

@@ -9,6 +9,7 @@
  */
 
 #include "analysis/liveness.hh"
+#include "analysis/specsafe.hh"
 #include "distill/distiller.hh"
 #include "sim/logging.hh"
 
@@ -300,6 +301,15 @@ distill(const Program &orig, const ProfileData &profile,
         auto live_it = live.find(e.regionStart);
         e.liveOut = live_it != live.end() ? live_it->second.liveOut
                                           : analysis::AllRegsMask;
+    }
+
+    // Speculation-safety metadata: classify every static load of the
+    // finished image (analysis/specsafe.hh) so consumers — the value
+    // speculation planner, mssp-lint --specsafe, the crossval dynamic
+    // gate — agree on one persisted classification.
+    for (const analysis::LoadClassification &c :
+         analysis::classifySpecLoads(orig, out)) {
+        out.loadClasses[c.pc] = c.cls;
     }
     return out;
 }

@@ -1,17 +1,100 @@
 #include "eval/crossval.hh"
 
 #include <functional>
+#include <map>
+#include <optional>
 
 #include "analysis/verifier.hh"
 #include "asm/assembler.hh"
 #include "core/pipeline.hh"
 #include "eval/experiment.hh"
+#include "exec/seq_machine.hh"
 #include "sim/parallel.hh"
 #include "util/string_utils.hh"
 #include "workloads/workloads.hh"
 
 namespace mssp
 {
+
+namespace
+{
+
+/** Watches the SEQ replay and records, per tracked static load PC,
+ *  the last value read — flagging any change. */
+class InvariantLoadWatcher : public SeqMachine::Observer
+{
+  public:
+    InvariantLoadWatcher(
+        SeqMachine &machine,
+        const std::vector<analysis::LoadClassification> &loads)
+        : machine_(machine)
+    {
+        for (const analysis::LoadClassification &c : loads) {
+            if (c.cls == LoadSpecClass::ProvablyInvariant)
+                last_[c.pc] = std::nullopt;
+        }
+    }
+
+    size_t checkedLoads() const { return last_.size(); }
+
+    void
+    onStep(uint32_t pc, const StepResult &res) override
+    {
+        if (!isLoad(res.inst.op))
+            return;
+        auto it = last_.find(pc);
+        if (it == last_.end())
+            return;
+        // onStep fires post-instruction: the loaded value sits in rd.
+        // A load into r0 leaves no trace there, but also cannot have
+        // clobbered rs1, so the address still reconstructs exactly
+        // (ProvablyInvariant loads are never MMIO, so re-reading
+        // memory is side-effect free).
+        uint32_t value;
+        if (res.inst.rd != 0) {
+            value = machine_.readReg(res.inst.rd);
+        } else {
+            uint32_t addr =
+                machine_.readReg(res.inst.rs1) + res.inst.imm;
+            value = machine_.state().readMem(addr);
+        }
+        result.observations++;
+        if (it->second && *it->second != value) {
+            result.valueChanges++;
+            if (result.firstViolation.empty()) {
+                result.firstViolation = strfmt(
+                    "load at 0x%x read 0x%x, previously 0x%x", pc,
+                    value, *it->second);
+            }
+        }
+        it->second = value;
+    }
+
+    SpecSafeDynamicResult result;
+
+  private:
+    SeqMachine &machine_;
+    std::map<uint32_t, std::optional<uint32_t>> last_;
+};
+
+} // anonymous namespace
+
+SpecSafeDynamicResult
+validateSpecSafeDynamic(
+    const Program &orig, const DistilledProgram &dist,
+    const std::vector<analysis::LoadClassification> &loads,
+    uint64_t max_insts)
+{
+    SeqMachine machine(analysis::mergedImage(orig, dist));
+    InvariantLoadWatcher watcher(machine, loads);
+    machine.setObserver(&watcher);
+    // The distilled program is an approximation; its raw SEQ replay
+    // need not halt cleanly (it may fault or spin) — the instruction
+    // budget bounds the observation window either way.
+    machine.run(max_insts);
+    watcher.result.checkedLoads = watcher.checkedLoads();
+    return watcher.result;
+}
 
 bool
 CrossValReport::allConsistent() const
@@ -27,7 +110,8 @@ std::string
 CrossValReport::toText() const
 {
     Table t({"workload", "ok", "edits", "proven", "risky", "unknown",
-             "sem-err", "div-squash", "consistent"});
+             "sem-err", "div-squash", "loads PI/RI/R", "spec-err",
+             "pi-chg", "consistent"});
     for (const CrossValRow &r : rows) {
         t.addRow({r.name, r.ok ? "yes" : "NO",
                   strfmt("%zu", r.edits), strfmt("%zu", r.proven),
@@ -35,6 +119,11 @@ CrossValReport::toText() const
                   strfmt("%zu", r.semanticErrors),
                   strfmt("%llu", static_cast<unsigned long long>(
                                      r.divergenceSquashes)),
+                  strfmt("%zu/%zu/%zu", r.specProvablyInvariant,
+                         r.specRegionInvariant, r.specRisky),
+                  strfmt("%zu", r.specErrors),
+                  strfmt("%llu", static_cast<unsigned long long>(
+                                     r.provInvariantValueChanges)),
                   r.consistent ? "yes" : "NO"});
     }
     return t.render("static risk vs. dynamic misspeculation");
@@ -66,6 +155,15 @@ crossValidate(double scale, const MsspConfig &cfg,
             row.unknown = sem.semantic.unknown();
             row.semanticErrors = sem.lint.errors();
 
+            analysis::SpecSafeReport spec =
+                analysis::analyzeSpecSafe(prepared.orig,
+                                          prepared.dist);
+            row.specLoads = spec.loads.size();
+            row.specProvablyInvariant = spec.provablyInvariant();
+            row.specRegionInvariant = spec.regionInvariant();
+            row.specRisky = spec.risky();
+            row.specErrors = spec.lint.errors();
+
             WorkloadRun run =
                 runPrepared(wl.name, prepared, cfg, max_cycles);
             row.ok = run.ok;
@@ -73,14 +171,22 @@ crossValidate(double scale, const MsspConfig &cfg,
                 run.counters.tasksSquashedLiveIn +
                 run.counters.tasksSquashedWrongPc;
 
+            SpecSafeDynamicResult dyn = validateSpecSafeDynamic(
+                prepared.orig, prepared.dist, spec.loads);
+            row.provInvariantValueChanges = dyn.valueChanges;
+
             // The validator's claim is one-directional: a workload
             // whose edits are all Proven must not squash on
             // divergence. The converse (risky edits must squash) does
             // not hold — static analysis over-approximates dynamic
-            // behaviour.
+            // behaviour. The specsafe claim is absolute: a
+            // ProvablyInvariant load that changed value means the
+            // alias analysis is wrong, full stop.
             bool all_proven = row.proven == row.edits;
             row.consistent =
-                run.ok && (!all_proven || row.divergenceSquashes == 0);
+                run.ok && (!all_proven || row.divergenceSquashes == 0)
+                && row.specErrors == 0
+                && row.provInvariantValueChanges == 0;
             return row;
         });
     }

@@ -10,6 +10,13 @@
  * dynamic divergence-squash counters — a Proven-only workload with
  * divergence squashes falsifies the abstract interpreter (that is
  * the cross-validation gate in tests/test_crossval.cpp).
+ *
+ * The speculation-safety classifier (analysis/specsafe.hh) makes a
+ * second falsifiable claim: a load classified ProvablyInvariant must
+ * never observe a changed value at runtime. validateSpecSafeDynamic()
+ * replays the merged image on SEQ, tracks every ProvablyInvariant
+ * load's value per static PC, and counts changes — any nonzero count
+ * falsifies the alias analysis and fails the gate outright.
  */
 
 #ifndef MSSP_EVAL_CROSSVAL_HH
@@ -19,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/specsafe.hh"
 #include "mssp/config.hh"
 
 namespace mssp
@@ -40,11 +48,44 @@ struct CrossValRow
      *  mismatch + wrong fork PC), not capacity effects. */
     uint64_t divergenceSquashes = 0;
 
-    /** The falsifiable claim: all-proven implies zero divergence
-     *  squashes. (Risky/unknown edits do not *require* squashes —
-     *  static analysis over-approximates.) */
+    // Speculation-safety load classification (analysis/specsafe.hh)
+    size_t specLoads = 0;
+    size_t specProvablyInvariant = 0;
+    size_t specRegionInvariant = 0;
+    size_t specRisky = 0;
+    size_t specErrors = 0;  ///< metadata-validation findings (errors)
+    /** Dynamic value changes observed at ProvablyInvariant loads.
+     *  Any nonzero count falsifies the alias analysis. */
+    uint64_t provInvariantValueChanges = 0;
+
+    /** The falsifiable claims: all-proven implies zero divergence
+     *  squashes, and ProvablyInvariant loads never change value.
+     *  (Risky/unknown edits do not *require* squashes — static
+     *  analysis over-approximates.) */
     bool consistent = false;
 };
+
+/** What validateSpecSafeDynamic() observed. */
+struct SpecSafeDynamicResult
+{
+    size_t checkedLoads = 0;    ///< ProvablyInvariant static loads
+    uint64_t observations = 0;  ///< dynamic executions of those loads
+    uint64_t valueChanges = 0;  ///< value differed from last time
+    std::string firstViolation; ///< detail of the first change
+};
+
+/**
+ * Replay the merged image (original overlaid with the distilled
+ * code, entry at the distilled entry) on the SEQ reference machine
+ * for at most @p max_insts instructions and track the value every
+ * ProvablyInvariant load in @p loads reads, per static PC. A change
+ * between two dynamic executions of the same static load is a
+ * counterexample to the classifier's invariance proof.
+ */
+SpecSafeDynamicResult validateSpecSafeDynamic(
+    const Program &orig, const DistilledProgram &dist,
+    const std::vector<analysis::LoadClassification> &loads,
+    uint64_t max_insts = 20000000ull);
 
 /** Cross-validation over a workload set. */
 struct CrossValReport

@@ -1,12 +1,14 @@
 #include "eval/suite.hh"
 
 #include <functional>
-#include <mutex>
 #include <ostream>
 
+#include "analysis/specsafe.hh"
 #include "analysis/verifier.hh"
+#include "eval/crossval.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
+#include "sim/thread_annotations.hh"
 #include "workloads/workloads.hh"
 
 namespace mssp
@@ -42,7 +44,7 @@ SuiteReport::ok() const
 std::string
 SuiteReport::toJson() const
 {
-    std::string out = "{\"schema\": \"mssp-suite-v1\",\n";
+    std::string out = "{\"schema\": \"mssp-suite-v2\",\n";
     out += strfmt(" \"seed\": %llu, \"scale\": %s, ",
                   static_cast<unsigned long long>(options.seed),
                   fmtG(options.scale).c_str());
@@ -59,6 +61,9 @@ SuiteReport::toJson() const
             "\"lint\": {\"errors\": %zu, \"warnings\": %zu}, "
             "\"semantic\": {\"edits\": %zu, \"proven\": %zu, "
             "\"risky\": %zu, \"unknown\": %zu, \"errors\": %zu}, "
+            "\"specsafe\": {\"loads\": %zu, "
+            "\"provablyInvariant\": %zu, \"regionInvariant\": %zu, "
+            "\"risky\": %zu, \"errors\": %zu, \"violations\": %llu}, "
             "\"run\": {\"ok\": %s, \"stopReason\": \"%s\", "
             "\"seqInsts\": %llu, \"baselineCycles\": %llu, "
             "\"msspCycles\": %llu, \"speedup\": %s, "
@@ -67,6 +72,9 @@ SuiteReport::toJson() const
             "\"consistent\": %s}, \"ok\": %s}%s\n",
             w.name.c_str(), w.lintErrors, w.lintWarnings, w.edits,
             w.proven, w.risky, w.unknown, w.semanticErrors,
+            w.specLoads, w.specProvablyInvariant,
+            w.specRegionInvariant, w.specRisky, w.specErrors,
+            static_cast<unsigned long long>(w.specViolations),
             w.run.ok ? "true" : "false", toString(w.run.stopReason),
             static_cast<unsigned long long>(w.run.seqInsts),
             static_cast<unsigned long long>(w.run.baselineCycles),
@@ -93,14 +101,22 @@ SuiteReport::toJson() const
 std::string
 SuiteReport::summary() const
 {
-    Table t({"workload", "lint", "sem-err", "proven/edits", "run",
-             "speedup", "div-squash", "consistent", "verdict"});
+    Table t({"workload", "lint", "sem-err", "proven/edits",
+             "loads PI/RI/R", "spec", "run", "speedup", "div-squash",
+             "consistent", "verdict"});
     for (const SuiteWorkloadResult &w : workloads) {
         t.addRow({w.name,
                   w.lintErrors ? strfmt("%zu ERR", w.lintErrors)
                                : "clean",
                   strfmt("%zu", w.semanticErrors),
                   strfmt("%zu/%zu", w.proven, w.edits),
+                  strfmt("%zu/%zu/%zu", w.specProvablyInvariant,
+                         w.specRegionInvariant, w.specRisky),
+                  w.specErrors || w.specViolations
+                      ? strfmt("%zu err %llu viol", w.specErrors,
+                               static_cast<unsigned long long>(
+                                   w.specViolations))
+                      : "clean",
                   w.run.ok ? "ok" : toString(w.run.stopReason),
                   fmt2(w.run.speedup),
                   strfmt("%llu", static_cast<unsigned long long>(
@@ -109,8 +125,8 @@ SuiteReport::summary() const
                   w.ok() ? "ok" : "FAIL"});
     }
     std::string s =
-        t.render("mssp-suite: distill + lint + semantic + run + "
-                 "crossval");
+        t.render("mssp-suite: distill + lint + semantic + specsafe "
+                 "+ run + crossval");
     s += "\n" + campaign.summary();
     s += strfmt("\nsuite: %zu eval failure(s), %zu campaign "
                 "failure(s) -> %s\n",
@@ -134,7 +150,7 @@ runSuite(const SuiteOptions &opts, std::ostream *log)
     // Phase one: one job per workload runs the evaluation chain and
     // seeds the campaign's oracle cache from the prepared pipeline.
     SeqOracleCache oracles(opts.scale);
-    std::mutex log_m;
+    Mutex log_m;
     std::vector<std::function<SuiteWorkloadResult()>> work;
     work.reserve(names.size());
     for (const std::string &name : names) {
@@ -162,6 +178,19 @@ runSuite(const SuiteOptions &opts, std::ostream *log)
             r.unknown = sem.semantic.unknown();
             r.semanticErrors = sem.lint.errors();
 
+            analysis::SpecSafeReport spec =
+                analysis::analyzeSpecSafe(prepared.orig,
+                                          prepared.dist);
+            r.specLoads = spec.loads.size();
+            r.specProvablyInvariant = spec.provablyInvariant();
+            r.specRegionInvariant = spec.regionInvariant();
+            r.specRisky = spec.risky();
+            r.specErrors = spec.lint.errors();
+            r.specViolations =
+                validateSpecSafeDynamic(prepared.orig, prepared.dist,
+                                        spec.loads)
+                    .valueChanges;
+
             r.run = runPrepared(name, prepared, MsspConfig{},
                                 opts.runMaxCycles);
             r.divergenceSquashes =
@@ -173,7 +202,7 @@ runSuite(const SuiteOptions &opts, std::ostream *log)
 
             oracles.put(name, std::move(prepared));
             if (log) {
-                std::lock_guard<std::mutex> lock(log_m);
+                MutexLock lock(log_m);
                 *log << strfmt("  [eval] %-10s %s\n", r.name.c_str(),
                                r.ok() ? "ok" : "FAIL");
                 log->flush();

@@ -8,8 +8,10 @@
  *   distill   assemble + profile + distill (core/pipeline.hh)
  *   lint      structural verification (analysis/verifier.hh)
  *   semantic  translation validation of every distiller edit
+ *   specsafe  load speculation-safety classes + metadata validation
  *   run       full MSSP machine vs the sequential baseline
- *   crossval  static risk vs dynamic divergence-squash consistency
+ *   crossval  static risk vs dynamic divergence-squash consistency,
+ *             plus the ProvablyInvariant value-change gate
  *   campaign  the fault-injection sweep against the SEQ oracle
  *
  * The job graph has two sharded phases (sim/parallel.hh). Phase one
@@ -20,7 +22,7 @@
  * and reusing those oracles — no workload is ever prepared twice.
  *
  * The report is one deterministic JSON document (schema
- * mssp-suite-v1): per-run seeds derive from canonical job indices
+ * mssp-suite-v2): per-run seeds derive from canonical job indices
  * and results merge in canonical order, so `--jobs N` output is
  * byte-identical to `--jobs 1`. CI runs the suite on every push with
  * all 12 workloads and diffs a serial rerun against it (docs/CI.md).
@@ -70,6 +72,14 @@ struct SuiteWorkloadResult
     size_t unknown = 0;
     size_t semanticErrors = 0;
 
+    // specsafe load classification (analysis/specsafe.hh)
+    size_t specLoads = 0;
+    size_t specProvablyInvariant = 0;
+    size_t specRegionInvariant = 0;
+    size_t specRisky = 0;
+    size_t specErrors = 0;        ///< metadata-validation findings
+    uint64_t specViolations = 0;  ///< PI loads that changed value
+
     // MSSP run vs baseline
     WorkloadRun run;
 
@@ -80,7 +90,8 @@ struct SuiteWorkloadResult
     bool
     ok() const
     {
-        return lintErrors == 0 && semanticErrors == 0 && run.ok &&
+        return lintErrors == 0 && semanticErrors == 0 &&
+               specErrors == 0 && specViolations == 0 && run.ok &&
                consistent;
     }
 };
@@ -95,12 +106,13 @@ struct SuiteReport
     /** Workloads failing any phase-one gate. */
     size_t evalFailures() const;
 
-    /** True when every stage of every workload passed: lint and
-     *  semantic clean, run equivalent, crossval consistent, campaign
-     *  invariants held and every fault type fired. */
+    /** True when every stage of every workload passed: lint,
+     *  semantic and specsafe clean, run equivalent, crossval
+     *  consistent, campaign invariants held and every fault type
+     *  fired. */
     bool ok() const;
 
-    /** Deterministic JSON document (schema mssp-suite-v1; embeds the
+    /** Deterministic JSON document (schema mssp-suite-v2; embeds the
      *  campaign's mssp-faultcamp-v1 object under "campaign"). */
     std::string toJson() const;
 

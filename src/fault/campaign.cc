@@ -71,7 +71,7 @@ makeSeqOracle(const Workload &wl)
 SeqOracleCache::Entry &
 SeqOracleCache::entry(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(m_);
+    MutexLock lock(m_);
     std::unique_ptr<Entry> &e = entries_[name];
     if (!e)
         e = std::make_unique<Entry>();
@@ -353,7 +353,7 @@ runFaultCampaign(const CampaignOptions &opts, std::ostream *log,
         }
         runSharded<bool>(jobs, std::move(warm));
     }
-    std::mutex log_m;
+    Mutex log_m;
     std::vector<std::function<CampaignRun()>> work;
     work.reserve(cells.size());
     for (const Cell &cell : cells) {
@@ -366,7 +366,7 @@ runFaultCampaign(const CampaignOptions &opts, std::ostream *log,
                 // Progress lines stream as cells finish (completion
                 // order under --jobs > 1); the JSON report is the
                 // deterministic artifact.
-                std::lock_guard<std::mutex> lock(log_m);
+                MutexLock lock(log_m);
                 *log << strfmt(
                     "  [%3llu] %-10s %-19s rate=%-9s inj=%-5llu "
                     "%s\n",

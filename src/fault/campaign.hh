@@ -35,6 +35,7 @@
 #include "core/pipeline.hh"
 #include "fault/fault.hh"
 #include "mssp/machine.hh"
+#include "sim/thread_annotations.hh"
 #include "workloads/workloads.hh"
 
 namespace mssp
@@ -167,6 +168,8 @@ class SeqOracleCache
   private:
     struct Entry
     {
+        /** Guards oracle: readers go through call_once, which gives
+         *  the release/acquire pairing the analysis cannot see. */
         std::once_flag once;
         SeqOracle oracle;
     };
@@ -174,8 +177,11 @@ class SeqOracleCache
     Entry &entry(const std::string &name);
 
     double scale_;
-    std::mutex m_;
-    std::map<std::string, std::unique_ptr<Entry>> entries_;
+    Mutex m_;
+    /** The map itself is guarded by m_; each Entry, once handed out,
+     *  is immutable except through its own once_flag. */
+    std::map<std::string, std::unique_ptr<Entry>> entries_
+        MSSP_GUARDED_BY(m_);
 };
 
 /** Execute one (workload, fault type, rate) campaign cell. Pure

@@ -27,10 +27,10 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         stop_ = true;
     }
-    wake_.notify_all();
+    wake_.notifyAll();
     for (std::thread &w : workers_)
         w.join();
 }
@@ -43,7 +43,7 @@ ThreadPool::run(std::vector<std::function<void()>> jobs)
 
     std::vector<std::exception_ptr> errors(jobs.size());
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         // Publish the batch state *before* dealing indices: a worker
         // still draining the previous batch may pop a new index the
         // moment it hits a shard queue, and the shard mutex only
@@ -56,17 +56,16 @@ ThreadPool::run(std::vector<std::function<void()>> jobs)
         // over all workers, stealing rebalances the rest.
         for (size_t i = 0; i < jobs.size(); ++i) {
             Shard &s = *shards_[i % shards_.size()];
-            std::lock_guard<std::mutex> qlock(s.m);
+            MutexLock qlock(s.m);
             s.q.push_back(i);
         }
     }
-    wake_.notify_all();
+    wake_.notifyAll();
 
     {
-        std::unique_lock<std::mutex> lock(m_);
-        done_.wait(lock, [this] {
-            return remaining_.load(std::memory_order_acquire) == 0;
-        });
+        MutexLock lock(m_);
+        while (remaining_.load(std::memory_order_acquire) != 0)
+            done_.wait(m_);
         jobs_ = nullptr;
         errors_ = nullptr;
     }
@@ -83,7 +82,7 @@ ThreadPool::nextJob(unsigned self, size_t &idx)
 {
     {
         Shard &own = *shards_[self];
-        std::lock_guard<std::mutex> lock(own.m);
+        MutexLock lock(own.m);
         if (!own.q.empty()) {
             idx = own.q.back();   // LIFO: most recently dealt, warm
             own.q.pop_back();
@@ -92,7 +91,7 @@ ThreadPool::nextJob(unsigned self, size_t &idx)
     }
     for (size_t off = 1; off < shards_.size(); ++off) {
         Shard &victim = *shards_[(self + off) % shards_.size()];
-        std::lock_guard<std::mutex> lock(victim.m);
+        MutexLock lock(victim.m);
         if (!victim.q.empty()) {
             idx = victim.q.front();   // steal oldest: FIFO fairness
             victim.q.pop_front();
@@ -103,18 +102,20 @@ ThreadPool::nextJob(unsigned self, size_t &idx)
 }
 
 void
-ThreadPool::execute(size_t idx)
+ThreadPool::execute(size_t idx,
+                    std::vector<std::function<void()>> &jobs,
+                    std::vector<std::exception_ptr> &errors)
 {
     try {
-        (*jobs_)[idx]();
+        jobs[idx]();
     } catch (...) {
-        (*errors_)[idx] = std::current_exception();
+        errors[idx] = std::current_exception();
     }
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last job out: wake the caller. Taking the lock orders this
         // notify after the caller's wait() registration.
-        std::lock_guard<std::mutex> lock(m_);
-        done_.notify_all();
+        MutexLock lock(m_);
+        done_.notifyAll();
     }
 }
 
@@ -123,17 +124,24 @@ ThreadPool::workerMain(unsigned self)
 {
     uint64_t seen = 0;
     for (;;) {
+        std::vector<std::function<void()>> *jobs = nullptr;
+        std::vector<std::exception_ptr> *errors = nullptr;
         {
-            std::unique_lock<std::mutex> lock(m_);
-            wake_.wait(lock,
-                       [this, seen] { return stop_ || batch_ != seen; });
+            MutexLock lock(m_);
+            while (!stop_ && batch_ == seen)
+                wake_.wait(m_);
             if (stop_)
                 return;
             seen = batch_;
+            // Snapshot the batch arrays under the lock; run() only
+            // clears them after remaining_ hits zero, so they outlive
+            // every execute() of this batch.
+            jobs = jobs_;
+            errors = errors_;
         }
         size_t idx;
         while (nextJob(self, idx))
-            execute(idx);
+            execute(idx, *jobs, *errors);
         // Batch drained (for this worker). Other workers may still be
         // executing; run() waits on remaining_, not on us.
     }

@@ -38,16 +38,16 @@
 #define MSSP_SIM_PARALLEL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "sim/thread_annotations.hh"
 
 namespace mssp
 {
@@ -90,25 +90,32 @@ class ThreadPool
     /** One worker's deque of pending job indices. */
     struct Shard
     {
-        std::mutex m;
-        std::deque<size_t> q;
+        Mutex m;
+        std::deque<size_t> q MSSP_GUARDED_BY(m);
     };
 
     void workerMain(unsigned self);
     /** Pop from own back, else steal from a sibling's front. */
     bool nextJob(unsigned self, size_t &idx);
-    void execute(size_t idx);
+    /** Run job @p idx from the batch snapshot taken under m_. */
+    void execute(size_t idx, std::vector<std::function<void()>> &jobs,
+                 std::vector<std::exception_ptr> &errors);
 
     std::vector<std::unique_ptr<Shard>> shards_;
     std::vector<std::thread> workers_;
 
-    std::mutex m_;
-    std::condition_variable wake_;   ///< workers wait for a batch
-    std::condition_variable done_;   ///< run() waits for the drain
-    uint64_t batch_ = 0;             ///< bumped per run() call
-    bool stop_ = false;
-    std::vector<std::function<void()>> *jobs_ = nullptr;
-    std::vector<std::exception_ptr> *errors_ = nullptr;
+    Mutex m_;
+    CondVar wake_;                   ///< workers wait for a batch
+    CondVar done_;                   ///< run() waits for the drain
+    uint64_t batch_ MSSP_GUARDED_BY(m_) = 0;   ///< bumped per run()
+    bool stop_ MSSP_GUARDED_BY(m_) = false;
+    std::vector<std::function<void()>> *jobs_
+        MSSP_GUARDED_BY(m_) = nullptr;
+    std::vector<std::exception_ptr> *errors_
+        MSSP_GUARDED_BY(m_) = nullptr;
+    /** Jobs not yet finished in the current batch. Atomic, not
+     *  guarded: execute() decrements it outside m_ and the waiter
+     *  rechecks it under m_ after every done_ wakeup. */
     std::atomic<size_t> remaining_{0};
 };
 

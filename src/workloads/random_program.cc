@@ -75,6 +75,14 @@ randomProgramSource(uint64_t seed, const RandomProgramOptions &opts)
         src += "    add t0, s2, s3\n";
         src += "    lw t1, 0(t0)\n";
 
+        if (opts.paramTable) {
+            // Fold in the phase parameter, reloaded from its fixed
+            // read-only slot every iteration.
+            src += "    la t6, params\n";
+            src += strfmt("    lw t4, %u(t6)\n", ph);
+            src += "    add s1, s1, t4\n";
+        }
+
         for (unsigned i = 0; i < body_ops; ++i) {
             if (opts.allowMmio && rng.chance(0.08)) {
                 // A rare device access: read the non-idempotent
@@ -160,6 +168,14 @@ randomProgramSource(uint64_t seed, const RandomProgramOptions &opts)
     for (unsigned i = 0; i < opts.dataWords; ++i) {
         src += strfmt(".word %u\n",
                       static_cast<uint32_t>(rng.below(1u << 16)));
+    }
+    if (opts.paramTable) {
+        // Right past the array, out of reach of its masked stores.
+        src += "params:\n";
+        for (unsigned ph = 0; ph < phases; ++ph) {
+            src += strfmt(".word %u\n",
+                          static_cast<uint32_t>(rng.below(1u << 16)));
+        }
     }
     return src;
 }

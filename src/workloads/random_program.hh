@@ -3,9 +3,11 @@
  * Random structured-program generator.
  *
  * Produces terminating-by-construction μRISC programs with nested
- * counted loops, array loads/stores, biased rare branches, helper
- * calls and periodic OUT checksums. Used by the fuzz/property tests
- * (SEQ-vs-MSSP equivalence over program families) and the adversarial
+ * counted loops, array loads/stores, a read-only per-phase parameter
+ * table (fixed-address loads no store can touch), biased rare
+ * branches, helper calls and periodic OUT checksums. Used by the
+ * fuzz/property tests (SEQ-vs-MSSP equivalence over program
+ * families), the speculation-safety fuzz gate and the adversarial
  * refinement suite.
  */
 
@@ -31,6 +33,11 @@ struct RandomProgramOptions
     bool allowCalls = true;
     bool allowStores = true;
     bool allowRareBranches = true;
+    /** Give every phase a read-only parameter word loaded at a fixed
+     *  address each iteration. No store can reach the table, so the
+     *  loads are value-invariant by construction — the non-vacuity
+     *  anchor for the speculation-safety fuzz gate (specsafe.hh). */
+    bool paramTable = true;
     /** Sprinkle non-idempotent device reads/writes into phase bodies
      *  (exercises the MMIO serialization path). */
     bool allowMmio = false;

@@ -90,9 +90,11 @@ TEST(ObjFile, EditMetadataSurvivesRoundTrip)
 
 TEST(ObjFile, StaleFormatVersionIsRejectedWithMessage)
 {
-    // A v1 file from an older build must be rejected with a message
-    // that names both versions, not silently misparsed.
-    std::string stale = "mssp-distilled v1\nentry 0x400000\n";
+    // A v2 file from an older build must be rejected with a message
+    // that names both versions, not silently misparsed (v2 carries
+    // no specload lines, so accepting it would fail the specsafe
+    // coverage gate in confusing ways instead).
+    std::string stale = "mssp-distilled v2\nentry 0x400000\n";
     try {
         loadDistilled(stale);
         FAIL() << "stale format version was accepted";
@@ -101,10 +103,31 @@ TEST(ObjFile, StaleFormatVersionIsRejectedWithMessage)
                       .find("unsupported object format version"),
                   std::string::npos)
             << e.what();
-        EXPECT_NE(std::string(e.what()).find("mssp-distilled v2"),
+        EXPECT_NE(std::string(e.what()).find("mssp-distilled v3"),
                   std::string::npos)
             << e.what();
     }
+}
+
+TEST(ObjFile, LoadClassesSurviveRoundTrip)
+{
+    setQuiet(true);
+    PreparedWorkload w = prepare(test::biasedSumSource(150, 3),
+                                 test::biasedSumSource(100, 4),
+                                 DistillerOptions::paperPreset());
+    DistilledProgram d2 = loadDistilled(saveDistilled(w.dist));
+    EXPECT_EQ(d2.loadClasses, w.dist.loadClasses);
+}
+
+TEST(ObjFile, UnknownLoadClassIsFatal)
+{
+    setQuiet(true);
+    PreparedWorkload w = prepare(test::biasedSumSource(150, 3),
+                                 test::biasedSumSource(100, 4),
+                                 DistillerOptions::paperPreset());
+    std::string text = saveDistilled(w.dist);
+    text += "specload 0x400000 definitely-fine\n";
+    EXPECT_THROW(loadDistilled(text), FatalError);
 }
 
 TEST(ObjFile, BadMagicIsFatal)

@@ -10,6 +10,7 @@
 #   MSSP_SKIP_BENCH=1 tools/check.sh    # skip the benchmark smoke
 #   MSSP_SKIP_TIDY=1 tools/check.sh     # skip the clang-tidy gate
 #   MSSP_SKIP_FAULTS=1 tools/check.sh   # skip the fault-campaign smoke
+#   MSSP_SKIP_SPECSAFE=1 tools/check.sh # skip the specsafe gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,16 +59,53 @@ loop:
   halt
 EOF
 build/tools/mssp-distill "$tmp/prog.s" -o "$tmp/prog.mdo" --verify
-build/tools/mssp-lint "$tmp/prog.s" --image "$tmp/prog.mdo"
-# Corrupt the restart map: the lint must reject the image.
+# Exit 0 = clean, 1 = warnings only (docs/LINT.md): both acceptable
+# here, errors (2) and usage/read failures (3) are not.
+lint_rc=0
+build/tools/mssp-lint "$tmp/prog.s" --image "$tmp/prog.mdo" \
+    || lint_rc=$?
+if [[ $lint_rc -gt 1 ]]; then
+    echo "check.sh: lint failed on a fresh image (exit $lint_rc)" >&2
+    exit 1
+fi
+# Corrupt the restart map: the lint must reject the image (exit 2).
 sed 's/^restart \(0x[0-9a-f]*\) 0x[0-9a-f]*/restart \1 0x999999/' \
     "$tmp/prog.mdo" > "$tmp/bad.mdo"
-if build/tools/mssp-lint "$tmp/prog.s" --image "$tmp/bad.mdo" \
-       > /dev/null; then
-    echo "check.sh: lint accepted a corrupted image" >&2
+bad_rc=0
+build/tools/mssp-lint "$tmp/prog.s" --image "$tmp/bad.mdo" \
+    > /dev/null || bad_rc=$?
+if [[ $bad_rc -ne 2 ]]; then
+    echo "check.sh: lint did not reject a corrupted image with" \
+         "exit 2 (got $bad_rc)" >&2
     exit 1
 fi
 echo "corrupted image rejected, as it should be"
+
+if [[ "${MSSP_SKIP_SPECSAFE:-0}" == "1" ]]; then
+    echo "== skipping specsafe gate (MSSP_SKIP_SPECSAFE=1)"
+else
+    # Speculation-safety sweep over every registry workload: every
+    # static load classified, persisted metadata re-validates, and
+    # the aggregated JSON from a sharded run is byte-identical to the
+    # serial one (the determinism contract, DESIGN.md §10).
+    echo "== specsafe gate (all workloads, sharded vs serial)"
+    spec_rc=0
+    build/tools/mssp-lint --specsafe --workloads all --scale 0.05 \
+        --jobs "$JOBS" --report=json > "$tmp/specsafe-par.json" \
+        || spec_rc=$?
+    if [[ $spec_rc -gt 1 ]]; then
+        echo "check.sh: specsafe found errors (exit $spec_rc)" >&2
+        exit 1
+    fi
+    build/tools/mssp-lint --specsafe --workloads all --scale 0.05 \
+        --jobs 1 --report=json > "$tmp/specsafe-ser.json" || true
+    if ! cmp -s "$tmp/specsafe-par.json" "$tmp/specsafe-ser.json"; then
+        echo "check.sh: sharded specsafe report (--jobs $JOBS)" \
+             "differs from the serial one" >&2
+        exit 1
+    fi
+    echo "specsafe clean; --jobs $JOBS report byte-identical to --jobs 1"
+fi
 
 if [[ "${MSSP_SKIP_FAULTS:-0}" == "1" ]]; then
     echo "== skipping fault-campaign smoke (MSSP_SKIP_FAULTS=1)"

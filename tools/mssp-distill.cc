@@ -7,16 +7,18 @@
  *                [--theta T] [--no-valuespec] [--no-silentstores]
  *                [--task-size N] [--report] [--verify]
  *
- * --verify runs the mssp-lint static checks — both the structural
- * contract and the semantic translation validation of the edit log —
- * on the freshly distilled image; on errors nothing is written and
- * the exit status is 1.
+ * --verify runs the mssp-lint static checks — the structural
+ * contract, the semantic translation validation of the edit log, and
+ * the speculation-safety classification of every load — on the
+ * freshly distilled image; on errors nothing is written and the exit
+ * status is 1.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "analysis/specsafe.hh"
 #include "analysis/verifier.hh"
 #include "asm/assembler.hh"
 #include "asm/objfile.hh"
@@ -104,6 +106,11 @@ main(int argc, char **argv)
             rep.findings.insert(rep.findings.end(),
                                 sem.lint.findings.begin(),
                                 sem.lint.findings.end());
+            analysis::SpecSafeReport spec =
+                analysis::analyzeSpecSafe(ref, w.dist);
+            rep.findings.insert(rep.findings.end(),
+                                spec.lint.findings.begin(),
+                                spec.lint.findings.end());
             if (!rep.clean())
                 std::fputs(rep.toText().c_str(), stderr);
             if (rep.errors()) {

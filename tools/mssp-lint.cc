@@ -3,8 +3,11 @@
  * mssp-lint: static verification of distilled programs.
  *
  *   mssp-lint ref.{s,mo} [--image img.mdo] [--train t]
- *             [--semantic] [--json | --report=json]
- *   mssp-lint --workload NAME [--semantic] [--json | --report=json]
+ *             [--semantic | --specsafe] [--json | --report=json]
+ *   mssp-lint --workload NAME [--semantic | --specsafe]
+ *             [--json | --report=json]
+ *   mssp-lint --specsafe --workloads NAME[,NAME...]|all [--jobs N]
+ *             [--json | --report=json]
  *
  * With --image, verifies an existing distilled object against the
  * reference program. Otherwise (or with --workload) the reference is
@@ -16,18 +19,32 @@
  * is classified proven/risky/unknown, and with --report=json the
  * output carries a per-edit "edits" array alongside the findings.
  *
- * Exit codes: 0 clean or warnings only, 1 errors found, 2 bad usage
- * or unreadable input. Checks and the JSON schema: docs/LINT.md.
+ * --specsafe runs the speculation-safety classifier
+ * (analysis/specsafe.hh) instead: every static load in the distilled
+ * image is classified provably-invariant / region-invariant / risky,
+ * and the image's persisted `specload` metadata is validated against
+ * the recomputation. --workloads sweeps many registry workloads in
+ * one invocation, sharded over --jobs host threads; the aggregated
+ * JSON document is byte-identical for any job count.
+ *
+ * Exit codes (all modes): 0 clean, 1 warnings only, 2 errors found,
+ * 3 bad usage or unreadable input. Checks and the JSON schemas:
+ * docs/LINT.md.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "analysis/specsafe.hh"
 #include "analysis/verifier.hh"
 #include "asm/assembler.hh"
 #include "asm/objfile.hh"
 #include "core/pipeline.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "util/file.hh"
 #include "util/string_utils.hh"
 #include "workloads/workloads.hh"
@@ -49,14 +66,34 @@ loadAny(const std::string &path)
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: mssp-lint ref.{s,mo} [--image img.mdo] "
-                 "[--train t.{s,mo}] [--semantic] "
-                 "[--json | --report=json]\n"
-                 "       mssp-lint --workload NAME [--semantic] "
-                 "[--json | --report=json]\n");
-    return 2;
+    std::fprintf(
+        stderr,
+        "usage: mssp-lint ref.{s,mo} [--image img.mdo] "
+        "[--train t.{s,mo}] [--semantic | --specsafe] "
+        "[--json | --report=json]\n"
+        "       mssp-lint --workload NAME [--semantic | --specsafe] "
+        "[--json | --report=json]\n"
+        "       mssp-lint --specsafe --workloads NAME[,NAME...]|all "
+        "[--jobs N] [--scale X] [--json | --report=json]\n");
+    return 3;
 }
+
+/** The unified exit-code contract (docs/LINT.md): 0 clean, 1
+ *  warnings only, 2 errors. */
+int
+exitCode(const analysis::LintReport &rep)
+{
+    if (rep.errors())
+        return 2;
+    return rep.warnings() ? 1 : 0;
+}
+
+/** One workload's specsafe analysis, for the --workloads sweep. */
+struct SpecSweepRow
+{
+    std::string name;
+    analysis::SpecSafeReport report;
+};
 
 } // anonymous namespace
 
@@ -64,8 +101,12 @@ int
 main(int argc, char **argv)
 {
     std::string ref_path, image_path, train_path, workload;
+    std::string workloads_arg;
     bool json = false;
     bool semantic = false;
+    bool specsafe = false;
+    unsigned jobs = defaultJobs();
+    double scale = 1.0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -75,20 +116,120 @@ main(int argc, char **argv)
             train_path = argv[++i];
         } else if (arg == "--workload" && i + 1 < argc) {
             workload = argv[++i];
+        } else if (arg == "--workloads" && i + 1 < argc) {
+            workloads_arg = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+            if (jobs == 0)
+                jobs = 1;
+        } else if (arg == "--scale" && i + 1 < argc) {
+            scale = std::atof(argv[++i]);
+            if (scale <= 0)
+                return usage();
         } else if (arg == "--json" || arg == "--report=json") {
             json = true;
         } else if (arg == "--semantic") {
             semantic = true;
+        } else if (arg == "--specsafe") {
+            specsafe = true;
         } else if (arg[0] != '-' && ref_path.empty()) {
             ref_path = arg;
         } else {
             return usage();
         }
     }
-    if (ref_path.empty() == workload.empty())
+    if (semantic && specsafe)
         return usage();
+    if (!workloads_arg.empty()) {
+        // The sweep form is specsafe-only and takes no other input.
+        if (!specsafe || !ref_path.empty() || !workload.empty() ||
+            !image_path.empty())
+            return usage();
+    } else if (ref_path.empty() == workload.empty()) {
+        return usage();
+    }
 
     try {
+        // --workloads: sharded specsafe sweep, aggregated document.
+        if (!workloads_arg.empty()) {
+            std::vector<std::string> names;
+            if (workloads_arg == "all") {
+                for (const Workload &wl : specAnalogues(scale))
+                    names.push_back(wl.name);
+            } else {
+                for (const auto &n : split(workloads_arg, ','))
+                    names.push_back(std::string(trim(n)));
+            }
+
+            std::vector<std::function<SpecSweepRow()>> work;
+            work.reserve(names.size());
+            for (const std::string &name : names) {
+                work.push_back([&name, scale] {
+                    Workload w = workloadByName(name, scale);
+                    PreparedWorkload p =
+                        prepare(assemble(w.refSource),
+                                assemble(w.trainSource),
+                                DistillerOptions::paperPreset());
+                    SpecSweepRow row;
+                    row.name = name;
+                    row.report =
+                        analysis::analyzeSpecSafe(p.orig, p.dist);
+                    return row;
+                });
+            }
+            std::vector<SpecSweepRow> rows =
+                runSharded<SpecSweepRow>(jobs, std::move(work));
+
+            size_t loads = 0, pi = 0, ri = 0, risky = 0, errors = 0,
+                   warnings = 0;
+            for (const SpecSweepRow &r : rows) {
+                loads += r.report.loads.size();
+                pi += r.report.provablyInvariant();
+                ri += r.report.regionInvariant();
+                risky += r.report.risky();
+                errors += r.report.lint.errors();
+                warnings += r.report.lint.warnings();
+            }
+
+            if (json) {
+                std::string out =
+                    "{\"schema\": \"mssp-specsafe-v1\", "
+                    "\"aggregate\": true, ";
+                out += strfmt(
+                    "\"counts\": {\"workloads\": %zu, \"loads\": "
+                    "%zu, \"provablyInvariant\": %zu, "
+                    "\"regionInvariant\": %zu, \"risky\": %zu, "
+                    "\"errors\": %zu}, ",
+                    rows.size(), loads, pi, ri, risky, errors);
+                out += "\"reports\": [\n";
+                for (size_t i = 0; i < rows.size(); ++i) {
+                    std::string doc =
+                        rows[i].report.toJson(rows[i].name);
+                    while (!doc.empty() && doc.back() == '\n')
+                        doc.pop_back();
+                    out += doc;
+                    out += i + 1 < rows.size() ? ",\n" : "\n";
+                }
+                out += "]}\n";
+                std::fputs(out.c_str(), stdout);
+            } else {
+                for (const SpecSweepRow &r : rows) {
+                    std::printf("== %s ==\n", r.name.c_str());
+                    std::fputs(r.report.toText().c_str(), stdout);
+                    std::fputs(r.report.lint.toText().c_str(),
+                               stdout);
+                }
+                std::printf(
+                    "total: %zu workload(s), %zu load(s): %zu "
+                    "provably-invariant, %zu region-invariant, %zu "
+                    "risky; %zu error(s)\n",
+                    rows.size(), loads, pi, ri, risky, errors);
+            }
+            if (errors)
+                return 2;
+            return warnings ? 1 : 0;
+        }
+
         Program ref, train;
         if (!workload.empty()) {
             Workload w = workloadByName(workload);
@@ -107,13 +248,25 @@ main(int argc, char **argv)
                            DistillerOptions::paperPreset())
                        .dist;
 
+        if (specsafe) {
+            analysis::SpecSafeReport rep =
+                analysis::analyzeSpecSafe(ref, dist);
+            if (json) {
+                std::fputs(rep.toJson(workload).c_str(), stdout);
+            } else {
+                std::fputs(rep.toText().c_str(), stdout);
+                std::fputs(rep.lint.toText().c_str(), stdout);
+            }
+            return exitCode(rep.lint);
+        }
+
         analysis::LintReport rep =
             analysis::verifyDistilled(ref, dist);
         if (!semantic) {
             std::fputs(json ? rep.toJson().c_str()
                             : rep.toText().c_str(),
                        stdout);
-            return rep.errors() ? 1 : 0;
+            return exitCode(rep);
         }
 
         analysis::SemanticResult sem =
@@ -127,9 +280,9 @@ main(int argc, char **argv)
             std::fputs(sem.semantic.toText().c_str(), stdout);
             std::fputs(sem.lint.toText().c_str(), stdout);
         }
-        return sem.lint.errors() ? 1 : 0;
+        return exitCode(sem.lint);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "mssp-lint: %s\n", e.what());
-        return 2;
+        return 3;
     }
 }

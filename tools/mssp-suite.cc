@@ -1,8 +1,8 @@
 /**
  * @file
  * mssp-suite: the full evaluation (distill -> lint -> semantic ->
- * run -> crossval -> fault campaign) over the whole workload suite
- * as one sharded job graph (docs/CI.md).
+ * specsafe -> run -> crossval -> fault campaign) over the whole
+ * workload suite as one sharded job graph (docs/CI.md).
  *
  *   mssp-suite [--workloads gzip,mcf,...] [--scale F] [--seed N]
  *              [--jobs N] [--intensities 1,10] [--max-cycles N]
@@ -10,7 +10,7 @@
  *
  * Exit status: 0 when every workload passed every evaluation gate
  * AND the campaign held every invariant with every fault type
- * firing; 1 otherwise. The JSON report (schema mssp-suite-v1) is
+ * firing; 1 otherwise. The JSON report (schema mssp-suite-v2) is
  * byte-deterministic for fixed options regardless of --jobs: CI runs
  * the suite sharded, reruns it with --jobs 1, and diffs the bytes.
  */
