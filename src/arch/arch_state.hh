@@ -44,6 +44,14 @@ class ArchState
             regs_[r] = v;
     }
 
+    /**
+     * Raw register storage for trusted hot loops (the T2 chain
+     * executor). Slot 0 is pinned to zero — zero-filled at
+     * construction and never written by writeReg — so reads may index
+     * it unguarded; callers must never store through index 0.
+     */
+    uint32_t *rawRegs() { return regs_.data(); }
+
     uint32_t readMem(uint32_t addr) const { return mem_.read(addr); }
     void writeMem(uint32_t addr, uint32_t v) { mem_.write(addr, v); }
 

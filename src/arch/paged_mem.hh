@@ -88,14 +88,15 @@ class PagedMem
     read(uint32_t addr) const
     {
         uint32_t num = addr >> PageBits;
-        if (num != mru_num_ || mru_ == nullptr) {
+        PageSlot &s = pcache_[num & PcacheMask];
+        if (num != s.num) {
             auto it = pages.find(num);
             if (it == pages.end())
-                return 0;
-            mru_num_ = num;
-            mru_ = it->second.get();
+                return 0;  // absence is not cached: a write allocates
+            s.num = num;
+            s.page = it->second.get();
         }
-        return (*mru_)[addr & OffsetMask];
+        return (*s.page)[addr & OffsetMask];
     }
 
     /** Write @p value at @p addr, allocating the page if needed. */
@@ -103,14 +104,15 @@ class PagedMem
     write(uint32_t addr, uint32_t value)
     {
         uint32_t num = addr >> PageBits;
-        if (num != mru_num_ || mru_ == nullptr) {
+        PageSlot &s = pcache_[num & PcacheMask];
+        if (num != s.num) {
             auto &page = pages[num];
             if (!page)
                 page = std::make_unique<Page>();
-            mru_num_ = num;
-            mru_ = page.get();
+            s.num = num;
+            s.page = page.get();
         }
-        (*mru_)[addr & OffsetMask] = value;
+        (*s.page)[addr & OffsetMask] = value;
     }
 
     /** Number of resident pages. */
@@ -136,16 +138,24 @@ class PagedMem
     void
     resetMru() const
     {
-        mru_num_ = 0;
-        mru_ = nullptr;
+        pcache_.fill(PageSlot{});
     }
 
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages;
-    // One-entry MRU over `pages` (a pure cache: mutable so const
-    // reads can refresh it; never dangles because pages are only
-    // removed by clear()/assignment, which reset it).
-    mutable uint32_t mru_num_ = 0;
-    mutable Page *mru_ = nullptr;
+    // Small direct-mapped page-pointer cache over `pages` (a pure
+    // cache: mutable so const reads can refresh it; never dangles
+    // because pages are only removed by clear()/assignment, which
+    // reset it). Multiple slots matter: hot loops interleave accesses
+    // to a few distinct pages (code constants vs. data arrays), which
+    // a one-entry MRU ping-pongs on.
+    static constexpr unsigned PcacheSlots = 32;
+    static constexpr uint32_t PcacheMask = PcacheSlots - 1;
+    struct PageSlot
+    {
+        uint32_t num = 0xffffffffu;  ///< no page has this number
+        Page *page = nullptr;
+    };
+    mutable std::array<PageSlot, PcacheSlots> pcache_{};
 };
 
 } // namespace mssp

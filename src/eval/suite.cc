@@ -127,7 +127,8 @@ SuiteReport::summary() const
     std::string s =
         t.render("mssp-suite: distill + lint + semantic + specsafe "
                  "+ run + crossval");
-    s += "\n" + campaign.summary();
+    s += "\n";
+    s += campaign.summary();
     s += strfmt("\nsuite: %zu eval failure(s), %zu campaign "
                 "failure(s) -> %s\n",
                 evalFailures(), campaign.failures(),

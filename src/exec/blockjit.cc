@@ -1,0 +1,223 @@
+#include "exec/blockjit.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+/** Pure ALU ops (everything evalAlu accepts). */
+bool
+isAluOp(Opcode op)
+{
+    return isRegRegAlu(op) ||
+           (op >= Opcode::Addi && op <= Opcode::Srai) ||
+           op == Opcode::Lui;
+}
+
+} // anonymous namespace
+
+/**
+ * Compile the region starting at @p leader into a superop chain.
+ * Single forward pass over the decoded image: body ops become
+ * micro-ops with the opcode baked into the kind and all constants
+ * pre-resolved; unconditional constant jumps are folded (compilation
+ * continues at the target, emitting only the link write); conditional
+ * branches, jalr, halt, the length cap and faults terminate the
+ * block. Every instruction retires exactly once whether folded or not
+ * (nInsts counts source instructions).
+ */
+void
+BlockJit::compile(uint32_t leader)
+{
+    using exec_detail::immOperand;
+
+    // MKind mirrors the Opcode ALU groups so kinds are computable by
+    // offset; pin the endpoints.
+    static_assert(static_cast<int>(MKind::Sltu) -
+                      static_cast<int>(MKind::Add) ==
+                  static_cast<int>(Opcode::Sltu) -
+                      static_cast<int>(Opcode::Add));
+    static_assert(static_cast<int>(MKind::SraC) -
+                      static_cast<int>(MKind::AddC) ==
+                  static_cast<int>(Opcode::Srai) -
+                      static_cast<int>(Opcode::Addi));
+    static_assert(static_cast<int>(TKind::Bgeu) -
+                      static_cast<int>(TKind::Beq) ==
+                  static_cast<int>(Opcode::Bgeu) -
+                      static_cast<int>(Opcode::Beq));
+    static_assert(static_cast<int>(MKind::GTbgeu) -
+                      static_cast<int>(MKind::GTbeq) ==
+                  static_cast<int>(Opcode::Bgeu) -
+                      static_cast<int>(Opcode::Beq));
+    static_assert(static_cast<int>(MKind::GFbgeu) -
+                      static_cast<int>(MKind::GFbeq) ==
+                  static_cast<int>(Opcode::Bgeu) -
+                      static_cast<int>(Opcode::Beq));
+
+    auto blk = std::make_unique<Block>();
+    blk->start = leader;
+
+    uint32_t pc = leader;
+    uint32_t n = 0;
+    bool terminated = false;
+    while (n < MaxBlockInsts) {
+        const Instruction &inst = dc_->at(pc);
+        const Opcode op = inst.op;
+
+        if (op == Opcode::Illegal) {
+            // Never compile a fault into a block: stop in front of it
+            // so the deopt path raises it with the pc pinned there.
+            break;
+        }
+        if (op == Opcode::Halt) {
+            blk->term.kind = TKind::HaltT;
+            blk->term.fallPc = pc;
+            ++n;
+            terminated = true;
+            break;
+        }
+        if (isCondBranch(op)) {
+            const uint32_t taken_pc =
+                pc + 1 + static_cast<uint32_t>(inst.imm);
+            const uint32_t fall_pc = pc + 1;
+            // Strongly-biased branches (per the deopt interpreter's
+            // observations) fold into guards: the block continues
+            // down the observed direction and side-exits the other
+            // way with an exact retire count.
+            auto bit = bias_.find(pc);
+            const int8_t bs = bit == bias_.end() ? 0 : bit->second;
+            if (bs >= GuardBias || bs <= -GuardBias) {
+                const bool expect_taken = bs > 0;
+                MicroOp g;
+                g.kind = static_cast<MKind>(
+                    static_cast<int>(expect_taken ? MKind::GTbeq
+                                                  : MKind::GFbeq) +
+                    (static_cast<int>(op) -
+                     static_cast<int>(Opcode::Beq)));
+                g.ra = inst.rs1;
+                g.rb = inst.rs2;
+                ++n;
+                g.rd = static_cast<uint8_t>(n);  // retire incl branch
+                g.c = expect_taken ? fall_pc : taken_pc;
+                blk->body.push_back(g);
+                pc = expect_taken ? taken_pc : fall_pc;
+                continue;
+            }
+            Terminator &t = blk->term;
+            t.kind = static_cast<TKind>(
+                static_cast<int>(TKind::Beq) +
+                (static_cast<int>(op) - static_cast<int>(Opcode::Beq)));
+            t.ra = inst.rs1;
+            t.rb = inst.rs2;
+            t.takenPc = taken_pc;
+            t.fallPc = fall_pc;
+            ++n;
+            terminated = true;
+            break;
+        }
+        if (op == Opcode::Jalr) {
+            Terminator &t = blk->term;
+            t.kind = TKind::JumpReg;
+            t.rd = inst.rd;
+            t.ra = inst.rs1;
+            t.c = pc + 1;
+            t.imm = static_cast<uint32_t>(inst.imm);
+            ++n;
+            terminated = true;
+            break;
+        }
+        if (op == Opcode::Jal) {
+            // Fold the jump: emit only the link write and keep
+            // compiling at the (constant) target.
+            if (inst.rd != 0) {
+                MicroOp mo;
+                mo.kind = MKind::Const;
+                mo.rd = inst.rd;
+                mo.c = pc + 1;
+                blk->body.push_back(mo);
+            }
+            ++n;
+            pc = pc + 1 + static_cast<uint32_t>(inst.imm);
+            continue;
+        }
+
+        MicroOp mo;
+        if (isAluOp(op)) {
+            // ALU writes to r0 are architectural nops: retire, emit
+            // nothing.
+            if (inst.rd == 0) {
+                ++n;
+                ++pc;
+                continue;
+            }
+            mo.rd = inst.rd;
+            if (op == Opcode::Lui) {
+                // Lui ignores rs1 entirely: always a constant.
+                uint32_t o = 0;
+                evalAlu(op, 0, immOperand(op, inst.imm), o);
+                mo.kind = MKind::Const;
+                mo.c = o;
+            } else if (isRegRegAlu(op)) {
+                mo.kind = static_cast<MKind>(
+                    static_cast<int>(MKind::Add) +
+                    (static_cast<int>(op) -
+                     static_cast<int>(Opcode::Add)));
+                mo.ra = inst.rs1;
+                mo.rb = inst.rs2;
+            } else {
+                uint32_t c = immOperand(op, inst.imm);
+                if (inst.rs1 == 0) {
+                    // Zero-source immediate ALU (`li` and friends)
+                    // folds to a constant at compile time.
+                    uint32_t o = 0;
+                    evalAlu(op, 0, c, o);
+                    mo.kind = MKind::Const;
+                    mo.c = o;
+                } else {
+                    mo.kind = static_cast<MKind>(
+                        static_cast<int>(MKind::AddC) +
+                        (static_cast<int>(op) -
+                         static_cast<int>(Opcode::Addi)));
+                    mo.ra = inst.rs1;
+                    mo.c = c;
+                }
+            }
+        } else if (op == Opcode::Lw) {
+            mo.kind = MKind::Lw;
+            mo.rd = inst.rd;
+            mo.ra = inst.rs1;
+            mo.c = static_cast<uint32_t>(inst.imm);
+        } else if (op == Opcode::Sw) {
+            mo.kind = MKind::Sw;
+            mo.ra = inst.rs1;
+            mo.rb = inst.rs2;
+            mo.c = static_cast<uint32_t>(inst.imm);
+        } else if (op == Opcode::Out) {
+            mo.kind = MKind::OutP;
+            mo.ra = inst.rs1;
+            mo.c = static_cast<uint16_t>(inst.imm);
+        } else if (op == Opcode::Fork) {
+            mo.kind = MKind::ForkT;
+            mo.c = static_cast<uint32_t>(inst.imm);
+        } else {
+            // Nop: retires, no effect — emit nothing.
+            ++n;
+            ++pc;
+            continue;
+        }
+        blk->body.push_back(mo);
+        ++n;
+        ++pc;
+    }
+    if (!terminated) {
+        // Length cap or a fault right past the last body op.
+        blk->term.kind = TKind::FallThrough;
+        blk->term.fallPc = pc;
+    }
+    blk->body.push_back(MicroOp{});  // End sentinel
+    blk->nInsts = n;  // n == 0 (leader faults) marks "uncompilable"
+    blocks_[leader] = std::move(blk);
+}
+
+} // namespace mssp

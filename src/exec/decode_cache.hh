@@ -89,7 +89,17 @@ class DecodeCache
         pages_.erase(page_num);
         if (mru_num_ == page_num)
             mru_ = nullptr;
+        ++version_;
     }
+
+    /**
+     * Invalidation epoch: bumped by every invalidate(). Consumers
+     * that derive state from decoded instructions (the blockjit
+     * tier's compiled superop blocks) compare this against their own
+     * snapshot and flush when it moved — a patched instruction must
+     * be re-decoded by *every* tier, not just this cache.
+     */
+    uint64_t version() const { return version_; }
 
   private:
     struct Page
@@ -107,6 +117,7 @@ class DecodeCache
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
     uint32_t mru_num_ = 0;
     Page *mru_ = nullptr;
+    uint64_t version_ = 0;
 };
 
 } // namespace mssp

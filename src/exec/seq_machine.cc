@@ -1,11 +1,21 @@
 #include "exec/seq_machine.hh"
 
+#include "exec/blockjit.hh"
+
 namespace mssp
 {
 
 SeqMachine::SeqMachine(const Program &prog)
 {
     state_.loadProgram(prog);
+}
+
+SeqMachine::~SeqMachine() = default;
+
+void
+SeqMachine::setBackend(BackendKind kind)
+{
+    backend_ = resolveBackend(kind);
 }
 
 void
@@ -54,34 +64,23 @@ SeqMachine::run(uint64_t max_insts)
             step();
             ++result.instCount;
         }
-    } else {
-        // Hot path: pc and retirement stay in locals; storage
-        // accesses devirtualize (SeqMachine is final).
-        uint32_t pc = state_.pc();
-        uint64_t steps = 0;
-        uint64_t retired = 0;
-        while (!halted_ && !faulted_ && steps < max_insts) {
-            StepResult res =
-                executeDecodedOn(pc, decode_.at(pc), *this);
-            ++steps;
-            switch (res.status) {
-              case StepStatus::Ok:
-                pc = res.nextPc;
-                ++retired;
-                break;
-              case StepStatus::Halted:
-                halted_ = true;
-                ++retired;
-                break;
-              case StepStatus::Illegal:
-                faulted_ = true;
-                break;
-            }
-        }
-        state_.setPc(pc);
-        state_.addInstret(retired);
-        inst_count_ += retired;
-        result.instCount = steps;
+    } else if (!halted_ && !faulted_) {
+        // Hot path: the selected execution tier runs with pc and
+        // retirement in locals; storage accesses devirtualize
+        // (SeqMachine is final). All tiers are architecturally
+        // interchangeable here (tests/test_backend_fuzz.cpp).
+        if (backend_ == BackendKind::BlockJit && !jit_)
+            jit_ = std::make_unique<BlockJit>(decode_);
+        EngineResult er = runOnBackend(backend_, decode_, state_.pc(),
+                                       max_insts, *this, jit_.get());
+        halted_ = er.status == StepStatus::Halted;
+        faulted_ = er.status == StepStatus::Illegal;
+        state_.setPc(er.pc);
+        state_.addInstret(er.retired);
+        inst_count_ += er.retired;
+        // instCount counts attempts: a faulting attempt is included
+        // even though it does not retire (RunRespectsMaxInsts).
+        result.instCount = er.retired + (faulted_ ? 1 : 0);
     }
 
     result.halted = halted_;

@@ -19,10 +19,12 @@
 #define MSSP_EXEC_SEQ_MACHINE_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "arch/arch_state.hh"
 #include "arch/mmio.hh"
 #include "asm/program.hh"
+#include "exec/blockjit.hh"
 #include "exec/context.hh"
 #include "exec/decode_cache.hh"
 #include "exec/executor.hh"
@@ -54,11 +56,16 @@ class SeqMachine final : public ExecContext
     };
 
     /** Construct with the program loaded and PC at its entry. The
-     *  image is copied into architected memory; @p prog may die. */
+     *  image is copied into architected memory; @p prog may die.
+     *  Executes on the process-default backend unless setBackend is
+     *  called. */
     explicit SeqMachine(const Program &prog);
 
+    ~SeqMachine();
+
     /** Movable (the decode cache rebinds to the moved-in memory and
-     *  refills lazily); not copyable. */
+     *  refills lazily; compiled blocks recompile lazily); not
+     *  copyable. */
     SeqMachine(SeqMachine &&other) noexcept
         : state_(std::move(other.state_)),
           device_(std::move(other.device_)),
@@ -66,8 +73,18 @@ class SeqMachine final : public ExecContext
           observer_(other.observer_),
           inst_count_(other.inst_count_),
           halted_(other.halted_),
-          faulted_(other.faulted_)
+          faulted_(other.faulted_),
+          backend_(other.backend_)
     {}
+
+    /** Select the execution tier (resolved for availability). */
+    void setBackend(BackendKind kind);
+
+    /** The tier run() executes on (after availability fallback). */
+    BackendKind backendKind() const { return backend_; }
+
+    /** The block cache, when the blockjit tier has run (tests). */
+    const BlockJit *blockJit() const { return jit_.get(); }
 
     /**
      * Run until HALT, a fault, or @p max_insts instructions.
@@ -93,6 +110,10 @@ class SeqMachine final : public ExecContext
     const DecodeCache &decodeCache() const { return decode_; }
 
     // -- ExecContext ------------------------------------------------------
+    /** Raw register storage (see ArchState::rawRegs): lets the T2
+     *  chain executor skip the r0 guards its compiler enforces. */
+    uint32_t *rawRegs() { return state_.rawRegs(); }
+
     uint32_t readReg(unsigned r) override { return state_.readReg(r); }
     void
     writeReg(unsigned r, uint32_t v) override
@@ -136,6 +157,8 @@ class SeqMachine final : public ExecContext
     uint64_t inst_count_ = 0;
     bool halted_ = false;
     bool faulted_ = false;
+    BackendKind backend_ = resolveBackend(defaultBackend());
+    std::unique_ptr<BlockJit> jit_;  ///< lazy; only on the blockjit tier
 };
 
 } // namespace mssp

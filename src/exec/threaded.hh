@@ -1,0 +1,252 @@
+/**
+ * @file
+ * T1 `threaded`: computed-goto threaded-dispatch engine.
+ *
+ * The classic threaded-interpreter transform: instead of one central
+ * switch whose single indirect branch mispredicts across opcode
+ * changes, every opcode handler ends in its *own* indirect jump
+ * through a per-opcode label table (`&&label`, GNU extension), so the
+ * host BTB learns the program's actual opcode-to-opcode transitions.
+ * Handlers execute straight out of the predecode cache's decoded
+ * pages and are specialized per opcode at compile time by calling the
+ * shared semantic helpers (evalAlu / immOperand / rread / rwrite)
+ * with a *constant* opcode — the switches constant-fold away, leaving
+ * e.g. `out = a + b` for Add, while the semantics still have exactly
+ * one source of truth (exec/executor.hh, the T0 oracle).
+ *
+ * The engine honors the full hook contract of exec/backend.hh; with
+ * NullHook all StepResult materialization and verdict plumbing
+ * compiles out. When MSSP_HAS_COMPUTED_GOTO is off (non-GNU compiler
+ * or -DMSSP_NO_COMPUTED_GOTO) runThreadedEngine degrades to the T0
+ * reference engine — same contract, just slower.
+ */
+
+#ifndef MSSP_EXEC_THREADED_HH
+#define MSSP_EXEC_THREADED_HH
+
+#include "exec/backend.hh"
+
+namespace mssp
+{
+
+#if MSSP_HAS_COMPUTED_GOTO
+
+template <class Ctx, class Hook = NullHook>
+__attribute__((hot)) EngineResult
+runThreadedEngine(DecodeCache &dc, uint32_t pc, uint64_t max_steps,
+                  Ctx &ctx, Hook &&hook = {})
+{
+    using exec_detail::immOperand;
+    using exec_detail::rread;
+    using exec_detail::rwrite;
+    constexpr bool kHooked = kHookedEngine<Hook>;
+
+    // Indexed by Opcode value; must match the enum order exactly
+    // (static_asserts below pin the endpoints of each group).
+    static const void *const table[] = {
+        &&lab_illegal,
+        // R-type ALU: Add..Sltu
+        &&lab_add, &&lab_sub, &&lab_mul, &&lab_div, &&lab_rem,
+        &&lab_and, &&lab_or, &&lab_xor, &&lab_sll, &&lab_srl,
+        &&lab_sra, &&lab_slt, &&lab_sltu,
+        // I-type ALU: Addi..Srai
+        &&lab_addi, &&lab_andi, &&lab_ori, &&lab_xori, &&lab_slti,
+        &&lab_sltiu, &&lab_slli, &&lab_srli, &&lab_srai,
+        &&lab_lui,
+        &&lab_lw, &&lab_sw,
+        // Branches: Beq..Bgeu
+        &&lab_beq, &&lab_bne, &&lab_blt, &&lab_bge, &&lab_bltu,
+        &&lab_bgeu,
+        &&lab_jal, &&lab_jalr, &&lab_out, &&lab_nop, &&lab_halt,
+        &&lab_fork,
+    };
+    static_assert(sizeof(table) / sizeof(table[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes));
+    static_assert(static_cast<unsigned>(Opcode::Illegal) == 0);
+    static_assert(static_cast<unsigned>(Opcode::Fork) ==
+                  static_cast<unsigned>(Opcode::NumOpcodes) - 1);
+
+    EngineResult r;
+    const Instruction *ip = nullptr;
+
+// Retire the current step and dispatch the next. `taken` only
+// matters to hooks (StepResult::branchTaken).
+#define MSSP_T1_FINISH(next_pc, taken)                                \
+    do {                                                              \
+        if constexpr (kHooked) {                                      \
+            StepResult hres;                                          \
+            hres.inst = *ip;                                          \
+            hres.nextPc = (next_pc);                                  \
+            hres.branchTaken = (taken);                               \
+            StepVerdict v = hook.postStep(pc, hres);                  \
+            if (v == StepVerdict::Discard)                            \
+                goto done;                                            \
+            ++r.retired;                                              \
+            pc = hres.nextPc; /* hook may redirect */                 \
+            if (v == StepVerdict::Stop)                               \
+                goto done;                                            \
+        } else {                                                      \
+            ++r.retired;                                              \
+            pc = (next_pc);                                           \
+        }                                                             \
+        goto top;                                                     \
+    } while (0)
+
+// Constant-opcode ALU handlers: evalAlu/immOperand fold at compile
+// time, so each label body is just the op's expression.
+#define MSSP_T1_ALU_RR(name, OP)                                      \
+    lab_##name: {                                                     \
+        uint32_t a = rread(ctx, ip->rs1);                             \
+        uint32_t b = rread(ctx, ip->rs2);                             \
+        uint32_t o;                                                   \
+        evalAlu(Opcode::OP, a, b, o);                                 \
+        rwrite(ctx, ip->rd, o);                                       \
+        MSSP_T1_FINISH(pc + 1, false);                                \
+    }
+
+#define MSSP_T1_ALU_IMM(name, OP)                                     \
+    lab_##name: {                                                     \
+        uint32_t a = rread(ctx, ip->rs1);                             \
+        uint32_t b = immOperand(Opcode::OP, ip->imm);                 \
+        uint32_t o;                                                   \
+        evalAlu(Opcode::OP, a, b, o);                                 \
+        rwrite(ctx, ip->rd, o);                                       \
+        MSSP_T1_FINISH(pc + 1, false);                                \
+    }
+
+#define MSSP_T1_BRANCH(name, cmp)                                     \
+    lab_##name: {                                                     \
+        uint32_t a = rread(ctx, ip->rs1);                             \
+        uint32_t b = rread(ctx, ip->rs2);                             \
+        auto sa = static_cast<int32_t>(a);                            \
+        auto sb = static_cast<int32_t>(b);                            \
+        (void)sa; (void)sb;                                           \
+        bool taken = (cmp);                                           \
+        uint32_t next = taken                                         \
+            ? pc + 1 + static_cast<uint32_t>(ip->imm)                 \
+            : pc + 1;                                                 \
+        MSSP_T1_FINISH(next, taken);                                  \
+    }
+
+top:
+    if (r.retired >= max_steps)
+        goto done;
+    ip = &dc.at(pc);
+    if constexpr (kHooked) {
+        if (!hook.preStep(pc, *ip))
+            goto done;
+    }
+    goto *table[static_cast<size_t>(ip->op)];
+
+    MSSP_T1_ALU_RR(add, Add)
+    MSSP_T1_ALU_RR(sub, Sub)
+    MSSP_T1_ALU_RR(mul, Mul)
+    MSSP_T1_ALU_RR(div, Div)
+    MSSP_T1_ALU_RR(rem, Rem)
+    MSSP_T1_ALU_RR(and, And)
+    MSSP_T1_ALU_RR(or, Or)
+    MSSP_T1_ALU_RR(xor, Xor)
+    MSSP_T1_ALU_RR(sll, Sll)
+    MSSP_T1_ALU_RR(srl, Srl)
+    MSSP_T1_ALU_RR(sra, Sra)
+    MSSP_T1_ALU_RR(slt, Slt)
+    MSSP_T1_ALU_RR(sltu, Sltu)
+
+    MSSP_T1_ALU_IMM(addi, Addi)
+    MSSP_T1_ALU_IMM(andi, Andi)
+    MSSP_T1_ALU_IMM(ori, Ori)
+    MSSP_T1_ALU_IMM(xori, Xori)
+    MSSP_T1_ALU_IMM(slti, Slti)
+    MSSP_T1_ALU_IMM(sltiu, Sltiu)
+    MSSP_T1_ALU_IMM(slli, Slli)
+    MSSP_T1_ALU_IMM(srli, Srli)
+    MSSP_T1_ALU_IMM(srai, Srai)
+    MSSP_T1_ALU_IMM(lui, Lui)
+
+lab_lw: {
+        uint32_t addr = rread(ctx, ip->rs1) +
+                        static_cast<uint32_t>(ip->imm);
+        rwrite(ctx, ip->rd, ctx.readMem(addr));
+        MSSP_T1_FINISH(pc + 1, false);
+    }
+lab_sw: {
+        uint32_t addr = rread(ctx, ip->rs1) +
+                        static_cast<uint32_t>(ip->imm);
+        ctx.writeMem(addr, rread(ctx, ip->rs2));
+        MSSP_T1_FINISH(pc + 1, false);
+    }
+
+    MSSP_T1_BRANCH(beq, a == b)
+    MSSP_T1_BRANCH(bne, a != b)
+    MSSP_T1_BRANCH(blt, sa < sb)
+    MSSP_T1_BRANCH(bge, sa >= sb)
+    MSSP_T1_BRANCH(bltu, a < b)
+    MSSP_T1_BRANCH(bgeu, a >= b)
+
+lab_jal: {
+        rwrite(ctx, ip->rd, pc + 1);
+        MSSP_T1_FINISH(pc + 1 + static_cast<uint32_t>(ip->imm), false);
+    }
+lab_jalr: {
+        uint32_t target = rread(ctx, ip->rs1) +
+                          static_cast<uint32_t>(ip->imm);
+        rwrite(ctx, ip->rd, pc + 1);
+        MSSP_T1_FINISH(target, false);
+    }
+lab_out: {
+        ctx.output(static_cast<uint16_t>(ip->imm), rread(ctx, ip->rs1));
+        MSSP_T1_FINISH(pc + 1, false);
+    }
+lab_nop:
+    MSSP_T1_FINISH(pc + 1, false);
+lab_fork: {
+        ctx.fork(static_cast<uint32_t>(ip->imm));
+        MSSP_T1_FINISH(pc + 1, false);
+    }
+
+lab_halt:
+    // Same ordering as the reference engine: a hooked Discard on the
+    // halt step leaves status Ok and the step un-retired.
+    if constexpr (kHooked) {
+        StepResult hres;
+        hres.status = StepStatus::Halted;
+        hres.inst = *ip;
+        hres.nextPc = pc;
+        if (hook.postStep(pc, hres) == StepVerdict::Discard)
+            goto done;
+    }
+    ++r.retired;
+    r.status = StepStatus::Halted;
+    goto done;
+
+lab_illegal:
+    // A faulting attempt is not retired and sees no postStep.
+    r.status = StepStatus::Illegal;
+    goto done;
+
+done:
+    r.pc = pc;
+    return r;
+
+#undef MSSP_T1_BRANCH
+#undef MSSP_T1_ALU_IMM
+#undef MSSP_T1_ALU_RR
+#undef MSSP_T1_FINISH
+}
+
+#else // !MSSP_HAS_COMPUTED_GOTO
+
+/** Portable fallback: T1 degrades to the T0 reference engine. */
+template <class Ctx, class Hook = NullHook>
+inline EngineResult
+runThreadedEngine(DecodeCache &dc, uint32_t pc, uint64_t max_steps,
+                  Ctx &ctx, Hook &&hook = {})
+{
+    return runRefEngine(dc, pc, max_steps, ctx, hook);
+}
+
+#endif // MSSP_HAS_COMPUTED_GOTO
+
+} // namespace mssp
+
+#endif // MSSP_EXEC_THREADED_HH

@@ -273,7 +273,9 @@ regFromName(const std::string &name)
         std::unordered_map<std::string, int> m;
         for (unsigned i = 0; i < NumRegs; ++i) {
             m.emplace(regName(i), static_cast<int>(i));
-            m.emplace("r" + std::to_string(i), static_cast<int>(i));
+            std::string rn = "r";
+            rn += std::to_string(i);
+            m.emplace(std::move(rn), static_cast<int>(i));
         }
         return m;
     }();

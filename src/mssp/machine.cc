@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/blockjit.hh"
 #include "exec/executor.hh"
 #include "fault/fault.hh"
 #include "sim/logging.hh"
@@ -78,6 +79,7 @@ MsspMachine::MsspMachine(const Program &orig,
 {
     arch_.loadProgram(orig_);
     master_.setForkInterval(cfg_.forkInterval);
+    master_.setBackend(cfg_.execBackend);
     slaves_.reserve(cfg_.numSlaves);
     for (unsigned i = 0; i < cfg_.numSlaves; ++i) {
         slaves_.emplace_back(static_cast<int>(i), arch_, cfg_,
@@ -448,6 +450,25 @@ MsspMachine::tickMaster()
     master_budget_ += cfg_.masterIpc;
 
     while (master_budget_ >= 1.0 && master_.running()) {
+        if (!master_.atFork()) {
+            // Between forks the master runs a whole budget's worth of
+            // instructions on the execution tier in one slice; the
+            // engine stops in front of the next FORK so the capacity
+            // gate below still sees every spawn attempt.
+            auto avail = static_cast<unsigned>(master_budget_);
+            unsigned executed = 0;
+            MasterStep st = master_.runSlice(avail, &executed);
+            master_budget_ -= executed;
+            ctrs_.masterInsts += executed;
+            if (st == MasterStep::Halted) {
+                if (Task *prev = youngest(); prev && !prev->endKnown)
+                    prev->runToHalt = true;
+                return;
+            }
+            if (st == MasterStep::Faulted)
+                return;
+            continue;  // in front of a FORK, or budget drained
+        }
         // Cheap capacity test first: the fork-site peek only matters
         // when the window is actually full.
         if (window_.size() >= cfg_.maxInFlightTasks &&
@@ -522,27 +543,57 @@ MsspMachine::tickSeq()
     seq_budget_ += cfg_.slaveIpc;
     SeqArchContext ctx(arch_, device_, outputs_);
 
+    // Per-step obligations (instret, backoff countdowns, the
+    // re-engage check) ride the engine hook, so sequential fallback
+    // runs on the configured tier too (hooked: blockjit resolves to
+    // threaded).
+    struct SeqHook
+    {
+        MsspMachine &m;
+        bool engage = false;
+
+        bool preStep(uint32_t, const Instruction &) { return true; }
+
+        StepVerdict postStep(uint32_t, StepResult &res)
+        {
+            m.arch_.addInstret(1);
+            ++m.ctrs_.seqModeInsts;
+            if (res.status == StepStatus::Halted)
+                return StepVerdict::Stop;
+            if (m.seq_insts_remaining_ > 0)
+                --m.seq_insts_remaining_;
+            if (m.force_seq_insts_ > 0)
+                --m.force_seq_insts_;
+            if (m.seq_insts_remaining_ == 0 &&
+                m.force_seq_insts_ == 0 &&
+                m.dist_.entryMap.count(res.nextPc)) {
+                engage = true;
+                return StepVerdict::Stop;
+            }
+            return StepVerdict::Continue;
+        }
+    };
+
+    const BackendKind backend = resolveHookedBackend(cfg_.execBackend);
     while (seq_budget_ >= 1.0 && !halted_ && !faulted_) {
-        seq_budget_ -= 1.0;
-        uint32_t pc = arch_.pc();
-        StepResult res = executeDecodedOn(pc, orig_decode_.at(pc), ctx);
-        if (res.status == StepStatus::Illegal) {
+        auto avail = static_cast<uint64_t>(seq_budget_);
+        SeqHook hook{*this};
+        EngineResult er = runOnBackend(backend, orig_decode_,
+                                       arch_.pc(), avail, ctx, nullptr,
+                                       hook);
+        // The budget counts attempts: a faulting one consumed a slot.
+        seq_budget_ -= static_cast<double>(
+            er.retired + (er.status == StepStatus::Illegal ? 1 : 0));
+        arch_.setPc(er.pc);
+        if (er.status == StepStatus::Illegal) {
             faulted_ = true;
             return;
         }
-        arch_.addInstret(1);
-        ++ctrs_.seqModeInsts;
-        if (res.status == StepStatus::Halted) {
+        if (er.status == StepStatus::Halted) {
             halted_ = true;
             return;
         }
-        arch_.setPc(res.nextPc);
-        if (seq_insts_remaining_ > 0)
-            --seq_insts_remaining_;
-        if (force_seq_insts_ > 0)
-            --force_seq_insts_;
-        if (seq_insts_remaining_ == 0 && force_seq_insts_ == 0 &&
-            dist_.entryMap.count(res.nextPc)) {
+        if (hook.engage) {
             engageMaster();
             if (mode_ == Mode::Spec)
                 return;

@@ -1,9 +1,32 @@
 #include "mssp/master.hh"
 
+#include "exec/blockjit.hh"
 #include "sim/logging.hh"
 
 namespace mssp
 {
+
+MasterStep
+MasterCore::runSlice(unsigned max_steps, unsigned *executed)
+{
+    MSSP_ASSERT(running());
+    SliceHook hook{*this};
+    EngineResult er = runOnBackend(backend_, decode_, pc_, max_steps,
+                                   *this, nullptr, hook);
+    pc_ = er.pc;
+    total_insts_ += er.retired;
+    insts_since_restart_ += er.retired;
+    *executed = static_cast<unsigned>(er.retired);
+    if (hook.translationFault || er.status == StepStatus::Illegal) {
+        faulted_ = true;
+        return MasterStep::Faulted;
+    }
+    if (er.status == StepStatus::Halted) {
+        halted_ = true;
+        return MasterStep::Halted;
+    }
+    return MasterStep::Executed;  // in front of a FORK, or budget out
+}
 
 bool
 MasterCore::restart(uint32_t orig_pc)

@@ -25,6 +25,7 @@
 #include "arch/mmio.hh"
 #include "arch/state_delta.hh"
 #include "distill/distiller.hh"
+#include "exec/backend.hh"
 #include "exec/context.hh"
 #include "exec/decode_cache.hh"
 #include "exec/executor.hh"
@@ -126,6 +127,30 @@ class MasterCore final : public ExecContext
             faulted_ = true;
             return MasterStep::Faulted;
         }
+    }
+
+    /**
+     * Execute up to @p max_steps instructions on the selected
+     * execution tier, stopping *in front of* the first FORK (the
+     * machine must gate fork capacity before step() executes it).
+     * Counters update exactly as per-step execution would.
+     *
+     * @return Halted/Faulted as step() would; Executed when stopped
+     *         at a FORK or by the budget. *executed gets the retired
+     *         instruction count.
+     */
+    MasterStep runSlice(unsigned max_steps, unsigned *executed);
+
+    /** @return true when the next instruction is a FORK (the one
+     *  case runSlice cannot make progress on). */
+    bool atFork() { return decode_.at(pc_).op == Opcode::Fork; }
+
+    /** Select the execution tier. The master needs per-step hooks
+     *  (fork gating, jalr translation), so blockjit resolves to
+     *  threaded. */
+    void setBackend(BackendKind kind)
+    {
+        backend_ = resolveHookedBackend(kind);
     }
 
     /** Arrivals required at site i before it spawns (per-site
@@ -237,6 +262,31 @@ class MasterCore final : public ExecContext
      *  distilled image. @retval false when there is no mapping. */
     bool translateJalr(StepResult &res);
 
+    /** Engine hook for runSlice: stop in front of FORKs, apply the
+     *  jalr translation, and fault (Discard) when it has no mapping —
+     *  byte-identical to the per-step step() path. */
+    struct SliceHook
+    {
+        MasterCore &m;
+        bool translationFault = false;
+
+        bool preStep(uint32_t, const Instruction &inst)
+        {
+            return inst.op != Opcode::Fork;
+        }
+
+        StepVerdict postStep(uint32_t, StepResult &res)
+        {
+            if (res.status == StepStatus::Ok &&
+                res.inst.op == Opcode::Jalr &&
+                res.nextPc < DistilledCodeBase && !m.translateJalr(res)) {
+                translationFault = true;
+                return StepVerdict::Discard;
+            }
+            return StepVerdict::Continue;
+        }
+    };
+
     std::array<uint32_t, NumRegs> regs_;
     uint32_t pc_ = 0;
     /** Buffered *memory* writes since restart (registers are tracked
@@ -284,6 +334,7 @@ class MasterCore final : public ExecContext
 
     uint64_t insts_since_restart_ = 0;
     uint64_t total_insts_ = 0;
+    BackendKind backend_ = resolveHookedBackend(defaultBackend());
 
     friend class MsspMachine;
 

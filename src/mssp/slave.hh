@@ -24,6 +24,7 @@
 
 #include "arch/arch_state.hh"
 #include "arch/mmio.hh"
+#include "exec/blockjit.hh"
 #include "exec/context.hh"
 #include "exec/decode_cache.hh"
 #include "exec/executor.hh"
@@ -151,7 +152,8 @@ class SlaveCore
     SlaveCore(int id, const ArchState &arch, const MsspConfig &cfg,
               const ForkSiteSet &fork_site_pcs, DecodeCache &decode)
         : id_(id), arch_(arch), cfg_(cfg),
-          fork_site_pcs_(fork_site_pcs), decode_(decode)
+          fork_site_pcs_(fork_site_pcs), decode_(decode),
+          backend_(resolveHookedBackend(cfg.execBackend))
     {
         if (cfg.useSlaveL1)
             l1_ = std::make_unique<Cache>(cfg.slaveL1);
@@ -243,6 +245,77 @@ class SlaveCore
     /** Re-check pause/end conditions when new end info arrives. */
     void refreshEndCondition();
 
+    /**
+     * Per-step obligations of task execution, expressed as an engine
+     * hook (exec/backend.hh) so the slice below runs on any tier that
+     * honors CapPerStepHook. Ordering mirrors the historical inline
+     * loop exactly: MMIO aborts discard the step, halt ends the task
+     * with the pc pinned, then arch-read stalls, end-condition
+     * arrivals, fork-site pauses and the runaway cap — the last three
+     * on the *post-step* pc, and all of them after the instruction
+     * retires.
+     */
+    struct SlaveHook
+    {
+        SlaveCore &s;
+        Task &t;
+        TaskContext &ctx;
+        /** Attempted steps (retired + MMIO-discarded); budget is
+         *  charged per attempt, as the historical loop did. */
+        uint64_t attempts = 0;
+
+        bool
+        preStep(uint32_t, const Instruction &)
+        {
+            ctx.beginStep();
+            return true;
+        }
+
+        StepVerdict
+        postStep(uint32_t, StepResult &res)
+        {
+            ++attempts;
+            if (ctx.mmioTouched) {
+                // Device access: the step was suppressed. The task
+                // ends *before* the access; the machine serializes it.
+                t.end = TaskEnd::MmioStop;
+                return StepVerdict::Discard;
+            }
+            ++t.instCount;
+            if (res.status == StepStatus::Halted) {
+                t.end = TaskEnd::Halted;
+                return StepVerdict::Continue;  // engine pins pc, stops
+            }
+            StepVerdict v = StepVerdict::Continue;
+            if (ctx.archReadsLastStep) {
+                s.stall_ += static_cast<Cycle>(ctx.archReadsLastStep) *
+                            s.cfg_.archReadLatency;
+                v = StepVerdict::Stop;
+            }
+            // Arrival checks: end condition and fork-site pauses.
+            // These end the step outright; the runaway cap is only
+            // consulted when neither fired (historical break order).
+            if (t.endKnown) {
+                if (res.nextPc == t.endPc) {
+                    ++t.visits;
+                    if (t.visits >= t.endVisits) {
+                        t.end = TaskEnd::ReachedEnd;
+                        return StepVerdict::Stop;
+                    }
+                }
+            } else if (!t.runToHalt &&
+                       s.fork_site_pcs_.contains(res.nextPc)) {
+                t.pausedAtForkSite = true;
+                return StepVerdict::Stop;
+            }
+            if (t.instCount >= s.cfg_.maxTaskInsts) {
+                t.end = TaskEnd::Overrun;
+                return StepVerdict::Stop;
+            }
+            return v;
+        }
+    };
+
     int id_;
     const ArchState &arch_;
     const MsspConfig &cfg_;
@@ -253,6 +326,11 @@ class SlaveCore
     std::unique_ptr<Cache> l1_;
     double budget_ = 0.0;
     Cycle stall_ = 0;
+
+    /** Execution tier for task slices. Slaves carry per-step
+     *  obligations (the hook above), so blockjit resolves to
+     *  threaded here (resolveHookedBackend). */
+    BackendKind backend_;
 
     uint64_t arch_stall_cycles_ = 0;
     uint64_t pause_cycles_ = 0;
@@ -293,59 +371,22 @@ SlaveCore::tickActive()
     }
 
     budget_ += cfg_.slaveIpc;
-    unsigned executed = 0;
     TaskContext ctx(t, arch_, l1_.get());
+    SlaveHook hook{*this, t, ctx};
 
-    while (budget_ >= 1.0 && !t.done() && !t.pausedAtForkSite &&
-           stall_ == 0) {
-        budget_ -= 1.0;
-        ctx.beginStep();
-        StepResult res =
-            executeDecodedOn(t.pc, decode_.at(t.pc), ctx);
-
-        if (ctx.mmioTouched) {
-            // Device access: the step was suppressed. The task ends
-            // *before* the access; the machine will serialize it.
-            t.end = TaskEnd::MmioStop;
-            break;
-        }
-        if (res.status == StepStatus::Illegal) {
-            t.end = TaskEnd::Faulted;
-            break;
-        }
-        ++t.instCount;
-        ++executed;
-        if (res.status == StepStatus::Halted) {
-            t.end = TaskEnd::Halted;
-            break;
-        }
-
-        t.pc = res.nextPc;
-        if (ctx.archReadsLastStep) {
-            stall_ += static_cast<Cycle>(ctx.archReadsLastStep) *
-                      cfg_.archReadLatency;
-        }
-
-        // Arrival checks: end condition and fork-site pauses.
-        if (t.endKnown) {
-            if (t.pc == t.endPc) {
-                ++t.visits;
-                if (t.visits >= t.endVisits) {
-                    t.end = TaskEnd::ReachedEnd;
-                    break;
-                }
-            }
-        } else if (!t.runToHalt && fork_site_pcs_.contains(t.pc)) {
-            t.pausedAtForkSite = true;
-            break;
-        }
-
-        if (t.instCount >= cfg_.maxTaskInsts) {
-            t.end = TaskEnd::Overrun;
-            break;
-        }
-    }
-    return executed;
+    // One engine slice, budgeted in *attempted* steps: MMIO-discarded
+    // and faulting attempts consume budget without retiring, exactly
+    // as the historical per-step loop charged them.
+    EngineResult er =
+        runOnBackend(backend_, decode_, t.pc,
+                     static_cast<uint64_t>(budget_), ctx, nullptr, hook);
+    uint64_t attempts =
+        hook.attempts + (er.status == StepStatus::Illegal ? 1 : 0);
+    budget_ -= static_cast<double>(attempts);
+    t.pc = er.pc;
+    if (er.status == StepStatus::Illegal)
+        t.end = TaskEnd::Faulted;
+    return static_cast<unsigned>(er.retired);
 }
 
 } // namespace mssp

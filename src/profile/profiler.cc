@@ -2,6 +2,7 @@
 
 #include "arch/arch_state.hh"
 #include "arch/mmio.hh"
+#include "exec/blockjit.hh"
 #include "exec/context.hh"
 #include "exec/decode_cache.hh"
 #include "exec/executor.hh"
@@ -80,26 +81,22 @@ class ProfilingContext final : public ExecContext
     MmioDevice device_;
 };
 
-} // anonymous namespace
-
-ProfileData
-profileProgram(const Program &prog, uint64_t max_insts)
+/** Per-step observation recording, as an engine hook. */
+struct ProfileHook
 {
-    ArchState state;
-    state.loadProgram(prog);
-    ProfilingContext ctx(state);
-    DecodeCache decode(prog);
-    ProfileData data;
-    ctx.writtenAddrs = &data.writtenAddrs;
+    ProfilingContext &ctx;
+    ProfileData &data;
 
-    for (uint64_t i = 0; i < max_insts; ++i) {
-        uint32_t pc = state.pc();
+    bool
+    preStep(uint32_t, const Instruction &)
+    {
         ctx.beginStep();
-        StepResult res = executeDecodedOn(pc, decode.at(pc), ctx);
+        return true;
+    }
 
-        if (res.status == StepStatus::Illegal)
-            break;
-
+    StepVerdict
+    postStep(uint32_t pc, StepResult &res)
+    {
         ++data.pcCount[pc];
         ++data.totalInsts;
 
@@ -128,12 +125,28 @@ profileProgram(const Program &prog, uint64_t max_insts)
                 ++sp.silent;
         }
 
-        if (res.status == StepStatus::Halted) {
+        if (res.status == StepStatus::Halted)
             data.ranToCompletion = true;
-            break;
-        }
-        state.setPc(res.nextPc);
+        return StepVerdict::Continue;
     }
+};
+
+} // anonymous namespace
+
+ProfileData
+profileProgram(const Program &prog, uint64_t max_insts,
+               BackendKind backend)
+{
+    ArchState state;
+    state.loadProgram(prog);
+    ProfilingContext ctx(state);
+    DecodeCache decode(prog);
+    ProfileData data;
+    ctx.writtenAddrs = &data.writtenAddrs;
+
+    ProfileHook hook{ctx, data};
+    runOnBackend(resolveHookedBackend(backend), decode, state.pc(),
+                 max_insts, ctx, nullptr, hook);
     return data;
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "asm/program.hh"
+#include "exec/backend.hh"
 #include "profile/profile_data.hh"
 
 namespace mssp
@@ -22,9 +23,12 @@ namespace mssp
 /**
  * Execute @p prog for up to @p max_insts instructions, collecting a
  * ProfileData. The run is purely observational: program semantics are
- * identical to SEQ.
+ * identical to SEQ. Observation needs a per-step hook, so @p backend
+ * resolves through resolveHookedBackend (blockjit profiles on the
+ * threaded tier); the profile is backend-invariant.
  */
-ProfileData profileProgram(const Program &prog, uint64_t max_insts);
+ProfileData profileProgram(const Program &prog, uint64_t max_insts,
+                           BackendKind backend = defaultBackend());
 
 } // namespace mssp
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "asm/assembler.hh"
+#include "exec/blockjit.hh"
 #include "exec/executor.hh"
 #include "exec/seq_machine.hh"
 
@@ -267,6 +268,261 @@ TEST(Exec, EvalAluHelper)
     EXPECT_FALSE(evalAlu(Opcode::Lw, 0, 0, out));
     EXPECT_FALSE(evalAlu(Opcode::Beq, 0, 0, out));
     EXPECT_FALSE(evalAlu(Opcode::Jal, 0, 0, out));
+}
+
+// ---------------------------------------------------------------------
+// Tiered execution backends (exec/backend.hh)
+// ---------------------------------------------------------------------
+
+constexpr BackendKind kAllTiers[] = {
+    BackendKind::Ref, BackendKind::Threaded, BackendKind::BlockJit};
+
+TEST(Backend, NamesRoundTrip)
+{
+    for (BackendKind kind : kAllTiers) {
+        auto parsed = backendFromName(backendName(kind));
+        ASSERT_TRUE(parsed.has_value()) << backendName(kind);
+        EXPECT_EQ(*parsed, kind);
+    }
+    EXPECT_FALSE(backendFromName("jit").has_value());
+    EXPECT_FALSE(backendFromName("").has_value());
+    EXPECT_FALSE(backendFromName("REF").has_value());
+}
+
+TEST(Backend, AvailabilityFallback)
+{
+    // The injected-availability seam: a build without computed goto
+    // degrades threaded -> ref and leaves the other tiers alone.
+    EXPECT_EQ(resolveBackendFor(BackendKind::Threaded, false),
+              BackendKind::Ref);
+    EXPECT_EQ(resolveBackendFor(BackendKind::Threaded, true),
+              BackendKind::Threaded);
+    EXPECT_EQ(resolveBackendFor(BackendKind::Ref, false),
+              BackendKind::Ref);
+    EXPECT_EQ(resolveBackendFor(BackendKind::BlockJit, false),
+              BackendKind::BlockJit);
+
+    // This build's actual availability.
+    EXPECT_TRUE(backendAvailable(BackendKind::Ref));
+    EXPECT_TRUE(backendAvailable(BackendKind::BlockJit));
+    EXPECT_EQ(backendAvailable(BackendKind::Threaded),
+              MSSP_HAS_COMPUTED_GOTO == 1);
+}
+
+TEST(Backend, HookedConsumersNeverGetBlockJit)
+{
+    // Per-step obligations are a capability T2 does not have: hooked
+    // consumers resolve blockjit down to the threaded tier.
+    BackendKind k = resolveHookedBackend(BackendKind::BlockJit);
+    EXPECT_NE(k, BackendKind::BlockJit);
+    if (backendAvailable(BackendKind::Threaded)) {
+        EXPECT_EQ(k, BackendKind::Threaded);
+    } else {
+        EXPECT_EQ(k, BackendKind::Ref);
+    }
+    EXPECT_EQ(resolveHookedBackend(BackendKind::Ref), BackendKind::Ref);
+}
+
+TEST(Backend, RegistryExposesAllTiers)
+{
+    for (BackendKind kind : kAllTiers) {
+        const ExecBackend &b = backend(kind);
+        EXPECT_EQ(b.kind(), kind);
+        EXPECT_STREQ(b.name(), backendName(kind));
+    }
+    EXPECT_TRUE(backend(BackendKind::Ref).capabilities() &
+                CapPerStepHook);
+    EXPECT_TRUE(backend(BackendKind::BlockJit).capabilities() &
+                CapBlockCompile);
+    EXPECT_FALSE(backend(BackendKind::BlockJit).capabilities() &
+                 CapPerStepHook);
+}
+
+TEST(Backend, RunRespectsMaxInstsOnEveryTier)
+{
+    Program p = assemble("loop: j loop\n");
+    for (BackendKind kind : kAllTiers) {
+        SCOPED_TRACE(backendName(kind));
+        SeqMachine m(p);
+        m.setBackend(kind);
+        auto r = m.run(100);
+        EXPECT_FALSE(r.halted);
+        EXPECT_FALSE(r.faulted);
+        EXPECT_EQ(r.instCount, 100u);
+        auto r2 = m.run(50);
+        EXPECT_EQ(r2.instCount, 50u);
+        EXPECT_EQ(m.instCount(), 150u);
+    }
+}
+
+TEST(Backend, TiersAgreeOnFaultingProgram)
+{
+    // The fault pc and retire count must be pinned identically; the
+    // blockjit tier must deopt rather than retire past the fault.
+    const std::string src =
+        "    li t0, 20\n"
+        "loop:\n"
+        "    addi t0, t0, -1\n"
+        "    bnez t0, loop\n"
+        "    j nowhere\n"       // falls into unmapped zero words
+        "nowhere:\n";
+    Program p = assemble(src);
+    SeqMachine ref(p);
+    ref.run(100000);
+    ASSERT_TRUE(ref.faulted());
+    for (BackendKind kind :
+         {BackendKind::Threaded, BackendKind::BlockJit}) {
+        SCOPED_TRACE(backendName(kind));
+        SeqMachine m(p);
+        m.setBackend(kind);
+        m.run(100000);
+        EXPECT_TRUE(m.faulted());
+        EXPECT_EQ(m.state().pc(), ref.state().pc());
+        EXPECT_EQ(m.instCount(), ref.instCount());
+        EXPECT_EQ(m.state().instret(), ref.state().instret());
+    }
+}
+
+TEST(Backend, TiersAgreeOnMmio)
+{
+    // The MMIO counter is non-idempotent and MMIO writes emit
+    // outputs: any replayed or skipped device access diverges.
+    const std::string src =
+        "    li t0, 0xffff0000\n"
+        "    li t2, 5\n"
+        "loop:\n"
+        "    lw t1, 0(t0)\n"      // counter: 0,1,2,...
+        "    sw t1, 4(t0)\n"      // MMIO write -> output
+        "    addi t2, t2, -1\n"
+        "    bnez t2, loop\n"
+        "    halt\n";
+    Program p = assemble(src);
+    SeqMachine ref(p);
+    ref.run(100000);
+    ASSERT_TRUE(ref.halted());
+    ASSERT_EQ(ref.outputs().size(), 5u);
+    for (BackendKind kind :
+         {BackendKind::Threaded, BackendKind::BlockJit}) {
+        SCOPED_TRACE(backendName(kind));
+        SeqMachine m(p);
+        m.setBackend(kind);
+        m.run(100000);
+        EXPECT_TRUE(m.halted());
+        EXPECT_EQ(m.outputs(), ref.outputs());
+        EXPECT_EQ(m.instCount(), ref.instCount());
+    }
+}
+
+TEST(Backend, BlockJitCompilesHotLoops)
+{
+    // 200 iterations of a 3-instruction loop is far past the heat
+    // threshold: the tier must actually enter compiled blocks (the
+    // whole point of T2), not silently single-step everything.
+    Program p = assemble(
+        "    li t0, 200\n"
+        "loop:\n"
+        "    addi t0, t0, -1\n"
+        "    bnez t0, loop\n"
+        "    halt\n");
+    SeqMachine m(p);
+    m.setBackend(BackendKind::BlockJit);
+    m.run(100000);
+    ASSERT_TRUE(m.halted());
+    ASSERT_NE(m.blockJit(), nullptr);
+    EXPECT_GT(m.blockJit()->numBlocks(), 0u);
+    EXPECT_GT(m.blockJit()->blocksEntered(), 0u);
+    EXPECT_GT(m.blockJit()->instsInBlocks(), 0u);
+}
+
+/** Bare ExecContext for engine-level tests: registers + RAM + ports. */
+class FlatCtx final : public ExecContext
+{
+  public:
+    explicit FlatCtx(const Program &prog) { state_.loadProgram(prog); }
+
+    uint32_t readReg(unsigned r) override { return state_.readReg(r); }
+    void
+    writeReg(unsigned r, uint32_t v) override
+    {
+        state_.writeReg(r, v);
+    }
+    uint32_t readMem(uint32_t a) override { return state_.readMem(a); }
+    void
+    writeMem(uint32_t a, uint32_t v) override
+    {
+        state_.writeMem(a, v);
+    }
+    uint32_t fetch(uint32_t pc) override { return state_.readMem(pc); }
+    void
+    output(uint16_t port, uint32_t value) override
+    {
+        outputs.push_back({port, value});
+    }
+
+    OutputStream outputs;
+
+  private:
+    ArchState state_;
+};
+
+TEST(Backend, InvalidateFlushesCompiledBlocksOnEveryTier)
+{
+    // Runtime patching (the fault-injection surface): after
+    // DecodeCache::invalidate, *every* tier must execute the patched
+    // instruction — the blockjit tier through its version flush, not
+    // a stale superop block. 100 iterations at +1, patch the body to
+    // +2 mid-run, 100 more iterations: t0 must end at exactly 300.
+    const std::string src_a =
+        "    li t0, 0\n"          // entry+0
+        "    li t1, 200\n"        // entry+1
+        "loop:\n"
+        "    addi t0, t0, 1\n"    // entry+2  <- patched to +2
+        "    addi t1, t1, -1\n"   // entry+3
+        "    bnez t1, loop\n"     // entry+4
+        "    out t0, 0\n"         // entry+5
+        "    halt\n";             // entry+6
+    const std::string src_b =
+        "    li t0, 0\n"
+        "    li t1, 200\n"
+        "loop:\n"
+        "    addi t0, t0, 2\n"
+        "    addi t1, t1, -1\n"
+        "    bnez t1, loop\n"
+        "    out t0, 0\n"
+        "    halt\n";
+    Program patched_word_src = assemble(src_b);
+
+    for (BackendKind kind : kAllTiers) {
+        SCOPED_TRACE(backendName(kind));
+        Program prog = assemble(src_a);
+        const uint32_t entry = prog.entry();
+        DecodeCache dc(prog);
+        FlatCtx ctx(prog);
+        BlockJit jit(dc);
+        BlockJit *jitp =
+            kind == BackendKind::BlockJit ? &jit : nullptr;
+
+        // First half: exactly 100 iterations (2 setup + 3 per iter),
+        // ending with the loop hot and (on T2) compiled.
+        EngineResult er =
+            runOnBackend(kind, dc, entry, 2 + 3 * 100, ctx, jitp);
+        ASSERT_EQ(er.status, StepStatus::Ok);
+        ASSERT_EQ(er.retired, 2u + 3u * 100u);
+        ASSERT_EQ(er.pc, entry + 2);   // back at the loop head
+        if (kind == BackendKind::BlockJit) {
+            ASSERT_GT(jit.blocksEntered(), 0u);
+        }
+
+        // Patch the loop body and invalidate its page.
+        prog.setWord(entry + 2, patched_word_src.word(entry + 2));
+        dc.invalidate(entry + 2);
+
+        // Second half runs the *patched* semantics.
+        er = runOnBackend(kind, dc, er.pc, 1000000, ctx, jitp);
+        EXPECT_EQ(er.status, StepStatus::Halted);
+        ASSERT_EQ(ctx.outputs.size(), 1u);
+        EXPECT_EQ(ctx.outputs[0].value, 100u + 2u * 100u);
+    }
 }
 
 } // anonymous namespace

@@ -98,8 +98,9 @@ TEST(IsaNames, RegisterNamesRoundTrip)
 {
     for (unsigned r = 0; r < NumRegs; ++r) {
         EXPECT_EQ(regFromName(regName(r)), static_cast<int>(r));
-        EXPECT_EQ(regFromName("r" + std::to_string(r)),
-                  static_cast<int>(r));
+        std::string rn = "r";
+        rn += std::to_string(r);
+        EXPECT_EQ(regFromName(rn), static_cast<int>(r));
     }
     EXPECT_EQ(regFromName("bogus"), -1);
 }

@@ -150,8 +150,9 @@ TEST(StateDeltaFlatMap, AgreesWithReferenceModel)
             auto got = d.get(cell);
             auto it = model.find(cell);
             ASSERT_EQ(got.has_value(), it != model.end());
-            if (got)
+            if (got) {
                 ASSERT_EQ(*got, it->second);
+            }
             break;
           }
           default:
@@ -206,8 +207,9 @@ TEST(StateDeltaFlatMap, LawsSurviveCollisionsAndTombstones)
         for (const auto &[cell, value] : mb)
             ASSERT_EQ(c.get(cell).value(), value);
         for (const auto &[cell, value] : ma) {
-            if (!mb.count(cell))
+            if (!mb.count(cell)) {
                 ASSERT_EQ(c.get(cell).value(), value);
+            }
         }
         ASSERT_EQ(c.size(), StateDelta::superimposed(b, a).size());
 

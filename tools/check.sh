@@ -11,6 +11,7 @@
 #   MSSP_SKIP_TIDY=1 tools/check.sh     # skip the clang-tidy gate
 #   MSSP_SKIP_FAULTS=1 tools/check.sh   # skip the fault-campaign smoke
 #   MSSP_SKIP_SPECSAFE=1 tools/check.sh # skip the specsafe gate
+#   MSSP_SKIP_BACKENDS=1 tools/check.sh # skip the backend smoke gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -80,6 +81,28 @@ if [[ $bad_rc -ne 2 ]]; then
     exit 1
 fi
 echo "corrupted image rejected, as it should be"
+
+if [[ "${MSSP_SKIP_BACKENDS:-0}" == "1" ]]; then
+    echo "== skipping backend smoke (MSSP_SKIP_BACKENDS=1)"
+else
+    # The three execution tiers must retire identical architectural
+    # results (DESIGN.md §11): diff a smoke run across all of them,
+    # then run the differential fuzz gate at its default seed range.
+    echo "== backend smoke (ref vs threaded vs blockjit)"
+    for be in ref threaded blockjit; do
+        build/tools/mssp-run "$tmp/prog.s" --backend "$be" \
+            > "$tmp/run-$be.out"
+    done
+    for be in threaded blockjit; do
+        if ! cmp -s "$tmp/run-ref.out" "$tmp/run-$be.out"; then
+            echo "check.sh: --backend $be output differs from ref:" >&2
+            diff "$tmp/run-ref.out" "$tmp/run-$be.out" >&2 || true
+            exit 1
+        fi
+    done
+    build/tests/test_backend_fuzz
+    echo "backend tiers agree (smoke + fuzz gate)"
+fi
 
 if [[ "${MSSP_SKIP_SPECSAFE:-0}" == "1" ]]; then
     echo "== skipping specsafe gate (MSSP_SKIP_SPECSAFE=1)"

@@ -4,11 +4,15 @@
  *
  *   mssp-run prog.{s,mo} [--mssp dist.mdo] [--slaves N]
  *            [--fork-latency N] [--commit-latency N] [--stats]
- *            [--max-cycles N] [--compare]
+ *            [--max-cycles N] [--compare] [--backend TIER]
  *
  * With --mssp, runs the MSSP machine using the given distilled
  * object; --compare additionally runs the sequential oracle and
  * verifies output equivalence (exit status reflects it).
+ *
+ * --backend selects the execution tier (ref | threaded | blockjit;
+ * see src/exec/backend.hh) and overrides the MSSP_EXEC_BACKEND
+ * environment default. Architectural results are tier-invariant.
  */
 
 #include <cstdio>
@@ -70,6 +74,16 @@ main(int argc, char **argv)
                 std::atoll(argv[++i]));
         } else if (arg == "--max-cycles" && i + 1 < argc) {
             max_cycles = static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--backend" && i + 1 < argc) {
+            auto kind = backendFromName(argv[++i]);
+            if (!kind) {
+                std::fprintf(stderr,
+                             "mssp-run: unknown backend '%s' "
+                             "(ref | threaded | blockjit)\n", argv[i]);
+                return 2;
+            }
+            setDefaultBackend(*kind);
+            cfg.execBackend = *kind;
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--compare") {
@@ -81,7 +95,8 @@ main(int argc, char **argv)
                          "usage: mssp-run prog.{s,mo} "
                          "[--mssp dist.mdo] [--slaves N] "
                          "[--fork-latency N] [--commit-latency N] "
-                         "[--max-cycles N] [--stats] [--compare]\n");
+                         "[--max-cycles N] [--stats] [--compare] "
+                         "[--backend ref|threaded|blockjit]\n");
             return 2;
         }
     }

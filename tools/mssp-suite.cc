@@ -7,6 +7,7 @@
  *   mssp-suite [--workloads gzip,mcf,...] [--scale F] [--seed N]
  *              [--jobs N] [--intensities 1,10] [--max-cycles N]
  *              [--run-max-cycles N] [--json FILE] [--quiet]
+ *              [--backend ref|threaded|blockjit]
  *
  * Exit status: 0 when every workload passed every evaluation gate
  * AND the campaign held every invariant with every fault type
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "eval/suite.hh"
+#include "exec/backend.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
 #include "util/string_utils.hh"
@@ -52,7 +54,8 @@ usage()
         "usage: mssp-suite [--workloads a,b,...] [--scale F]\n"
         "                  [--seed N] [--jobs N] [--intensities 1,10]\n"
         "                  [--max-cycles N] [--run-max-cycles N]\n"
-        "                  [--json FILE] [--quiet]\n");
+        "                  [--json FILE] [--quiet]\n"
+        "                  [--backend ref|threaded|blockjit]\n");
     return 2;
 }
 
@@ -87,6 +90,17 @@ main(int argc, char **argv)
         } else if (arg == "--run-max-cycles" && i + 1 < argc) {
             opts.runMaxCycles =
                 static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--backend" && i + 1 < argc) {
+            auto kind = backendFromName(argv[++i]);
+            if (!kind) {
+                std::fprintf(stderr,
+                             "mssp-suite: unknown backend '%s' "
+                             "(ref | threaded | blockjit)\n", argv[i]);
+                return 2;
+            }
+            // Every machine the suite constructs (on any worker
+            // thread) snapshots this process-wide default.
+            setDefaultBackend(*kind);
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
         } else if (arg == "--quiet") {
