@@ -49,6 +49,8 @@ lintCheckName(LintCheck check)
       case LintCheck::EditMetadata: return "edit-metadata";
       case LintCheck::SpecSafeMismatch: return "specsafe-mismatch";
       case LintCheck::SpecSafeCoverage: return "specsafe-coverage";
+      case LintCheck::SpecPlanMismatch: return "specplan-mismatch";
+      case LintCheck::SpecPlanCoverage: return "specplan-coverage";
     }
     return "?";
 }
@@ -575,7 +577,11 @@ jsonEscape(const std::string &s)
 std::string
 LintReport::toJson() const
 {
-    std::string out = strfmt("{\"errors\": %zu, \"warnings\": %zu, "
+    // Every deterministic JSON document in the repo names its schema
+    // (docs/SCHEMAS.md), including this object when embedded in the
+    // specsafe/specplan/semantic reports.
+    std::string out = strfmt("{\"schema\": \"mssp-lint-v1\", "
+                             "\"errors\": %zu, \"warnings\": %zu, "
                              "\"findings\": [",
                              errors(), warnings());
     for (size_t i = 0; i < findings.size(); ++i) {

@@ -87,6 +87,10 @@ enum class LintCheck : uint8_t
     // Speculation-safety metadata checks (analysis/specsafe.hh).
     SpecSafeMismatch,       ///< persisted load class != recomputed
     SpecSafeCoverage,       ///< load unclassified / stale class entry
+
+    // Speculation-plan metadata checks (analysis/specplan.hh).
+    SpecPlanMismatch,       ///< persisted candidate != recomputed
+    SpecPlanCoverage,       ///< candidate missing / stale plan entry
 };
 
 const char *severityName(Severity sev);

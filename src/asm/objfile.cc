@@ -12,11 +12,13 @@ namespace
 const char *kProgramMagic = "mssp-object v1";
 /** Format v2 extended `edit` lines with semantic metadata (value,
  *  region leader, live-out mask); v3 adds per-load speculation-
- *  safety classes (`specload` lines, analysis/specsafe.hh). Older
- *  versions are rejected loudly: a misparsed edit log would silently
- *  disable the semantic checks, and an image without load classes
- *  would fail the specsafe coverage gate in confusing ways. */
-const char *kDistilledMagic = "mssp-distilled v3";
+ *  safety classes (`specload` lines, analysis/specsafe.hh); v4 adds
+ *  the ranked speculation plan (`specplan` lines,
+ *  analysis/specplan.hh). Older versions are rejected loudly: a
+ *  misparsed edit log would silently disable the semantic checks,
+ *  and an image without load classes or a plan would fail the
+ *  coverage gates in confusing ways. */
+const char *kDistilledMagic = "mssp-distilled v4";
 const char *kDistilledFamily = "mssp-distilled";
 
 void
@@ -122,6 +124,17 @@ saveDistilled(const DistilledProgram &dist)
         out += strfmt("specload 0x%x %s\n", pc,
                       loadSpecClassName(cls));
     }
+    // Plan lines persist in rank order — the order is part of the
+    // contract mssp-lint --plan validates.
+    for (const SpecPlanEntry &p : dist.specPlan) {
+        out += strfmt("specplan 0x%x %s 0x%x %llu ", p.pc,
+                      valueProofName(p.proof), p.value,
+                      static_cast<unsigned long long>(
+                          p.benefitMicro));
+        for (size_t i = 0; i < p.feasible.size(); ++i)
+            out += strfmt("%s0x%x", i ? "," : "", p.feasible[i]);
+        out += "\n";
+    }
     for (const DistillEdit &e : dist.report.edits) {
         out += strfmt("edit %s 0x%x %u %u 0x%x 0x%x 0x%x\n",
                       distillPassName(e.pass), e.origPc, e.reg,
@@ -182,6 +195,25 @@ loadDistilled(const std::string &text)
                       line_no, std::string(toks[2]).c_str());
             }
             dist.loadClasses[want_int(toks[1], line_no)] = cls;
+            return true;
+        }
+        if (key == "specplan" && toks.size() == 6) {
+            SpecPlanEntry p;
+            p.pc = want_int(toks[1], line_no);
+            if (!valueProofFromName(std::string(toks[2]), p.proof)) {
+                fatal("object line %d: unknown proof class '%s'",
+                      line_no, std::string(toks[2]).c_str());
+            }
+            p.value = want_int(toks[3], line_no);
+            int64_t micro;   // 64-bit: want_int truncates to uint32
+            if (!parseInt(toks[4], micro) || micro < 0) {
+                fatal("object line %d: bad benefit '%s'", line_no,
+                      std::string(toks[4]).c_str());
+            }
+            p.benefitMicro = static_cast<uint64_t>(micro);
+            for (std::string_view v : split(toks[5], ','))
+                p.feasible.push_back(want_int(v, line_no));
+            dist.specPlan.push_back(std::move(p));
             return true;
         }
         if (key == "edit" && toks.size() == 8) {

@@ -166,6 +166,45 @@ const char *loadSpecClassName(LoadSpecClass cls);
 bool loadSpecClassFromName(const std::string &name,
                            LoadSpecClass &cls);
 
+/**
+ * Proof strength of a predicted load value in a speculation plan
+ * (analysis/valueflow.hh, DESIGN.md §5.4). Proven candidates may
+ * observe exactly one value on any execution of the merged image —
+ * a dynamic counterexample fails the crossval gate outright; Likely
+ * candidates have a small non-singleton feasible constant set.
+ */
+enum class ValueProof : uint8_t
+{
+    Proven,
+    Likely,
+};
+
+/** Stable lower-case proof name ("proven" / "likely"). */
+const char *valueProofName(ValueProof proof);
+
+/** Parse a proof name; @retval false when unknown. */
+bool valueProofFromName(const std::string &name, ValueProof &proof);
+
+/**
+ * One persisted speculation-plan candidate: a load the planner ranked
+ * worth speculating, with its predicted value and proof strength
+ * (.mdo format v4 `specplan` lines; the full derivation lives in
+ * analysis/specplan.hh and is revalidated by mssp-lint --plan).
+ */
+struct SpecPlanEntry
+{
+    uint32_t pc = 0;         ///< distilled PC of the load
+    ValueProof proof = ValueProof::Proven;
+    uint32_t value = 0;      ///< predicted value
+    /** Expected benefit score in micro-units (integer so the .mdo
+     *  round-trips byte-exactly; analysis/specplan.hh). */
+    uint64_t benefitMicro = 0;
+    /** Feasible constant set, ascending (singleton for Proven). */
+    std::vector<uint32_t> feasible;
+
+    bool operator==(const SpecPlanEntry &) const = default;
+};
+
 /** Lower-case pass name ("branch-prune", "dce", ...). */
 const char *distillPassName(DistillEdit::Pass pass);
 
@@ -249,6 +288,16 @@ struct DistilledProgram
      * disagree (docs/LINT.md).
      */
     std::map<uint32_t, LoadSpecClass> loadClasses;
+
+    /**
+     * Speculation plan: the candidates the static planner ranked
+     * worth value-speculating, in rank order (highest benefit
+     * first), stamped by distill() from the value-flow analysis
+     * (analysis/specplan.hh) and persisted in the .mdo (format v4).
+     * mssp-lint --plan recomputes the plan and rejects images whose
+     * persisted candidates disagree (docs/LINT.md).
+     */
+    std::vector<SpecPlanEntry> specPlan;
 
     DistillReport report;
 

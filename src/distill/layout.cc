@@ -9,6 +9,7 @@
  */
 
 #include "analysis/liveness.hh"
+#include "analysis/specplan.hh"
 #include "analysis/specsafe.hh"
 #include "distill/distiller.hh"
 #include "sim/logging.hh"
@@ -310,6 +311,15 @@ distill(const Program &orig, const ProfileData &profile,
     for (const analysis::LoadClassification &c :
          analysis::classifySpecLoads(orig, out)) {
         out.loadClasses[c.pc] = c.cls;
+    }
+
+    // Speculation plan: the ranked value-speculation candidates from
+    // the value-flow analysis (analysis/specplan.hh), persisted in
+    // rank order. mssp-lint --plan revalidates them and crossval
+    // falsifies the Proven predictions dynamically.
+    for (const analysis::SpecPlanCandidate &c :
+         analysis::planSpeculation(orig, out)) {
+        out.specPlan.push_back(c.toEntry());
     }
     return out;
 }

@@ -77,7 +77,89 @@ class InvariantLoadWatcher : public SeqMachine::Observer
     std::map<uint32_t, std::optional<uint32_t>> last_;
 };
 
+/** Watches the SEQ replay and scores every plan candidate's value
+ *  prediction against the value its load actually reads. */
+class PlanPredictionWatcher : public SeqMachine::Observer
+{
+  public:
+    PlanPredictionWatcher(
+        SeqMachine &machine,
+        const std::vector<analysis::SpecPlanCandidate> &candidates)
+        : machine_(machine)
+    {
+        result.candidates.reserve(candidates.size());
+        for (const analysis::SpecPlanCandidate &c : candidates) {
+            index_[c.pc] = result.candidates.size();
+            result.candidates.push_back(
+                {c.pc, c.proof, c.value, 0, 0});
+        }
+    }
+
+    void
+    onStep(uint32_t pc, const StepResult &res) override
+    {
+        if (!isLoad(res.inst.op))
+            return;
+        auto it = index_.find(pc);
+        if (it == index_.end())
+            return;
+        // Same post-instruction read as InvariantLoadWatcher: rd
+        // holds the value; an r0 load leaves rs1 intact, so the
+        // address reconstructs (candidate loads are never MMIO, so
+        // re-reading is side-effect free).
+        uint32_t value;
+        if (res.inst.rd != 0) {
+            value = machine_.readReg(res.inst.rd);
+        } else {
+            uint32_t addr =
+                machine_.readReg(res.inst.rs1) + res.inst.imm;
+            value = machine_.state().readMem(addr);
+        }
+        SpecPlanCandidateDyn &dyn = result.candidates[it->second];
+        dyn.observations++;
+        bool hit = value == dyn.predicted;
+        if (hit)
+            dyn.hits++;
+        if (dyn.proof == ValueProof::Proven) {
+            if (!hit) {
+                result.provenMismatches++;
+                if (result.firstViolation.empty()) {
+                    result.firstViolation = strfmt(
+                        "proven candidate at 0x%x read 0x%x, "
+                        "predicted 0x%x",
+                        pc, value, dyn.predicted);
+                }
+            }
+        } else {
+            result.likelyObservations++;
+            if (hit)
+                result.likelyHits++;
+        }
+    }
+
+    SpecPlanDynamicResult result;
+
+  private:
+    SeqMachine &machine_;
+    std::map<uint32_t, size_t> index_;
+};
+
 } // anonymous namespace
+
+SpecPlanDynamicResult
+validateSpecPlanDynamic(
+    const Program &orig, const DistilledProgram &dist,
+    const std::vector<analysis::SpecPlanCandidate> &candidates,
+    uint64_t max_insts)
+{
+    SeqMachine machine(analysis::mergedImage(orig, dist));
+    PlanPredictionWatcher watcher(machine, candidates);
+    machine.setObserver(&watcher);
+    // Same bounded-window contract as validateSpecSafeDynamic: the
+    // replay need not halt cleanly, the budget bounds it either way.
+    machine.run(max_insts);
+    return watcher.result;
+}
 
 SpecSafeDynamicResult
 validateSpecSafeDynamic(
@@ -111,8 +193,16 @@ CrossValReport::toText() const
 {
     Table t({"workload", "ok", "edits", "proven", "risky", "unknown",
              "sem-err", "div-squash", "loads PI/RI/R", "spec-err",
-             "pi-chg", "consistent"});
+             "pi-chg", "plan P/L", "plan-err", "pv-miss", "l-hit",
+             "consistent"});
     for (const CrossValRow &r : rows) {
+        std::string lhit = "-";
+        if (r.planLikelyObservations) {
+            lhit = strfmt(
+                "%.0f%%",
+                100.0 * static_cast<double>(r.planLikelyHits) /
+                    static_cast<double>(r.planLikelyObservations));
+        }
         t.addRow({r.name, r.ok ? "yes" : "NO",
                   strfmt("%zu", r.edits), strfmt("%zu", r.proven),
                   strfmt("%zu", r.risky), strfmt("%zu", r.unknown),
@@ -124,7 +214,11 @@ CrossValReport::toText() const
                   strfmt("%zu", r.specErrors),
                   strfmt("%llu", static_cast<unsigned long long>(
                                      r.provInvariantValueChanges)),
-                  r.consistent ? "yes" : "NO"});
+                  strfmt("%zu/%zu", r.planProven, r.planLikely),
+                  strfmt("%zu", r.planErrors),
+                  strfmt("%llu", static_cast<unsigned long long>(
+                                     r.planProvenMismatches)),
+                  lhit, r.consistent ? "yes" : "NO"});
     }
     return t.render("static risk vs. dynamic misspeculation");
 }
@@ -175,18 +269,36 @@ crossValidate(double scale, const MsspConfig &cfg,
                 prepared.orig, prepared.dist, spec.loads);
             row.provInvariantValueChanges = dyn.valueChanges;
 
+            analysis::SpecPlanReport plan =
+                analysis::analyzeSpecPlan(prepared.orig,
+                                          prepared.dist);
+            row.planCandidates = plan.candidates.size();
+            row.planProven = plan.proven();
+            row.planLikely = plan.likely();
+            row.planErrors = plan.lint.errors();
+
+            SpecPlanDynamicResult pdyn = validateSpecPlanDynamic(
+                prepared.orig, prepared.dist, plan.candidates);
+            row.planProvenMismatches = pdyn.provenMismatches;
+            row.planLikelyObservations = pdyn.likelyObservations;
+            row.planLikelyHits = pdyn.likelyHits;
+
             // The validator's claim is one-directional: a workload
             // whose edits are all Proven must not squash on
             // divergence. The converse (risky edits must squash) does
             // not hold — static analysis over-approximates dynamic
             // behaviour. The specsafe claim is absolute: a
             // ProvablyInvariant load that changed value means the
-            // alias analysis is wrong, full stop.
+            // alias analysis is wrong, full stop. So is the plan's:
+            // a Proven candidate reading anything but its predicted
+            // value means the value-flow analysis is wrong.
             bool all_proven = row.proven == row.edits;
             row.consistent =
                 run.ok && (!all_proven || row.divergenceSquashes == 0)
                 && row.specErrors == 0
-                && row.provInvariantValueChanges == 0;
+                && row.provInvariantValueChanges == 0
+                && row.planErrors == 0
+                && row.planProvenMismatches == 0;
             return row;
         });
     }

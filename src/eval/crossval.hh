@@ -17,6 +17,14 @@
  * replays the merged image on SEQ, tracks every ProvablyInvariant
  * load's value per static PC, and counts changes — any nonzero count
  * falsifies the alias analysis and fails the gate outright.
+ *
+ * The speculation planner (analysis/specplan.hh) makes a third,
+ * sharper claim: a Proven plan candidate predicts the exact value a
+ * load reads, every time. validateSpecPlanDynamic() replays the
+ * merged image on SEQ and compares every tracked load's observed
+ * value against the plan's prediction — a single Proven mismatch
+ * falsifies the value-flow analysis and fails the gate; Likely
+ * candidates only accumulate an observed hit rate.
  */
 
 #ifndef MSSP_EVAL_CROSSVAL_HH
@@ -26,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/specplan.hh"
 #include "analysis/specsafe.hh"
 #include "mssp/config.hh"
 
@@ -58,10 +67,23 @@ struct CrossValRow
      *  Any nonzero count falsifies the alias analysis. */
     uint64_t provInvariantValueChanges = 0;
 
+    // Speculation-plan value prediction (analysis/specplan.hh)
+    size_t planCandidates = 0;
+    size_t planProven = 0;
+    size_t planLikely = 0;
+    size_t planErrors = 0;  ///< plan-metadata findings (errors)
+    /** Observed values at Proven candidates that differed from the
+     *  prediction. Any nonzero count falsifies the value-flow
+     *  analysis. */
+    uint64_t planProvenMismatches = 0;
+    uint64_t planLikelyObservations = 0;
+    uint64_t planLikelyHits = 0;  ///< observed == predicted
+
     /** The falsifiable claims: all-proven implies zero divergence
-     *  squashes, and ProvablyInvariant loads never change value.
+     *  squashes, ProvablyInvariant loads never change value, and
+     *  Proven plan candidates always read the predicted value.
      *  (Risky/unknown edits do not *require* squashes — static
-     *  analysis over-approximates.) */
+     *  analysis over-approximates; Likely candidates may miss.) */
     bool consistent = false;
 };
 
@@ -85,6 +107,39 @@ struct SpecSafeDynamicResult
 SpecSafeDynamicResult validateSpecSafeDynamic(
     const Program &orig, const DistilledProgram &dist,
     const std::vector<analysis::LoadClassification> &loads,
+    uint64_t max_insts = 20000000ull);
+
+/** One plan candidate's dynamic record. */
+struct SpecPlanCandidateDyn
+{
+    uint32_t pc = 0;
+    ValueProof proof = ValueProof::Proven;
+    uint32_t predicted = 0;
+    uint64_t observations = 0;
+    uint64_t hits = 0;          ///< observed value == predicted
+};
+
+/** What validateSpecPlanDynamic() observed. */
+struct SpecPlanDynamicResult
+{
+    std::vector<SpecPlanCandidateDyn> candidates; ///< plan order
+    uint64_t provenMismatches = 0;  ///< misses at Proven candidates
+    uint64_t likelyObservations = 0;
+    uint64_t likelyHits = 0;
+    std::string firstViolation; ///< first Proven mismatch, if any
+};
+
+/**
+ * Replay the merged image on the SEQ reference machine for at most
+ * @p max_insts instructions and compare the value every plan
+ * candidate's load reads against its predicted value. A Proven
+ * candidate observing a different value is a counterexample to the
+ * value-flow analysis; Likely candidates merely accumulate their
+ * observed hit rate.
+ */
+SpecPlanDynamicResult validateSpecPlanDynamic(
+    const Program &orig, const DistilledProgram &dist,
+    const std::vector<analysis::SpecPlanCandidate> &candidates,
     uint64_t max_insts = 20000000ull);
 
 /** Cross-validation over a workload set. */

@@ -3,6 +3,7 @@
 #include <functional>
 #include <ostream>
 
+#include "analysis/specplan.hh"
 #include "analysis/specsafe.hh"
 #include "analysis/verifier.hh"
 #include "eval/crossval.hh"
@@ -44,7 +45,7 @@ SuiteReport::ok() const
 std::string
 SuiteReport::toJson() const
 {
-    std::string out = "{\"schema\": \"mssp-suite-v2\",\n";
+    std::string out = "{\"schema\": \"mssp-suite-v3\",\n";
     out += strfmt(" \"seed\": %llu, \"scale\": %s, ",
                   static_cast<unsigned long long>(options.seed),
                   fmtG(options.scale).c_str());
@@ -64,6 +65,11 @@ SuiteReport::toJson() const
             "\"specsafe\": {\"loads\": %zu, "
             "\"provablyInvariant\": %zu, \"regionInvariant\": %zu, "
             "\"risky\": %zu, \"errors\": %zu, \"violations\": %llu}, "
+            "\"specplan\": {\"candidates\": %zu, \"proven\": %zu, "
+            "\"likely\": %zu, \"errors\": %zu, "
+            "\"provenMismatches\": %llu, "
+            "\"likelyObservations\": %llu, \"likelyHits\": %llu, "
+            "\"likelyHitRate\": %s}, "
             "\"run\": {\"ok\": %s, \"stopReason\": \"%s\", "
             "\"seqInsts\": %llu, \"baselineCycles\": %llu, "
             "\"msspCycles\": %llu, \"speedup\": %s, "
@@ -75,6 +81,17 @@ SuiteReport::toJson() const
             w.specLoads, w.specProvablyInvariant,
             w.specRegionInvariant, w.specRisky, w.specErrors,
             static_cast<unsigned long long>(w.specViolations),
+            w.planCandidates, w.planProven, w.planLikely,
+            w.planErrors,
+            static_cast<unsigned long long>(w.planProvenMismatches),
+            static_cast<unsigned long long>(
+                w.planLikelyObservations),
+            static_cast<unsigned long long>(w.planLikelyHits),
+            w.planLikelyObservations
+                ? fmtG(static_cast<double>(w.planLikelyHits) /
+                       static_cast<double>(w.planLikelyObservations))
+                      .c_str()
+                : "null",
             w.run.ok ? "true" : "false", toString(w.run.stopReason),
             static_cast<unsigned long long>(w.run.seqInsts),
             static_cast<unsigned long long>(w.run.baselineCycles),
@@ -102,9 +119,17 @@ std::string
 SuiteReport::summary() const
 {
     Table t({"workload", "lint", "sem-err", "proven/edits",
-             "loads PI/RI/R", "spec", "run", "speedup", "div-squash",
-             "consistent", "verdict"});
+             "loads PI/RI/R", "spec", "plan P/L", "pv-miss", "l-hit",
+             "run", "speedup", "div-squash", "consistent",
+             "verdict"});
     for (const SuiteWorkloadResult &w : workloads) {
+        std::string lhit = "-";
+        if (w.planLikelyObservations) {
+            lhit = strfmt(
+                "%.0f%%",
+                100.0 * static_cast<double>(w.planLikelyHits) /
+                    static_cast<double>(w.planLikelyObservations));
+        }
         t.addRow({w.name,
                   w.lintErrors ? strfmt("%zu ERR", w.lintErrors)
                                : "clean",
@@ -117,6 +142,10 @@ SuiteReport::summary() const
                                static_cast<unsigned long long>(
                                    w.specViolations))
                       : "clean",
+                  strfmt("%zu/%zu", w.planProven, w.planLikely),
+                  strfmt("%llu", static_cast<unsigned long long>(
+                                     w.planProvenMismatches)),
+                  lhit,
                   w.run.ok ? "ok" : toString(w.run.stopReason),
                   fmt2(w.run.speedup),
                   strfmt("%llu", static_cast<unsigned long long>(
@@ -126,7 +155,7 @@ SuiteReport::summary() const
     }
     std::string s =
         t.render("mssp-suite: distill + lint + semantic + specsafe "
-                 "+ run + crossval");
+                 "+ specplan + run + crossval");
     s += "\n";
     s += campaign.summary();
     s += strfmt("\nsuite: %zu eval failure(s), %zu campaign "
@@ -191,6 +220,19 @@ runSuite(const SuiteOptions &opts, std::ostream *log)
                 validateSpecSafeDynamic(prepared.orig, prepared.dist,
                                         spec.loads)
                     .valueChanges;
+
+            analysis::SpecPlanReport plan =
+                analysis::analyzeSpecPlan(prepared.orig,
+                                          prepared.dist);
+            r.planCandidates = plan.candidates.size();
+            r.planProven = plan.proven();
+            r.planLikely = plan.likely();
+            r.planErrors = plan.lint.errors();
+            SpecPlanDynamicResult pdyn = validateSpecPlanDynamic(
+                prepared.orig, prepared.dist, plan.candidates);
+            r.planProvenMismatches = pdyn.provenMismatches;
+            r.planLikelyObservations = pdyn.likelyObservations;
+            r.planLikelyHits = pdyn.likelyHits;
 
             r.run = runPrepared(name, prepared, MsspConfig{},
                                 opts.runMaxCycles);

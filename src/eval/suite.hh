@@ -9,9 +9,11 @@
  *   lint      structural verification (analysis/verifier.hh)
  *   semantic  translation validation of every distiller edit
  *   specsafe  load speculation-safety classes + metadata validation
+ *   specplan  value-flow plan candidates + SEQ-replay hit rates
  *   run       full MSSP machine vs the sequential baseline
  *   crossval  static risk vs dynamic divergence-squash consistency,
- *             plus the ProvablyInvariant value-change gate
+ *             plus the ProvablyInvariant value-change and Proven
+ *             prediction-mismatch gates
  *   campaign  the fault-injection sweep against the SEQ oracle
  *
  * The job graph has two sharded phases (sim/parallel.hh). Phase one
@@ -22,7 +24,7 @@
  * and reusing those oracles — no workload is ever prepared twice.
  *
  * The report is one deterministic JSON document (schema
- * mssp-suite-v2): per-run seeds derive from canonical job indices
+ * mssp-suite-v3): per-run seeds derive from canonical job indices
  * and results merge in canonical order, so `--jobs N` output is
  * byte-identical to `--jobs 1`. CI runs the suite on every push with
  * all 12 workloads and diffs a serial rerun against it (docs/CI.md).
@@ -80,6 +82,15 @@ struct SuiteWorkloadResult
     size_t specErrors = 0;        ///< metadata-validation findings
     uint64_t specViolations = 0;  ///< PI loads that changed value
 
+    // specplan value prediction (analysis/specplan.hh)
+    size_t planCandidates = 0;
+    size_t planProven = 0;
+    size_t planLikely = 0;
+    size_t planErrors = 0;  ///< plan-metadata findings (errors)
+    uint64_t planProvenMismatches = 0;  ///< Proven misses (gate: 0)
+    uint64_t planLikelyObservations = 0;
+    uint64_t planLikelyHits = 0;
+
     // MSSP run vs baseline
     WorkloadRun run;
 
@@ -91,8 +102,9 @@ struct SuiteWorkloadResult
     ok() const
     {
         return lintErrors == 0 && semanticErrors == 0 &&
-               specErrors == 0 && specViolations == 0 && run.ok &&
-               consistent;
+               specErrors == 0 && specViolations == 0 &&
+               planErrors == 0 && planProvenMismatches == 0 &&
+               run.ok && consistent;
     }
 };
 
@@ -112,7 +124,7 @@ struct SuiteReport
      *  fired. */
     bool ok() const;
 
-    /** Deterministic JSON document (schema mssp-suite-v2; embeds the
+    /** Deterministic JSON document (schema mssp-suite-v3; embeds the
      *  campaign's mssp-faultcamp-v1 object under "campaign"). */
     std::string toJson() const;
 

@@ -22,6 +22,7 @@ TEST(CrossVal, StaticRiskConsistentWithDynamicSquashes)
     CrossValReport rep = crossValidate(0.15, cfg, 80000000ull);
 
     ASSERT_EQ(rep.rows.size(), 12u);
+    size_t rows_with_proven = 0;
     for (const CrossValRow &r : rep.rows) {
         EXPECT_TRUE(r.ok) << r.name << " did not run to completion";
         EXPECT_EQ(r.semanticErrors, 0u) << r.name;
@@ -39,10 +40,24 @@ TEST(CrossVal, StaticRiskConsistentWithDynamicSquashes)
         EXPECT_EQ(r.provInvariantValueChanges, 0u)
             << r.name
             << ": a provably-invariant load changed value at runtime";
+        // The speculation plan re-validates and no Proven candidate
+        // ever read a value other than its prediction during the SEQ
+        // replay — one mismatch falsifies the value-flow analysis.
+        EXPECT_EQ(r.planErrors, 0u) << r.name;
+        EXPECT_EQ(r.planProvenMismatches, 0u)
+            << r.name
+            << ": a Proven plan candidate read an unpredicted value";
+        EXPECT_EQ(r.planProven + r.planLikely, r.planCandidates)
+            << r.name;
+        rows_with_proven += r.planProven > 0 ? 1 : 0;
         EXPECT_TRUE(r.consistent)
             << r.name << ": all-proven workload squashed "
             << r.divergenceSquashes << " tasks on divergence";
     }
+    // Non-vacuity: the planner proves candidates on most of the
+    // registry, not just one lucky workload (gzip legitimately has
+    // none — all its loads are risky).
+    EXPECT_GE(rows_with_proven, 8u) << rep.toText();
     EXPECT_TRUE(rep.allConsistent()) << rep.toText();
 
     std::string text = rep.toText();

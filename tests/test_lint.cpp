@@ -355,7 +355,8 @@ TEST(LintReport, CleanRunIsEmpty)
     EXPECT_EQ(rep.errors(), 0u);
     EXPECT_EQ(rep.warnings(), 0u);
     EXPECT_EQ(rep.toJson(),
-              "{\"errors\": 0, \"warnings\": 0, \"findings\": []}\n");
+              "{\"schema\": \"mssp-lint-v1\", \"errors\": 0, "
+              "\"warnings\": 0, \"findings\": []}\n");
 }
 
 } // namespace mssp

@@ -90,22 +90,28 @@ TEST(ObjFile, EditMetadataSurvivesRoundTrip)
 
 TEST(ObjFile, StaleFormatVersionIsRejectedWithMessage)
 {
-    // A v2 file from an older build must be rejected with a message
-    // that names both versions, not silently misparsed (v2 carries
-    // no specload lines, so accepting it would fail the specsafe
-    // coverage gate in confusing ways instead).
-    std::string stale = "mssp-distilled v2\nentry 0x400000\n";
-    try {
-        loadDistilled(stale);
-        FAIL() << "stale format version was accepted";
-    } catch (const FatalError &e) {
-        EXPECT_NE(std::string(e.what())
-                      .find("unsupported object format version"),
-                  std::string::npos)
-            << e.what();
-        EXPECT_NE(std::string(e.what()).find("mssp-distilled v3"),
-                  std::string::npos)
-            << e.what();
+    // Files from older builds must be rejected with a message that
+    // names both versions, not silently misparsed (v2 carries no
+    // specload lines, v3 no specplan lines; accepting either would
+    // fail the coverage gates in confusing ways instead).
+    for (const char *header :
+         {"mssp-distilled v2", "mssp-distilled v3"}) {
+        std::string stale =
+            std::string(header) + "\nentry 0x400000\n";
+        try {
+            loadDistilled(stale);
+            FAIL() << "stale format version was accepted: "
+                   << header;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what())
+                          .find("unsupported object format version"),
+                      std::string::npos)
+                << e.what();
+            EXPECT_NE(
+                std::string(e.what()).find("mssp-distilled v4"),
+                std::string::npos)
+                << e.what();
+        }
     }
 }
 
@@ -117,6 +123,54 @@ TEST(ObjFile, LoadClassesSurviveRoundTrip)
                                  DistillerOptions::paperPreset());
     DistilledProgram d2 = loadDistilled(saveDistilled(w.dist));
     EXPECT_EQ(d2.loadClasses, w.dist.loadClasses);
+}
+
+TEST(ObjFile, SpecPlanSurvivesRoundTripInRankOrder)
+{
+    setQuiet(true);
+    PreparedWorkload w = prepare(test::biasedSumSource(150, 3),
+                                 test::biasedSumSource(100, 4),
+                                 DistillerOptions::paperPreset());
+    DistilledProgram d2 = loadDistilled(saveDistilled(w.dist));
+    // operator== covers pc, proof, value, benefitMicro and the
+    // feasible set; the vector comparison covers rank order.
+    EXPECT_EQ(d2.specPlan, w.dist.specPlan);
+}
+
+TEST(ObjFile, UnknownProofClassAndBadBenefitAreFatal)
+{
+    setQuiet(true);
+    PreparedWorkload w = prepare(test::biasedSumSource(150, 3),
+                                 test::biasedSumSource(100, 4),
+                                 DistillerOptions::paperPreset());
+    std::string text = saveDistilled(w.dist);
+    EXPECT_THROW(
+        loadDistilled(text +
+                      "specplan 0x400000 surely 0x5 1 0x5\n"),
+        FatalError);
+    EXPECT_THROW(
+        loadDistilled(text +
+                      "specplan 0x400000 proven 0x5 -3 0x5\n"),
+        FatalError);
+}
+
+TEST(ObjFile, LargeBenefitSurvivesRoundTrip)
+{
+    // benefitMicro is 64-bit; a value past 2^32 must not truncate.
+    setQuiet(true);
+    PreparedWorkload w = prepare(test::biasedSumSource(150, 3),
+                                 test::biasedSumSource(100, 4),
+                                 DistillerOptions::paperPreset());
+    DistilledProgram big = w.dist;
+    SpecPlanEntry e;
+    e.pc = 0x400000;
+    e.value = 5;
+    e.benefitMicro = 0x123456789abcull;
+    e.feasible = {5};
+    big.specPlan.insert(big.specPlan.begin(), e);
+    DistilledProgram d2 = loadDistilled(saveDistilled(big));
+    ASSERT_FALSE(d2.specPlan.empty());
+    EXPECT_EQ(d2.specPlan[0].benefitMicro, 0x123456789abcull);
 }
 
 TEST(ObjFile, UnknownLoadClassIsFatal)

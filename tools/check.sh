@@ -11,6 +11,7 @@
 #   MSSP_SKIP_TIDY=1 tools/check.sh     # skip the clang-tidy gate
 #   MSSP_SKIP_FAULTS=1 tools/check.sh   # skip the fault-campaign smoke
 #   MSSP_SKIP_SPECSAFE=1 tools/check.sh # skip the specsafe gate
+#   MSSP_SKIP_SPECPLAN=1 tools/check.sh # skip the specplan gate
 #   MSSP_SKIP_BACKENDS=1 tools/check.sh # skip the backend smoke gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -82,6 +83,28 @@ if [[ $bad_rc -ne 2 ]]; then
 fi
 echo "corrupted image rejected, as it should be"
 
+# The JSON contract on error paths (docs/SCHEMAS.md): every
+# --report=json invocation must emit a schema-bearing document on
+# stdout, even for usage errors (exit 3) and unreadable input, so
+# downstream jq pipelines never see an empty stream.
+usage_rc=0
+usage_out=$(build/tools/mssp-lint --report=json 2>/dev/null) \
+    || usage_rc=$?
+if [[ $usage_rc -ne 3 || "$usage_out" != *'"schema"'* ]]; then
+    echo "check.sh: usage error did not emit a schema JSON document" \
+         "with exit 3 (exit $usage_rc: $usage_out)" >&2
+    exit 1
+fi
+noent_rc=0
+noent_out=$(build/tools/mssp-lint --plan --report=json \
+    "$tmp/does-not-exist.s" 2>/dev/null) || noent_rc=$?
+if [[ $noent_rc -ne 3 || "$noent_out" != *'"mssp-specplan-v1"'* ]]; then
+    echo "check.sh: unreadable input did not emit the mode's schema" \
+         "JSON document with exit 3 (exit $noent_rc: $noent_out)" >&2
+    exit 1
+fi
+echo "JSON error documents emitted on usage/read failures, as specified"
+
 if [[ "${MSSP_SKIP_BACKENDS:-0}" == "1" ]]; then
     echo "== skipping backend smoke (MSSP_SKIP_BACKENDS=1)"
 else
@@ -128,6 +151,31 @@ else
         exit 1
     fi
     echo "specsafe clean; --jobs $JOBS report byte-identical to --jobs 1"
+fi
+
+if [[ "${MSSP_SKIP_SPECPLAN:-0}" == "1" ]]; then
+    echo "== skipping specplan gate (MSSP_SKIP_SPECPLAN=1)"
+else
+    # Speculation-plan sweep over every registry workload: the
+    # persisted plans re-validate, and the aggregated JSON from a
+    # sharded run is byte-identical to the serial one.
+    echo "== specplan gate (all workloads, sharded vs serial)"
+    plan_rc=0
+    build/tools/mssp-lint --plan --workloads all --scale 0.05 \
+        --jobs "$JOBS" --report=json > "$tmp/specplan-par.json" \
+        || plan_rc=$?
+    if [[ $plan_rc -gt 1 ]]; then
+        echo "check.sh: specplan found errors (exit $plan_rc)" >&2
+        exit 1
+    fi
+    build/tools/mssp-lint --plan --workloads all --scale 0.05 \
+        --jobs 1 --report=json > "$tmp/specplan-ser.json" || true
+    if ! cmp -s "$tmp/specplan-par.json" "$tmp/specplan-ser.json"; then
+        echo "check.sh: sharded specplan report (--jobs $JOBS)" \
+             "differs from the serial one" >&2
+        exit 1
+    fi
+    echo "specplan clean; --jobs $JOBS report byte-identical to --jobs 1"
 fi
 
 if [[ "${MSSP_SKIP_FAULTS:-0}" == "1" ]]; then

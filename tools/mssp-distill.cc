@@ -8,16 +8,17 @@
  *                [--task-size N] [--report] [--verify]
  *
  * --verify runs the mssp-lint static checks — the structural
- * contract, the semantic translation validation of the edit log, and
- * the speculation-safety classification of every load — on the
- * freshly distilled image; on errors nothing is written and the exit
- * status is 1.
+ * contract, the semantic translation validation of the edit log, the
+ * speculation-safety classification of every load, and the persisted
+ * speculation plan — on the freshly distilled image; on errors
+ * nothing is written and the exit status is 1.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "analysis/specplan.hh"
 #include "analysis/specsafe.hh"
 #include "analysis/verifier.hh"
 #include "asm/assembler.hh"
@@ -111,6 +112,11 @@ main(int argc, char **argv)
             rep.findings.insert(rep.findings.end(),
                                 spec.lint.findings.begin(),
                                 spec.lint.findings.end());
+            analysis::SpecPlanReport plan =
+                analysis::analyzeSpecPlan(ref, w.dist);
+            rep.findings.insert(rep.findings.end(),
+                                plan.lint.findings.begin(),
+                                plan.lint.findings.end());
             if (!rep.clean())
                 std::fputs(rep.toText().c_str(), stderr);
             if (rep.errors()) {

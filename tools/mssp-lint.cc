@@ -3,11 +3,12 @@
  * mssp-lint: static verification of distilled programs.
  *
  *   mssp-lint ref.{s,mo} [--image img.mdo] [--train t]
- *             [--semantic | --specsafe] [--json | --report=json]
- *   mssp-lint --workload NAME [--semantic | --specsafe]
+ *             [--semantic | --specsafe | --plan]
  *             [--json | --report=json]
- *   mssp-lint --specsafe --workloads NAME[,NAME...]|all [--jobs N]
+ *   mssp-lint --workload NAME [--semantic | --specsafe | --plan]
  *             [--json | --report=json]
+ *   mssp-lint {--specsafe | --plan} --workloads NAME[,NAME...]|all
+ *             [--jobs N] [--json | --report=json]
  *
  * With --image, verifies an existing distilled object against the
  * reference program. Otherwise (or with --workload) the reference is
@@ -23,13 +24,24 @@
  * (analysis/specsafe.hh) instead: every static load in the distilled
  * image is classified provably-invariant / region-invariant / risky,
  * and the image's persisted `specload` metadata is validated against
- * the recomputation. --workloads sweeps many registry workloads in
- * one invocation, sharded over --jobs host threads; the aggregated
- * JSON document is byte-identical for any job count.
+ * the recomputation.
+ *
+ * --plan runs the value-flow analysis and speculation planner
+ * (analysis/specplan.hh): every predictable load becomes a ranked
+ * plan candidate (proven/likely, predicted value, benefit score),
+ * and the image's persisted `specplan` metadata is validated against
+ * the recomputation.
+ *
+ * --workloads sweeps many registry workloads in one invocation
+ * (specsafe or plan mode), sharded over --jobs host threads; the
+ * aggregated JSON document is byte-identical for any job count.
  *
  * Exit codes (all modes): 0 clean, 1 warnings only, 2 errors found,
- * 3 bad usage or unreadable input. Checks and the JSON schemas:
- * docs/LINT.md.
+ * 3 bad usage or unreadable input. With --report=json every exit
+ * path — including usage errors and unreadable input — emits a JSON
+ * document naming its schema on stdout, so downstream jq pipelines
+ * never see an empty stream. Checks and the JSON schemas:
+ * docs/LINT.md, docs/SCHEMAS.md.
  */
 
 #include <cstdio>
@@ -38,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/specplan.hh"
 #include "analysis/specsafe.hh"
 #include "analysis/verifier.hh"
 #include "asm/assembler.hh"
@@ -63,18 +76,48 @@ loadAny(const std::string &path)
     return assemble(text);
 }
 
-int
-usage()
+std::string
+jsonEscapeErr(const std::string &s)
 {
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += strfmt("\\%c", c);
+        else if (static_cast<unsigned char>(c) < 0x20)
+            out += strfmt("\\u%04x", c);
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Error document for --report=json early exits: names the schema
+ *  the invocation would have produced, so piped jq still parses. */
+void
+emitJsonError(const char *schema, const std::string &message,
+              bool usage_error)
+{
+    std::printf("{\"schema\": \"%s\", \"error\": \"%s\", \"usage\": "
+                "%s}\n",
+                schema, jsonEscapeErr(message).c_str(),
+                usage_error ? "true" : "false");
+}
+
+int
+usage(bool json, const char *schema)
+{
+    if (json)
+        emitJsonError(schema, "bad usage", true);
     std::fprintf(
         stderr,
         "usage: mssp-lint ref.{s,mo} [--image img.mdo] "
-        "[--train t.{s,mo}] [--semantic | --specsafe] "
+        "[--train t.{s,mo}] [--semantic | --specsafe | --plan] "
         "[--json | --report=json]\n"
-        "       mssp-lint --workload NAME [--semantic | --specsafe] "
-        "[--json | --report=json]\n"
-        "       mssp-lint --specsafe --workloads NAME[,NAME...]|all "
-        "[--jobs N] [--scale X] [--json | --report=json]\n");
+        "       mssp-lint --workload NAME [--semantic | --specsafe "
+        "| --plan] [--json | --report=json]\n"
+        "       mssp-lint {--specsafe | --plan} --workloads "
+        "NAME[,NAME...]|all [--jobs N] [--scale X] "
+        "[--json | --report=json]\n");
     return 3;
 }
 
@@ -88,11 +131,12 @@ exitCode(const analysis::LintReport &rep)
     return rep.warnings() ? 1 : 0;
 }
 
-/** One workload's specsafe analysis, for the --workloads sweep. */
+/** One workload's analysis, for the --workloads sweep. */
 struct SpecSweepRow
 {
     std::string name;
-    analysis::SpecSafeReport report;
+    analysis::SpecSafeReport specsafe;
+    analysis::SpecPlanReport plan;
 };
 
 } // anonymous namespace
@@ -105,8 +149,27 @@ main(int argc, char **argv)
     bool json = false;
     bool semantic = false;
     bool specsafe = false;
+    bool plan = false;
     unsigned jobs = defaultJobs();
     double scale = 1.0;
+
+    // The json flag must be known before any usage error can fire,
+    // so the error document contract holds regardless of argument
+    // order.
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" || arg == "--report=json")
+            json = true;
+        else if (arg == "--semantic")
+            semantic = true;
+        else if (arg == "--specsafe")
+            specsafe = true;
+        else if (arg == "--plan")
+            plan = true;
+    }
+    const char *schema = plan       ? "mssp-specplan-v1"
+                         : specsafe ? "mssp-specsafe-v1"
+                                    : "mssp-lint-v1";
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -125,32 +188,31 @@ main(int argc, char **argv)
         } else if (arg == "--scale" && i + 1 < argc) {
             scale = std::atof(argv[++i]);
             if (scale <= 0)
-                return usage();
-        } else if (arg == "--json" || arg == "--report=json") {
-            json = true;
-        } else if (arg == "--semantic") {
-            semantic = true;
-        } else if (arg == "--specsafe") {
-            specsafe = true;
+                return usage(json, schema);
+        } else if (arg == "--json" || arg == "--report=json" ||
+                   arg == "--semantic" || arg == "--specsafe" ||
+                   arg == "--plan") {
+            // consumed by the pre-scan
         } else if (arg[0] != '-' && ref_path.empty()) {
             ref_path = arg;
         } else {
-            return usage();
+            return usage(json, schema);
         }
     }
-    if (semantic && specsafe)
-        return usage();
+    if (semantic + specsafe + plan > 1)
+        return usage(json, schema);
     if (!workloads_arg.empty()) {
-        // The sweep form is specsafe-only and takes no other input.
-        if (!specsafe || !ref_path.empty() || !workload.empty() ||
-            !image_path.empty())
-            return usage();
+        // The sweep form is specsafe/plan-only and takes no other
+        // input.
+        if ((!specsafe && !plan) || !ref_path.empty() ||
+            !workload.empty() || !image_path.empty())
+            return usage(json, schema);
     } else if (ref_path.empty() == workload.empty()) {
-        return usage();
+        return usage(json, schema);
     }
 
     try {
-        // --workloads: sharded specsafe sweep, aggregated document.
+        // --workloads: sharded sweep, one aggregated document.
         if (!workloads_arg.empty()) {
             std::vector<std::string> names;
             if (workloads_arg == "all") {
@@ -164,7 +226,7 @@ main(int argc, char **argv)
             std::vector<std::function<SpecSweepRow()>> work;
             work.reserve(names.size());
             for (const std::string &name : names) {
-                work.push_back([&name, scale] {
+                work.push_back([&name, scale, plan] {
                     Workload w = workloadByName(name, scale);
                     PreparedWorkload p =
                         prepare(assemble(w.refSource),
@@ -172,23 +234,81 @@ main(int argc, char **argv)
                                 DistillerOptions::paperPreset());
                     SpecSweepRow row;
                     row.name = name;
-                    row.report =
-                        analysis::analyzeSpecSafe(p.orig, p.dist);
+                    if (plan) {
+                        row.plan = analysis::analyzeSpecPlan(p.orig,
+                                                             p.dist);
+                    } else {
+                        row.specsafe =
+                            analysis::analyzeSpecSafe(p.orig,
+                                                      p.dist);
+                    }
                     return row;
                 });
             }
             std::vector<SpecSweepRow> rows =
                 runSharded<SpecSweepRow>(jobs, std::move(work));
 
+            if (plan) {
+                size_t cands = 0, proven = 0, likely = 0,
+                       considered = 0, errors = 0, warnings = 0;
+                for (const SpecSweepRow &r : rows) {
+                    cands += r.plan.candidates.size();
+                    proven += r.plan.proven();
+                    likely += r.plan.likely();
+                    considered += r.plan.loadsConsidered;
+                    errors += r.plan.lint.errors();
+                    warnings += r.plan.lint.warnings();
+                }
+                if (json) {
+                    std::string out =
+                        "{\"schema\": \"mssp-specplan-v1\", "
+                        "\"aggregate\": true, ";
+                    out += strfmt(
+                        "\"counts\": {\"workloads\": %zu, "
+                        "\"candidates\": %zu, \"proven\": %zu, "
+                        "\"likely\": %zu, \"considered\": %zu, "
+                        "\"errors\": %zu}, ",
+                        rows.size(), cands, proven, likely,
+                        considered, errors);
+                    out += "\"reports\": [\n";
+                    for (size_t i = 0; i < rows.size(); ++i) {
+                        std::string doc =
+                            rows[i].plan.toJson(rows[i].name);
+                        while (!doc.empty() && doc.back() == '\n')
+                            doc.pop_back();
+                        out += doc;
+                        out += i + 1 < rows.size() ? ",\n" : "\n";
+                    }
+                    out += "]}\n";
+                    std::fputs(out.c_str(), stdout);
+                } else {
+                    for (const SpecSweepRow &r : rows) {
+                        std::printf("== %s ==\n", r.name.c_str());
+                        std::fputs(r.plan.toText().c_str(), stdout);
+                        std::fputs(r.plan.lint.toText().c_str(),
+                                   stdout);
+                    }
+                    std::printf(
+                        "total: %zu workload(s), %zu candidate(s): "
+                        "%zu proven, %zu likely (of %zu eligible "
+                        "load(s)); %zu error(s)\n",
+                        rows.size(), cands, proven, likely,
+                        considered, errors);
+                }
+                if (errors)
+                    return 2;
+                return warnings ? 1 : 0;
+            }
+
             size_t loads = 0, pi = 0, ri = 0, risky = 0, errors = 0,
                    warnings = 0;
             for (const SpecSweepRow &r : rows) {
-                loads += r.report.loads.size();
-                pi += r.report.provablyInvariant();
-                ri += r.report.regionInvariant();
-                risky += r.report.risky();
-                errors += r.report.lint.errors();
-                warnings += r.report.lint.warnings();
+                loads += r.specsafe.loads.size();
+                pi += r.specsafe.provablyInvariant();
+                ri += r.specsafe.regionInvariant();
+                risky += r.specsafe.risky();
+                errors += r.specsafe.lint.errors();
+                warnings += r.specsafe.lint.warnings();
             }
 
             if (json) {
@@ -204,7 +324,7 @@ main(int argc, char **argv)
                 out += "\"reports\": [\n";
                 for (size_t i = 0; i < rows.size(); ++i) {
                     std::string doc =
-                        rows[i].report.toJson(rows[i].name);
+                        rows[i].specsafe.toJson(rows[i].name);
                     while (!doc.empty() && doc.back() == '\n')
                         doc.pop_back();
                     out += doc;
@@ -215,8 +335,8 @@ main(int argc, char **argv)
             } else {
                 for (const SpecSweepRow &r : rows) {
                     std::printf("== %s ==\n", r.name.c_str());
-                    std::fputs(r.report.toText().c_str(), stdout);
-                    std::fputs(r.report.lint.toText().c_str(),
+                    std::fputs(r.specsafe.toText().c_str(), stdout);
+                    std::fputs(r.specsafe.lint.toText().c_str(),
                                stdout);
                 }
                 std::printf(
@@ -247,6 +367,18 @@ main(int argc, char **argv)
             dist = prepare(ref, train,
                            DistillerOptions::paperPreset())
                        .dist;
+
+        if (plan) {
+            analysis::SpecPlanReport rep =
+                analysis::analyzeSpecPlan(ref, dist);
+            if (json) {
+                std::fputs(rep.toJson(workload).c_str(), stdout);
+            } else {
+                std::fputs(rep.toText().c_str(), stdout);
+                std::fputs(rep.lint.toText().c_str(), stdout);
+            }
+            return exitCode(rep.lint);
+        }
 
         if (specsafe) {
             analysis::SpecSafeReport rep =
@@ -282,6 +414,8 @@ main(int argc, char **argv)
         }
         return exitCode(sem.lint);
     } catch (const FatalError &e) {
+        if (json)
+            emitJsonError(schema, e.what(), false);
         std::fprintf(stderr, "mssp-lint: %s\n", e.what());
         return 3;
     }

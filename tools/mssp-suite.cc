@@ -11,7 +11,7 @@
  *
  * Exit status: 0 when every workload passed every evaluation gate
  * AND the campaign held every invariant with every fault type
- * firing; 1 otherwise. The JSON report (schema mssp-suite-v2) is
+ * firing; 1 otherwise. The JSON report (schema mssp-suite-v3) is
  * byte-deterministic for fixed options regardless of --jobs: CI runs
  * the suite sharded, reruns it with --jobs 1, and diffs the bytes.
  */
