@@ -165,6 +165,12 @@ loadDistilled(const std::string &text)
         std::string_view key = toks[0];
         if (key == "fork" && toks.size() == 4) {
             size_t idx = want_int(toks[1], line_no);
+            // Bound the resize below: an untrusted index must not be
+            // able to force a multi-gigabyte allocation.
+            if (idx > kMaxForkIndex) {
+                fatal("object line %d: fork index %zu exceeds cap %zu",
+                      line_no, idx, kMaxForkIndex);
+            }
             if (idx >= dist.taskMap.size()) {
                 dist.taskMap.resize(idx + 1);
                 dist.taskIntervals.resize(idx + 1, 1);
@@ -249,6 +255,30 @@ loadDistilled(const std::string &text)
     };
     parseLines(text, kDistilledMagic, dist.prog, extra);
     return dist;
+}
+
+Result<Program>
+parseProgram(const std::string &text)
+{
+    try {
+        return loadProgram(text);
+    } catch (const FatalError &e) {
+        return Status(StatusCode::ParseError, e.what());
+    } catch (const std::exception &e) {
+        return Status(StatusCode::ParseError, e.what());
+    }
+}
+
+Result<DistilledProgram>
+parseDistilled(const std::string &text)
+{
+    try {
+        return loadDistilled(text);
+    } catch (const FatalError &e) {
+        return Status(StatusCode::ParseError, e.what());
+    } catch (const std::exception &e) {
+        return Status(StatusCode::ParseError, e.what());
+    }
 }
 
 } // namespace mssp

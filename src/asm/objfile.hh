@@ -8,6 +8,17 @@
  * task map, per-site fork intervals, entry map, address map and
  * report. Used by the CLI tools (tools/) so the assemble / distill /
  * run steps can be separate processes, like a real toolchain.
+ *
+ * Two API shapes. The throwing loaders (loadProgram/loadDistilled)
+ * fatal() with a line number — right for trusted pipeline-internal
+ * round trips. The Result-returning parsers (parseProgram/
+ * parseDistilled) never throw on malformed input: every outcome is a
+ * structured Status (sim/status.hh), which is the contract for
+ * *untrusted* bytes — anything read from disk or a socket. All paths
+ * are bounds-checked; in particular a hostile `fork` index cannot
+ * force a multi-gigabyte task-map allocation (kMaxForkIndex). The
+ * seeded mutation fuzzer (tests/test_objfile_fuzz.cpp) drives the
+ * Result paths and asserts no crash and no unstructured escape.
  */
 
 #ifndef MSSP_ASM_OBJFILE_HH
@@ -17,6 +28,7 @@
 
 #include "asm/program.hh"
 #include "distill/distiller.hh"
+#include "sim/status.hh"
 
 namespace mssp
 {
@@ -32,6 +44,18 @@ std::string saveDistilled(const DistilledProgram &dist);
 
 /** Parse a DistilledProgram; fatal() on malformed input. */
 DistilledProgram loadDistilled(const std::string &text);
+
+/** Largest accepted `fork` site index. Generous (the distiller emits
+ *  a few dozen sites) while keeping the task-map allocation a
+ *  malformed or hostile index can force bounded. */
+constexpr size_t kMaxForkIndex = 1u << 20;
+
+/** Untrusted-input form of loadProgram: StatusCode::ParseError with
+ *  the loader's line-numbered message instead of a throw. */
+Result<Program> parseProgram(const std::string &text);
+
+/** Untrusted-input form of loadDistilled. */
+Result<DistilledProgram> parseDistilled(const std::string &text);
 
 } // namespace mssp
 

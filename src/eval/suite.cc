@@ -39,13 +39,13 @@ bool
 SuiteReport::ok() const
 {
     return evalFailures() == 0 && campaign.failures() == 0 &&
-           campaign.allTypesFired();
+           campaign.allTypesFired() && quarantinedTotal() == 0;
 }
 
 std::string
 SuiteReport::toJson() const
 {
-    std::string out = "{\"schema\": \"mssp-suite-v3\",\n";
+    std::string out = "{\"schema\": \"mssp-suite-v4\",\n";
     out += strfmt(" \"seed\": %llu, \"scale\": %s, ",
                   static_cast<unsigned long long>(options.seed),
                   fmtG(options.scale).c_str());
@@ -109,9 +109,13 @@ SuiteReport::toJson() const
     std::string camp = campaign.toJson();
     while (!camp.empty() && camp.back() == '\n')
         camp.pop_back();
-    out += " ],\n \"campaign\": " + camp + ",\n";
-    out += strfmt(" \"evalFailures\": %zu, \"ok\": %s}\n",
-                  evalFailures(), ok() ? "true" : "false");
+    out += " ],\n \"evalQuarantine\": " + evalQuarantine.toJson() +
+           ",\n";
+    out += " \"campaign\": " + camp + ",\n";
+    out += strfmt(" \"evalFailures\": %zu, \"quarantined\": %zu, "
+                  "\"ok\": %s}\n",
+                  evalFailures(), quarantinedTotal(),
+                  ok() ? "true" : "false");
     return out;
 }
 
@@ -156,12 +160,13 @@ SuiteReport::summary() const
     std::string s =
         t.render("mssp-suite: distill + lint + semantic + specsafe "
                  "+ specplan + run + crossval");
+    s += evalQuarantine.summary();
     s += "\n";
     s += campaign.summary();
     s += strfmt("\nsuite: %zu eval failure(s), %zu campaign "
-                "failure(s) -> %s\n",
+                "failure(s), %zu quarantined -> %s\n",
                 evalFailures(), campaign.failures(),
-                ok() ? "OK" : "FAIL");
+                quarantinedTotal(), ok() ? "OK" : "FAIL");
     return s;
 }
 
@@ -181,10 +186,12 @@ runSuite(const SuiteOptions &opts, std::ostream *log)
     // seeds the campaign's oracle cache from the prepared pipeline.
     SeqOracleCache oracles(opts.scale);
     Mutex log_m;
-    std::vector<std::function<SuiteWorkloadResult()>> work;
+    std::vector<std::function<SuiteWorkloadResult(const JobContext &)>>
+        work;
     work.reserve(names.size());
     for (const std::string &name : names) {
-        work.push_back([&opts, &oracles, &log_m, log, &name] {
+        work.push_back([&opts, &oracles, &log_m, log,
+                        &name](const JobContext &) {
             SuiteWorkloadResult r;
             r.name = name;
 
@@ -253,11 +260,31 @@ runSuite(const SuiteOptions &opts, std::ostream *log)
             return r;
         });
     }
-    report.workloads =
-        runSharded<SuiteWorkloadResult>(jobs, std::move(work));
+    SupervisorOptions sopts;
+    sopts.retry = opts.retry;
+    sopts.budget = opts.jobBudget;
+    sopts.seed = opts.seed;
+    HostChaos chaos(opts.chaos);
+    if (opts.chaos.enabled())
+        sopts.chaos = &chaos;
+    SupervisedResult<SuiteWorkloadResult> phase1 =
+        runSupervised<SuiteWorkloadResult>(jobs, std::move(work),
+                                           sopts, names);
+    report.workloads.reserve(phase1.outcomes.size());
+    for (JobOutcome<SuiteWorkloadResult> &out : phase1.outcomes) {
+        if (out.ok())
+            report.workloads.push_back(std::move(*out.value));
+    }
+    report.evalQuarantine = std::move(phase1.quarantine);
+    if (log && !report.evalQuarantine.empty()) {
+        *log << report.evalQuarantine.summary();
+        log->flush();
+    }
 
     // Phase two: the fault-campaign cell sweep over the same pool,
-    // reusing phase one's oracles (no workload is prepared twice).
+    // reusing phase one's oracles (no workload is prepared twice). A
+    // quarantined workload's oracle was never seeded; the campaign's
+    // unsupervised warm phase recomputes it deterministically.
     CampaignOptions copts;
     copts.workloads = names;
     copts.intensities = opts.intensities;
@@ -265,6 +292,9 @@ runSuite(const SuiteOptions &opts, std::ostream *log)
     copts.seed = opts.seed;
     copts.maxCycles = opts.campaignMaxCycles;
     copts.jobs = jobs;
+    copts.retry = opts.retry;
+    copts.cellBudget = opts.jobBudget;
+    copts.chaos = opts.chaos;
     report.campaign = runFaultCampaign(copts, log, &oracles);
     return report;
 }

@@ -191,10 +191,21 @@ CampaignReport::allTypesFired() const
 std::string
 CampaignReport::toJson() const
 {
-    std::string out = "{\"schema\": \"mssp-faultcamp-v1\",\n";
+    std::string out = "{\"schema\": \"mssp-faultcamp-v2\",\n";
     out += strfmt(" \"seed\": %llu, \"scale\": %s,\n",
                   static_cast<unsigned long long>(options.seed),
                   fmtRate(options.scale).c_str());
+    out += strfmt(" \"retries\": %u, \"cellBudget\": "
+                  "{\"timeoutMs\": %llu, \"maxInsts\": %llu, "
+                  "\"maxCommits\": %llu},\n \"chaos\": %s,\n",
+                  options.retry.maxAttempts,
+                  static_cast<unsigned long long>(
+                      options.cellBudget.timeoutMs),
+                  static_cast<unsigned long long>(
+                      options.cellBudget.maxInsts),
+                  static_cast<unsigned long long>(
+                      options.cellBudget.maxCommits),
+                  options.chaos.toJson().c_str());
     out += " \"workloads\": [";
     for (size_t i = 0; i < options.workloads.size(); ++i) {
         out += strfmt("%s\"%s\"", i ? ", " : "",
@@ -258,9 +269,11 @@ CampaignReport::toJson() const
                           by[static_cast<size_t>(t)]));
         first = false;
     }
-    out += strfmt("},\n \"runsTotal\": %zu, \"failures\": %zu, "
-                  "\"allTypesFired\": %s}\n",
-                  runs.size(), failures(),
+    out += strfmt("},\n \"quarantine\": %s,\n",
+                  quarantine.toJson().c_str());
+    out += strfmt(" \"runsTotal\": %zu, \"failures\": %zu, "
+                  "\"quarantined\": %zu, \"allTypesFired\": %s}\n",
+                  runs.size(), failures(), quarantined(),
                   allTypesFired() ? "true" : "false");
     return out;
 }
@@ -269,9 +282,9 @@ std::string
 CampaignReport::summary() const
 {
     std::string s = strfmt(
-        "fault campaign: %zu runs, %zu failures%s\n"
+        "fault campaign: %zu runs, %zu failures, %zu quarantined%s\n"
         "%-10s %-19s %9s %6s %9s %8s %8s  %s\n",
-        runs.size(), failures(),
+        runs.size(), failures(), quarantined(),
         allTypesFired() ? "" : "  [WARNING: some types never fired]",
         "workload", "fault", "rate", "inj", "cycles", "squash",
         "seqInst", "verdict");
@@ -292,6 +305,7 @@ CampaignReport::summary() const
                             r.commitInvariantOk ? "" : " commit")
                          .c_str());
     }
+    s += quarantine.summary();
     return s;
 }
 
@@ -354,10 +368,16 @@ runFaultCampaign(const CampaignOptions &opts, std::ostream *log,
         runSharded<bool>(jobs, std::move(warm));
     }
     Mutex log_m;
-    std::vector<std::function<CampaignRun()>> work;
+    std::vector<std::function<CampaignRun(const JobContext &)>> work;
+    std::vector<std::string> labels;
     work.reserve(cells.size());
+    labels.reserve(cells.size());
     for (const Cell &cell : cells) {
-        work.push_back([&opts, &oracles, &log_m, log, cell] {
+        labels.push_back(strfmt("%s/%s/%s", cell.workload.c_str(),
+                                toString(cell.type),
+                                fmtRate(cell.rate).c_str()));
+        work.push_back([&opts, &oracles, &log_m, log,
+                        cell](const JobContext &) {
             const SeqOracle &oracle = oracles.get(cell.workload);
             CampaignRun run = runCampaignCell(
                 cell.workload, oracle, cell.type, cell.rate,
@@ -380,7 +400,30 @@ runFaultCampaign(const CampaignOptions &opts, std::ostream *log,
             return run;
         });
     }
-    report.runs = runSharded<CampaignRun>(jobs, std::move(work));
+    // The cell sweep runs supervised: per-cell budgets and retries,
+    // with failures quarantined instead of aborting the sweep. The
+    // warm phase above stays *unsupervised* on purpose — oracles are
+    // trusted shared state, and a chaos-perturbed oracle fill would
+    // poison every cell that reuses it.
+    SupervisorOptions sopts;
+    sopts.retry = opts.retry;
+    sopts.budget = opts.cellBudget;
+    sopts.seed = opts.seed;
+    HostChaos chaos(opts.chaos);
+    if (opts.chaos.enabled())
+        sopts.chaos = &chaos;
+    SupervisedResult<CampaignRun> swept = runSupervised<CampaignRun>(
+        jobs, std::move(work), sopts, std::move(labels));
+    report.runs.reserve(swept.outcomes.size());
+    for (JobOutcome<CampaignRun> &out : swept.outcomes) {
+        if (out.ok())
+            report.runs.push_back(std::move(*out.value));
+    }
+    report.quarantine = std::move(swept.quarantine);
+    if (log && !report.quarantine.empty()) {
+        *log << report.quarantine.summary();
+        log->flush();
+    }
     return report;
 }
 

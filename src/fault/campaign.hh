@@ -34,7 +34,9 @@
 
 #include "core/pipeline.hh"
 #include "fault/fault.hh"
+#include "fault/hostchaos.hh"
 #include "mssp/machine.hh"
+#include "sim/supervisor.hh"
 #include "sim/thread_annotations.hh"
 #include "workloads/workloads.hh"
 
@@ -70,6 +72,16 @@ struct CampaignOptions
      * run's seed derives from its canonical index, not scheduling.
      */
     unsigned jobs = 1;
+    /** Per-cell supervision (sim/supervisor.hh): N-strikes retry
+     *  with deterministic backoff; a cell that exhausts its attempts
+     *  is quarantined, not fatal. */
+    RetryPolicy retry{/*maxAttempts=*/3};
+    /** Per-attempt budget for each cell (0s = unbounded). The
+     *  instruction caps quarantine deterministically; a wall-clock
+     *  cap is host-timing dependent (see JobBudget). */
+    JobBudget cellBudget;
+    /** Host-chaos injection over the cell sweep (seed 0 = off). */
+    HostChaosPlan chaos;
 };
 
 /** Default per-opportunity Bernoulli rate for @p t at intensity 1. */
@@ -107,9 +119,14 @@ struct CampaignRun
 struct CampaignReport
 {
     CampaignOptions options;         ///< as resolved (lists filled in)
+    /** Healthy cells only, canonical order (quarantined cells are in
+     *  the quarantine report instead). */
     std::vector<CampaignRun> runs;
+    /** Cells whose job failed every attempt (canonical order). */
+    QuarantineReport quarantine;
 
     size_t failures() const;
+    size_t quarantined() const { return quarantine.size(); }
 
     /** Total injections per fault type across all runs. */
     std::array<uint64_t, NumFaultTypes> injectionsByType() const;
@@ -118,7 +135,8 @@ struct CampaignReport
      *  (the "counters prove it" acceptance criterion). */
     bool allTypesFired() const;
 
-    /** Deterministic JSON document (schema mssp-faultcamp-v1). */
+    /** Deterministic JSON document (schema mssp-faultcamp-v2; v1
+     *  plus the quarantine block and supervision/chaos options). */
     std::string toJson() const;
 
     /** Human-readable result table. */

@@ -1,0 +1,87 @@
+#include "fault/hostchaos.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "sim/rng.hh"
+
+namespace mssp
+{
+
+namespace
+{
+
+/** The attempt's private draw stream. The multiplier keeps job and
+ *  attempt from aliasing (job 1 attempt 258 != job 2 attempt 1). */
+Rng
+attemptRng(uint64_t seed, size_t job, unsigned attempt)
+{
+    return Rng(Rng::mix(seed, job * 1048573ull + attempt));
+}
+
+} // anonymous namespace
+
+std::string
+HostChaosPlan::toString() const
+{
+    if (!enabled())
+        return "off";
+    return strfmt("seed=%llu stall=%g throw=%g cancel=%g",
+                  static_cast<unsigned long long>(seed), stallRate,
+                  throwRate, cancelRate);
+}
+
+std::string
+HostChaosPlan::toJson() const
+{
+    if (!enabled())
+        return "\"off\"";
+    return strfmt("{\"seed\": %llu, \"stallRate\": %g, "
+                  "\"throwRate\": %g, \"cancelRate\": %g, "
+                  "\"stallUs\": %llu}",
+                  static_cast<unsigned long long>(seed), stallRate,
+                  throwRate, cancelRate,
+                  static_cast<unsigned long long>(stallUs));
+}
+
+void
+HostChaos::onAttemptStart(size_t job, unsigned attempt,
+                          CancelToken &cancel)
+{
+    if (!plan_.enabled())
+        return;
+    // Fixed draw order (stall, cancel, throw) — part of the
+    // determinism contract; onAttemptBody replays the first two draws
+    // to stay aligned with the same stream.
+    Rng rng = attemptRng(plan_.seed, job, attempt);
+    if (rng.chance(plan_.stallRate)) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        // Latency only: results must be identical with stalls off.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(plan_.stallUs));
+    }
+    if (rng.chance(plan_.cancelRate)) {
+        cancels_.fetch_add(1, std::memory_order_relaxed);
+        cancel.cancel();
+    }
+}
+
+void
+HostChaos::onAttemptBody(size_t job, unsigned attempt)
+{
+    if (!plan_.enabled())
+        return;
+    Rng rng = attemptRng(plan_.seed, job, attempt);
+    rng.next();   // skip the stall draw
+    rng.next();   // skip the cancel draw
+    if (rng.chance(plan_.throwRate)) {
+        throws_.fetch_add(1, std::memory_order_relaxed);
+        throw StatusError(Status(
+            StatusCode::JobFailed,
+            strfmt("host-chaos: injected exception (job %zu "
+                   "attempt %u)",
+                   job, attempt)));
+    }
+}
+
+} // namespace mssp

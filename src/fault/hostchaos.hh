@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Host-level chaos: deterministic fault injection on the *host*
+ * surface of the runtime (the PR 4 fault layer covers the simulated
+ * machine; this covers the machinery that runs it).
+ *
+ * Three perturbations, injected through the sim/supervisor.hh
+ * JobChaosHook seam around every pool-executed job attempt:
+ *
+ *  - worker stalls: the worker thread sleeps before the job body, as
+ *    if preempted or paging — latency only, results untouched;
+ *  - job exceptions: the attempt throws a deterministic StatusError
+ *    before any work happens, as a crashing dependency would;
+ *  - spurious cancellations: the attempt's CancelToken is cancelled
+ *    up front, so the first machine supervision poll inside the job
+ *    stops it cooperatively.
+ *
+ * Every draw is a pure function of (plan seed, job index, attempt
+ * number) via Rng::mix — never of time, thread identity, or
+ * scheduling — so a chaos-swept sharded sweep quarantines the exact
+ * same jobs with the exact same report bytes as a serial one, which
+ * is what the chaos CI job diffs (docs/FAULTS.md). An injected
+ * failure fires per *attempt*: retries redraw, so most chaos victims
+ * recover within the N-strikes budget and only persistent draws
+ * quarantine.
+ */
+
+#ifndef MSSP_FAULT_HOSTCHAOS_HH
+#define MSSP_FAULT_HOSTCHAOS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sim/supervisor.hh"
+
+namespace mssp
+{
+
+/** What to inject, at what rate. seed == 0 disables everything. */
+struct HostChaosPlan
+{
+    uint64_t seed = 0;        ///< 0 = chaos off
+    double stallRate = 0.0;   ///< P(worker stall) per attempt
+    double throwRate = 0.0;   ///< P(injected exception) per attempt
+    double cancelRate = 0.0;  ///< P(spurious cancel) per attempt
+    uint64_t stallUs = 2000;  ///< stall length (latency only)
+
+    bool
+    enabled() const
+    {
+        return seed != 0 &&
+               (stallRate > 0 || throwRate > 0 || cancelRate > 0);
+    }
+
+    /** The CI chaos preset: frequent enough that every sweep sees
+     *  stalls, exceptions and cancels; rare enough that three
+     *  attempts recover most victims. */
+    static HostChaosPlan
+    preset(uint64_t seed)
+    {
+        HostChaosPlan plan;
+        plan.seed = seed;
+        plan.stallRate = 0.10;
+        plan.throwRate = 0.15;
+        plan.cancelRate = 0.10;
+        return plan;
+    }
+
+    std::string toString() const;
+
+    /** Deterministic JSON value: "off" or an object echoing the plan
+     *  (embedded by campaign/suite reports for reproducibility). */
+    std::string toJson() const;
+};
+
+/** The injector (thread-safe; counters are atomic). */
+class HostChaos : public JobChaosHook
+{
+  public:
+    explicit HostChaos(const HostChaosPlan &plan) : plan_(plan) {}
+
+    void onAttemptStart(size_t job, unsigned attempt,
+                        CancelToken &cancel) override;
+    void onAttemptBody(size_t job, unsigned attempt) override;
+
+    const HostChaosPlan &plan() const { return plan_; }
+
+    /** Injection counters (proof the chaos actually fired). */
+    uint64_t
+    stalls() const
+    {
+        return stalls_.load(std::memory_order_relaxed);
+    }
+    uint64_t
+    throws() const
+    {
+        return throws_.load(std::memory_order_relaxed);
+    }
+    uint64_t
+    cancels() const
+    {
+        return cancels_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    HostChaosPlan plan_;
+    std::atomic<uint64_t> stalls_{0};
+    std::atomic<uint64_t> throws_{0};
+    std::atomic<uint64_t> cancels_{0};
+};
+
+} // namespace mssp
+
+#endif // MSSP_FAULT_HOSTCHAOS_HH

@@ -6,6 +6,7 @@
 #include "exec/executor.hh"
 #include "fault/fault.hh"
 #include "sim/logging.hh"
+#include "sim/supervisor.hh"
 
 namespace mssp
 {
@@ -630,7 +631,29 @@ MsspMachine::checkWatchdog()
 MsspResult
 MsspMachine::run(uint64_t max_cycles)
 {
+    // Job supervision (sim/supervisor.hh): polled every 1024 cycles
+    // at the top of the cycle loop — a consistent point, so a budget
+    // trip throws with all speculative and architected state intact
+    // (the machine can be inspected or resumed). Unsupervised runs
+    // pay one null test per cycle.
+    Supervision *sup = currentSupervision();
+    uint64_t sup_exec = 0;
+    uint64_t sup_commit = 0;
+    if (sup) {
+        sup_exec = ctrs_.masterInsts + ctrs_.slaveInsts +
+                   ctrs_.seqModeInsts;
+        sup_commit = arch_.instret();
+    }
     while (now_ < max_cycles && !halted_ && !faulted_) {
+        if (sup && (now_ & 1023) == 0) {
+            sup->checkOrThrow();
+            uint64_t exec = ctrs_.masterInsts + ctrs_.slaveInsts +
+                            ctrs_.seqModeInsts;
+            uint64_t commit = arch_.instret();
+            sup->consume(exec - sup_exec, commit - sup_commit);
+            sup_exec = exec;
+            sup_commit = commit;
+        }
         // Fork delivery (in transit for forkLatency cycles; FIFO by
         // construction since the latency is fixed).
         while (!spawn_queue_.empty() && spawn_queue_.front().due <= now_) {

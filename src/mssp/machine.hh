@@ -150,7 +150,16 @@ class MsspMachine
     MsspMachine(const Program &orig, const DistilledProgram &dist,
                 const MsspConfig &cfg);
 
-    /** Run until the program halts/faults or @p max_cycles elapse. */
+    /**
+     * Run until the program halts/faults or @p max_cycles elapse.
+     *
+     * When a Supervision is installed on the calling thread
+     * (sim/supervisor.hh), the loop polls it every 1024 cycles and
+     * throws StatusError on a budget trip or cancellation — always
+     * between cycles, so the machine stays consistent and resumable.
+     * Executed work is charged as master + slave + seq-mode
+     * instructions; retired work as architected instret.
+     */
     MsspResult run(uint64_t max_cycles);
 
     const ArchState &arch() const { return arch_; }

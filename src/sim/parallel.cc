@@ -38,10 +38,22 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::run(std::vector<std::function<void()>> jobs)
 {
-    if (jobs.empty())
-        return;
+    std::vector<std::exception_ptr> errors =
+        runCollect(std::move(jobs));
+    // First failure by job index, not completion time: deterministic.
+    // The rest are dropped — the compat contract (see the header).
+    for (std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
 
+std::vector<std::exception_ptr>
+ThreadPool::runCollect(std::vector<std::function<void()>> jobs)
+{
     std::vector<std::exception_ptr> errors(jobs.size());
+    if (jobs.empty())
+        return errors;
     {
         MutexLock lock(m_);
         // Publish the batch state *before* dealing indices: a worker
@@ -69,12 +81,7 @@ ThreadPool::run(std::vector<std::function<void()>> jobs)
         jobs_ = nullptr;
         errors_ = nullptr;
     }
-
-    // First failure by job index, not completion time: deterministic.
-    for (std::exception_ptr &e : errors) {
-        if (e)
-            std::rethrow_exception(e);
-    }
+    return errors;
 }
 
 bool

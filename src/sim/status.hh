@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Structured status / result taxonomy for the job runtime.
+ *
+ * Every way a supervised job can end — success, cooperative
+ * cancellation, a budget trip, malformed input, an ordinary failure —
+ * is one StatusCode, so sweep drivers and servers can branch on the
+ * class of an outcome instead of string-matching exception text, and
+ * quarantine reports stay byte-deterministic (codes render as fixed
+ * kebab-case names).
+ *
+ * Three pieces:
+ *
+ *  - Status: a code plus a human-readable message. Messages must be
+ *    deterministic for deterministic inputs (no pointers, times or
+ *    host state) because they are embedded verbatim in the JSON
+ *    quarantine reports that CI byte-diffs.
+ *  - Result<T>: a value or the Status explaining its absence, for
+ *    parse-style APIs (asm/objfile.hh) where failure is an expected
+ *    outcome, not an exception.
+ *  - StatusError: the exception form, derived from FatalError so
+ *    every existing catch (const FatalError &) boundary — the CLI
+ *    tools, the ThreadPool — already contains it. Machines throw it
+ *    at supervision trip points (sim/supervisor.hh).
+ */
+
+#ifndef MSSP_SIM_STATUS_HH
+#define MSSP_SIM_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace mssp
+{
+
+/** The class of a job outcome. */
+enum class StatusCode : uint8_t
+{
+    Ok = 0,
+    Cancelled,            ///< CancelToken observed at a safe point
+    DeadlineExceeded,     ///< wall-clock budget ran out
+    InstLimitExceeded,    ///< executed-instruction budget ran out
+    CommitLimitExceeded,  ///< retired-work budget ran out
+    ParseError,           ///< malformed untrusted input
+    JobFailed,            ///< the job threw an ordinary error
+    Internal,             ///< should-not-happen wrapped as data
+};
+
+/** Fixed kebab-case name ("ok", "deadline-exceeded", ...). */
+const char *toString(StatusCode code);
+
+/** @return true for the budget-trip codes (exit code 4 at the CLIs:
+ *  deadline, instruction cap, retired-work cap). */
+inline bool
+isBudgetTrip(StatusCode code)
+{
+    return code == StatusCode::DeadlineExceeded ||
+           code == StatusCode::InstLimitExceeded ||
+           code == StatusCode::CommitLimitExceeded;
+}
+
+/** A status code plus a deterministic human-readable message. */
+class Status
+{
+  public:
+    /** Default: Ok with no message. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "code" or "code: message". */
+    std::string
+    toString() const
+    {
+        std::string s = mssp::toString(code_);
+        if (!message_.empty()) {
+            s += ": ";
+            s += message_;
+        }
+        return s;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * A T or the Status explaining why there is none. Deliberately tiny:
+ * just enough for the parse paths; not a monad library.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value)                           // NOLINT(google-explicit-constructor)
+        : value_(std::move(value))
+    {}
+
+    Result(Status status)                     // NOLINT(google-explicit-constructor)
+        : status_(std::move(status))
+    {
+        MSSP_ASSERT(!status_.ok());   // an Ok Result must carry a value
+    }
+
+    bool ok() const { return value_.has_value(); }
+    const Status &status() const { return status_; }
+
+    T &
+    value()
+    {
+        MSSP_ASSERT(value_.has_value());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        MSSP_ASSERT(value_.has_value());
+        return *value_;
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+/**
+ * The exception form of a Status. Thrown by machines at supervision
+ * trip points (always at an architecturally consistent boundary, so
+ * the machine remains inspectable and resumable) and by the host
+ * chaos layer. Derives from FatalError so every existing tool-level
+ * and pool-level catch already handles it; runSupervised() catches it
+ * first to preserve the structured code.
+ */
+class StatusError : public FatalError
+{
+  public:
+    explicit StatusError(Status status)
+        : FatalError(status.toString()), status_(std::move(status))
+    {}
+
+    const Status &status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+inline const char *
+toString(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:                  return "ok";
+      case StatusCode::Cancelled:           return "cancelled";
+      case StatusCode::DeadlineExceeded:    return "deadline-exceeded";
+      case StatusCode::InstLimitExceeded:   return "inst-limit-exceeded";
+      case StatusCode::CommitLimitExceeded: return "commit-limit-exceeded";
+      case StatusCode::ParseError:          return "parse-error";
+      case StatusCode::JobFailed:           return "job-failed";
+      case StatusCode::Internal:            return "internal";
+    }
+    return "internal";
+}
+
+} // namespace mssp
+
+#endif // MSSP_SIM_STATUS_HH

@@ -10,6 +10,7 @@
 #   MSSP_SKIP_BENCH=1 tools/check.sh    # skip the benchmark smoke
 #   MSSP_SKIP_TIDY=1 tools/check.sh     # skip the clang-tidy gate
 #   MSSP_SKIP_FAULTS=1 tools/check.sh   # skip the fault-campaign smoke
+#   MSSP_SKIP_SUPERVISOR=1 tools/check.sh # skip the supervisor/chaos gate
 #   MSSP_SKIP_SPECSAFE=1 tools/check.sh # skip the specsafe gate
 #   MSSP_SKIP_SPECPLAN=1 tools/check.sh # skip the specplan gate
 #   MSSP_SKIP_BACKENDS=1 tools/check.sh # skip the backend smoke gate
@@ -200,6 +201,52 @@ else
         exit 1
     fi
     echo "campaign passed; --jobs $JOBS report byte-identical to --jobs 1"
+fi
+
+if [[ "${MSSP_SKIP_SUPERVISOR:-0}" == "1" ]]; then
+    echo "== skipping supervisor gate (MSSP_SKIP_SUPERVISOR=1)"
+else
+    # Budget trips and graceful degradation (DESIGN.md §12). First the
+    # instruction cap: a capped run must stop with the documented
+    # budget-trip exit code (4), not a hang or a generic failure.
+    echo "== supervisor gate (budget trip + chaos mini-sweep)"
+    cap_rc=0
+    build/tools/mssp-run "$tmp/prog.s" --max-insts 10 \
+        > /dev/null 2>&1 || cap_rc=$?
+    if [[ $cap_rc -ne 4 ]]; then
+        echo "check.sh: --max-insts 10 did not exit 4 (budget trip)," \
+             "got $cap_rc" >&2
+        exit 1
+    fi
+    # Then host chaos: a chaos-swept campaign must complete (exit 0 if
+    # every victim recovered on retry, 5 if some cells quarantined),
+    # and — because injections key on (seed, job, attempt), never on
+    # scheduling — the sharded report must be byte-identical to the
+    # serial one, quarantine block included.
+    chaos_par_rc=0
+    build/tools/mssp-faultcamp --workloads gzip,mcf --scale 0.05 \
+        --seed 12345 --chaos 7 --jobs "$JOBS" --quiet \
+        --json "$tmp/chaos-par.json" || chaos_par_rc=$?
+    if [[ $chaos_par_rc -ne 0 && $chaos_par_rc -ne 5 ]]; then
+        echo "check.sh: chaos campaign failed outright" \
+             "(exit $chaos_par_rc, expected 0 or 5)" >&2
+        exit 1
+    fi
+    chaos_ser_rc=0
+    build/tools/mssp-faultcamp --workloads gzip,mcf --scale 0.05 \
+        --seed 12345 --chaos 7 --jobs 1 --quiet \
+        --json "$tmp/chaos-ser.json" || chaos_ser_rc=$?
+    if [[ $chaos_ser_rc -ne $chaos_par_rc ]]; then
+        echo "check.sh: chaos campaign exit differs sharded" \
+             "($chaos_par_rc) vs serial ($chaos_ser_rc)" >&2
+        exit 1
+    fi
+    if ! cmp -s "$tmp/chaos-par.json" "$tmp/chaos-ser.json"; then
+        echo "check.sh: sharded chaos campaign (--jobs $JOBS) differs" \
+             "from the serial one" >&2
+        exit 1
+    fi
+    echo "budget trip exits 4; chaos sweep deterministic across shard counts"
 fi
 
 if [[ "${MSSP_SKIP_BENCH:-0}" == "1" ]]; then

@@ -6,16 +6,24 @@
  *   mssp-distill ref.{s,mo} [--train train.{s,mo}] [-o out.mdo]
  *                [--theta T] [--no-valuespec] [--no-silentstores]
  *                [--task-size N] [--report] [--verify]
+ *                [--timeout-ms N] [--max-insts N]
  *
  * --verify runs the mssp-lint static checks — the structural
  * contract, the semantic translation validation of the edit log, the
  * speculation-safety classification of every load, and the persisted
  * speculation plan — on the freshly distilled image; on errors
  * nothing is written and the exit status is 1.
+ *
+ * --timeout-ms / --max-insts arm a whole-invocation budget
+ * (sim/supervisor.hh; env defaults MSSP_JOB_TIMEOUT_MS /
+ * MSSP_JOB_MAX_INSTS) covering profiling and every dynamic
+ * validation replay. A budget trip writes nothing and exits 4
+ * (docs/LINT.md exit-code table).
  */
 
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "analysis/specplan.hh"
@@ -25,6 +33,7 @@
 #include "asm/objfile.hh"
 #include "core/pipeline.hh"
 #include "sim/logging.hh"
+#include "sim/supervisor.hh"
 #include "util/file.hh"
 #include "util/string_utils.hh"
 
@@ -51,6 +60,7 @@ main(int argc, char **argv)
     DistillerOptions opts = DistillerOptions::paperPreset();
     bool show_report = false;
     bool verify = false;
+    JobBudget budget = budgetFromEnv();
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -71,6 +81,12 @@ main(int argc, char **argv)
             show_report = true;
         } else if (arg == "--verify") {
             verify = true;
+        } else if (arg == "--timeout-ms" && i + 1 < argc) {
+            budget.timeoutMs =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--max-insts" && i + 1 < argc) {
+            budget.maxInsts =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
         } else if (arg[0] != '-' && ref_path.empty()) {
             ref_path = arg;
         } else {
@@ -78,7 +94,8 @@ main(int argc, char **argv)
                          "usage: mssp-distill ref.{s,mo} [--train t] "
                          "[-o out.mdo] [--theta T] [--no-valuespec] "
                          "[--no-silentstores] [--task-size N] "
-                         "[--report] [--verify]\n");
+                         "[--report] [--verify] "
+                         "[--timeout-ms N] [--max-insts N]\n");
             return 2;
         }
     }
@@ -95,6 +112,13 @@ main(int argc, char **argv)
     }
 
     try {
+        // Whole-invocation budget: profiling and every dynamic
+        // validation replay count against it.
+        Supervision sup(budget);
+        std::optional<SupervisionScope> scope;
+        if (budget.active())
+            scope.emplace(&sup);
+
         Program ref = loadAny(ref_path);
         Program train = train_path.empty() ? ref
                                            : loadAny(train_path);
@@ -135,6 +159,9 @@ main(int argc, char **argv)
                     w.dist.taskMap.size(), out_path.c_str());
         if (show_report)
             std::fputs(w.dist.report.toString().c_str(), stdout);
+    } catch (const StatusError &e) {
+        std::fprintf(stderr, "mssp-distill: %s\n", e.what());
+        return isBudgetTrip(e.status().code()) ? 4 : 1;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "mssp-distill: %s\n", e.what());
         return 1;

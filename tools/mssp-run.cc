@@ -5,6 +5,7 @@
  *   mssp-run prog.{s,mo} [--mssp dist.mdo] [--slaves N]
  *            [--fork-latency N] [--commit-latency N] [--stats]
  *            [--max-cycles N] [--compare] [--backend TIER]
+ *            [--timeout-ms N] [--max-insts N]
  *
  * With --mssp, runs the MSSP machine using the given distilled
  * object; --compare additionally runs the sequential oracle and
@@ -13,11 +14,18 @@
  * --backend selects the execution tier (ref | threaded | blockjit;
  * see src/exec/backend.hh) and overrides the MSSP_EXEC_BACKEND
  * environment default. Architectural results are tier-invariant.
+ *
+ * --timeout-ms / --max-insts arm a whole-invocation budget
+ * (sim/supervisor.hh; env defaults MSSP_JOB_TIMEOUT_MS /
+ * MSSP_JOB_MAX_INSTS). A budget trip exits 4 (docs/LINT.md exit-code
+ * table): 0 = halted, 1 = fault/limit/mismatch, 2 = usage,
+ * 4 = budget exceeded.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "asm/assembler.hh"
@@ -25,6 +33,7 @@
 #include "exec/seq_machine.hh"
 #include "mssp/machine.hh"
 #include "sim/logging.hh"
+#include "sim/supervisor.hh"
 #include "util/file.hh"
 #include "util/string_utils.hh"
 
@@ -58,6 +67,7 @@ main(int argc, char **argv)
     MsspConfig cfg;
     bool stats = false, compare = false;
     uint64_t max_cycles = 1000000000ull;
+    JobBudget budget = budgetFromEnv();
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -74,6 +84,12 @@ main(int argc, char **argv)
                 std::atoll(argv[++i]));
         } else if (arg == "--max-cycles" && i + 1 < argc) {
             max_cycles = static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--timeout-ms" && i + 1 < argc) {
+            budget.timeoutMs =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--max-insts" && i + 1 < argc) {
+            budget.maxInsts =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
         } else if (arg == "--backend" && i + 1 < argc) {
             auto kind = backendFromName(argv[++i]);
             if (!kind) {
@@ -96,7 +112,8 @@ main(int argc, char **argv)
                          "[--mssp dist.mdo] [--slaves N] "
                          "[--fork-latency N] [--commit-latency N] "
                          "[--max-cycles N] [--stats] [--compare] "
-                         "[--backend ref|threaded|blockjit]\n");
+                         "[--backend ref|threaded|blockjit] "
+                         "[--timeout-ms N] [--max-insts N]\n");
             return 2;
         }
     }
@@ -106,6 +123,13 @@ main(int argc, char **argv)
     }
 
     try {
+        // Whole-invocation budget: the deadline arms here, so load +
+        // run + compare all count against it.
+        Supervision sup(budget);
+        std::optional<SupervisionScope> scope;
+        if (budget.active())
+            scope.emplace(&sup);
+
         Program prog = loadAny(prog_path);
 
         if (dist_path.empty()) {
@@ -146,6 +170,9 @@ main(int argc, char **argv)
             return same ? 0 : 1;
         }
         return r.halted ? 0 : 1;
+    } catch (const StatusError &e) {
+        std::fprintf(stderr, "mssp-run: %s\n", e.what());
+        return isBudgetTrip(e.status().code()) ? 4 : 1;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "mssp-run: %s\n", e.what());
         return 1;
