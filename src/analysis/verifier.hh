@@ -91,6 +91,10 @@ enum class LintCheck : uint8_t
     // Speculation-plan metadata checks (analysis/specplan.hh).
     SpecPlanMismatch,       ///< persisted candidate != recomputed
     SpecPlanCoverage,       ///< candidate missing / stale plan entry
+
+    // Speculated-edit record checks (distill/speculate.cc, .mdo v5).
+    SpecEditMismatch,       ///< baked word / load / site disagrees
+    SpecEditCoverage,       ///< specedit without edit-log provenance
 };
 
 const char *severityName(Severity sev);

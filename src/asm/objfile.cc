@@ -14,11 +14,15 @@ const char *kProgramMagic = "mssp-object v1";
  *  region leader, live-out mask); v3 adds per-load speculation-
  *  safety classes (`specload` lines, analysis/specsafe.hh); v4 adds
  *  the ranked speculation plan (`specplan` lines,
- *  analysis/specplan.hh). Older versions are rejected loudly: a
- *  misparsed edit log would silently disable the semantic checks,
- *  and an image without load classes or a plan would fail the
- *  coverage gates in confusing ways. */
-const char *kDistilledMagic = "mssp-distilled v4";
+ *  analysis/specplan.hh); v5 adds speculated-edit records
+ *  (`specedit` lines, distill/speculate.cc), the feedback generation
+ *  counter (`specgen`) and de-speculated load PCs (`specdrop`,
+ *  eval/adapt.hh). Version mismatches in either direction are
+ *  rejected loudly: a misparsed edit log would silently disable the
+ *  semantic checks, and an image without load classes, a plan, or
+ *  its speculated-edit records would fail the coverage gates in
+ *  confusing ways. */
+const char *kDistilledMagic = "mssp-distilled v5";
 const char *kDistilledFamily = "mssp-distilled";
 
 void
@@ -135,6 +139,24 @@ saveDistilled(const DistilledProgram &dist)
             out += strfmt("%s0x%x", i ? "," : "", p.feasible[i]);
         out += "\n";
     }
+    // Speculated-edit records, in bake order (plan rank order).
+    for (const SpecEdit &e : dist.specEdits) {
+        out += strfmt("specedit 0x%x 0x%x %u 0x%x %s 0x%x %llu ",
+                      e.origPc, e.distPc, e.reg, e.addr,
+                      valueProofName(e.proof), e.value,
+                      static_cast<unsigned long long>(
+                          e.benefitMicro));
+        if (e.policedBy.empty()) {
+            out += "-";
+        } else {
+            for (size_t i = 0; i < e.policedBy.size(); ++i)
+                out += strfmt("%s0x%x", i ? "," : "", e.policedBy[i]);
+        }
+        out += "\n";
+    }
+    for (uint32_t pc : dist.specDropped)
+        out += strfmt("specdrop 0x%x\n", pc);
+    out += strfmt("specgen %u\n", dist.specGeneration);
     for (const DistillEdit &e : dist.report.edits) {
         out += strfmt("edit %s 0x%x %u %u 0x%x 0x%x 0x%x\n",
                       distillPassName(e.pass), e.origPc, e.reg,
@@ -220,6 +242,38 @@ loadDistilled(const std::string &text)
             for (std::string_view v : split(toks[5], ','))
                 p.feasible.push_back(want_int(v, line_no));
             dist.specPlan.push_back(std::move(p));
+            return true;
+        }
+        if (key == "specedit" && toks.size() == 9) {
+            SpecEdit e;
+            e.origPc = want_int(toks[1], line_no);
+            e.distPc = want_int(toks[2], line_no);
+            e.reg = static_cast<uint8_t>(want_int(toks[3], line_no));
+            e.addr = want_int(toks[4], line_no);
+            if (!valueProofFromName(std::string(toks[5]), e.proof)) {
+                fatal("object line %d: unknown proof class '%s'",
+                      line_no, std::string(toks[5]).c_str());
+            }
+            e.value = want_int(toks[6], line_no);
+            int64_t micro;   // 64-bit: want_int truncates to uint32
+            if (!parseInt(toks[7], micro) || micro < 0) {
+                fatal("object line %d: bad benefit '%s'", line_no,
+                      std::string(toks[7]).c_str());
+            }
+            e.benefitMicro = static_cast<uint64_t>(micro);
+            if (toks[8] != "-") {
+                for (std::string_view v : split(toks[8], ','))
+                    e.policedBy.push_back(want_int(v, line_no));
+            }
+            dist.specEdits.push_back(std::move(e));
+            return true;
+        }
+        if (key == "specdrop" && toks.size() == 2) {
+            dist.specDropped.push_back(want_int(toks[1], line_no));
+            return true;
+        }
+        if (key == "specgen" && toks.size() == 2) {
+            dist.specGeneration = want_int(toks[1], line_no);
             return true;
         }
         if (key == "edit" && toks.size() == 8) {

@@ -205,6 +205,54 @@ struct SpecPlanEntry
     bool operator==(const SpecPlanEntry &) const = default;
 };
 
+/**
+ * One *speculated* edit: a load the value-speculating pass
+ * (distill/speculate.cc, DESIGN.md §13) rewrote into a baked
+ * constant, with enough provenance to police it statically
+ * (mssp-lint decodes the image word at @c distPc and checks it
+ * materializes @c value) and dynamically (the adaptation loop maps
+ * per-fork-site squash rates back onto edits through @c policedBy).
+ * Persisted as `specedit` lines in the .mdo (format v5).
+ */
+struct SpecEdit
+{
+    /** Original-program PC of the replaced load. */
+    uint32_t origPc = UINT32_MAX;
+    /** Distilled PC of the first word of the baked constant. */
+    uint32_t distPc = UINT32_MAX;
+    /** Destination register of the load. */
+    uint8_t reg = 0;
+    /** Constant address the load read. */
+    uint32_t addr = 0;
+    /** Proof strength of the plan candidate this edit came from. */
+    ValueProof proof = ValueProof::Proven;
+    /** The baked value. */
+    uint32_t value = 0;
+    /** Planner benefit score (micro-units, from the plan entry). */
+    uint64_t benefitMicro = 0;
+    /** Original fork-site PCs whose tasks verify the regions this
+     *  load executes in — the sites whose squash rate the adaptation
+     *  loop attributes to this edit (ascending). */
+    std::vector<uint32_t> policedBy;
+
+    bool operator==(const SpecEdit &) const = default;
+};
+
+/** Knobs of the value-speculating distiller pass. */
+struct SpeculateOptions
+{
+    /** Bake Likely candidates too (Proven are always baked). */
+    bool bakeLikely = false;
+    /** Minimum benefitMicro a Likely candidate must clear. */
+    uint64_t minLikelyBenefitMicro = 50000000;
+    /** Original load PCs the adaptation loop de-speculated: never
+     *  bake these again (ascending; .mdo `specdrop` lines). */
+    std::vector<uint32_t> despeculated;
+    /** Feedback generation counter (0 = no feedback yet; .mdo
+     *  `specgen` line). */
+    uint32_t generation = 0;
+};
+
 /** Lower-case pass name ("branch-prune", "dce", ...). */
 const char *distillPassName(DistillEdit::Pass pass);
 
@@ -299,6 +347,29 @@ struct DistilledProgram
      */
     std::vector<SpecPlanEntry> specPlan;
 
+    /**
+     * Speculated edits: the plan candidates distillSpeculated() baked
+     * into the image, in bake order (plan rank order). Empty for
+     * images the speculation pass never touched. Persisted as
+     * `specedit` lines (.mdo v5) and re-validated by mssp-lint.
+     */
+    std::vector<SpecEdit> specEdits;
+
+    /** Original load PCs the squash-feedback loop de-speculated
+     *  (ascending; .mdo `specdrop` lines). */
+    std::vector<uint32_t> specDropped;
+
+    /** Feedback generation that produced this image (0 = one-shot;
+     *  .mdo `specgen` line). */
+    uint32_t specGeneration = 0;
+
+    /**
+     * Distilled PC -> original PC for every emitted body instruction
+     * (first word of multi-word expansions). In-memory provenance for
+     * the speculation pass; not persisted in the .mdo.
+     */
+    std::map<uint32_t, uint32_t> pcOrigin;
+
     DistillReport report;
 
     /** Distilled PC for restarting the master at original @p pc
@@ -321,6 +392,20 @@ struct DistilledProgram
 DistilledProgram distill(const Program &orig,
                          const ProfileData &profile,
                          const DistillerOptions &opts);
+
+/**
+ * Distill @p orig, then *value-speculate* the result
+ * (distill/speculate.cc, DESIGN.md §13): bake every Proven (and,
+ * optionally, high-benefit Likely) candidate of the image's
+ * speculation plan into a load-immediate, re-run constant folding and
+ * DCE over the shortened code, re-place fork boundaries, and stamp
+ * fresh metadata. The returned image carries one SpecEdit per baked
+ * load. Deterministic: same inputs produce byte-identical images.
+ */
+DistilledProgram distillSpeculated(const Program &orig,
+                                   const ProfileData &profile,
+                                   const DistillerOptions &opts,
+                                   const SpeculateOptions &sopts);
 
 // Individual passes, exposed for unit testing and ablation ------------
 
@@ -359,6 +444,20 @@ void passMarkForkSites(DistillIr &ir,
 
 /** Pass 7b: lay out the IR as a binary and build the maps. */
 DistilledProgram layout(const DistillIr &ir, DistillReport report);
+
+// Shared pipeline stages (distill() and distillSpeculated()) ----------
+
+/** Passes 1–6 in pipeline order on @p ir, honouring @p opts.
+ *  @p orig supplies the image for the safe value-spec form. */
+void runDistillPasses(DistillIr &ir, const ProfileData &profile,
+                      const DistillerOptions &opts,
+                      const Program &orig, DistillReport &report);
+
+/** The metadata tail of distill(): stamp checkpoint masks, per-edit
+ *  region/live-out metadata, load classes and the speculation plan
+ *  onto the laid-out @p out. @p cfg is the original program's CFG. */
+void finalizeDistilled(DistilledProgram &out, const Program &orig,
+                       const Cfg &cfg);
 
 } // namespace mssp
 

@@ -146,6 +146,7 @@ layout(const DistillIr &ir, DistillReport report)
         }
 
         for (const IrInst &iinst : blk.body) {
+            out.pcOrigin[pc] = iinst.origPc;
             if (iinst.kind == IrInst::Kind::Normal) {
                 emit(iinst.inst);
                 continue;
@@ -236,16 +237,11 @@ layout(const DistillIr &ir, DistillReport report)
     return out;
 }
 
-DistilledProgram
-distill(const Program &orig, const ProfileData &profile,
-        const DistillerOptions &opts)
+void
+runDistillPasses(DistillIr &ir, const ProfileData &profile,
+                 const DistillerOptions &opts, const Program &orig,
+                 DistillReport &report)
 {
-    Cfg cfg = Cfg::build(orig, orig.entry());
-    DistillIr ir = DistillIr::build(cfg, &profile);
-
-    DistillReport report;
-    report.origStaticInsts = cfg.numInsts();
-
     if (opts.enableBranchPrune)
         passBranchPrune(ir, profile, opts, report);
     passUnreachableElim(ir, report);
@@ -263,19 +259,12 @@ distill(const Program &orig, const ProfileData &profile,
         if (opts.enableDce)
             passDce(ir, report);
     }
+}
 
-    std::vector<uint32_t> sites = opts.explicitForkSites;
-    std::vector<uint32_t> intervals;
-    if (sites.empty()) {
-        ForkSelection sel =
-            selectForkSites(cfg, profile, opts.forkSelect);
-        sites = sel.sites;
-        intervals = sel.intervals;
-    }
-    passMarkForkSites(ir, sites, intervals, report);
-
-    DistilledProgram out = layout(ir, report);
-
+void
+finalizeDistilled(DistilledProgram &out, const Program &orig,
+                  const Cfg &cfg)
+{
     // Checkpoint map: the register live-in mask of every task, from
     // the *original* program's liveness (the task runs original
     // code). This is the distiller's static completeness claim; see
@@ -317,10 +306,37 @@ distill(const Program &orig, const ProfileData &profile,
     // the value-flow analysis (analysis/specplan.hh), persisted in
     // rank order. mssp-lint --plan revalidates them and crossval
     // falsifies the Proven predictions dynamically.
+    out.specPlan.clear();
     for (const analysis::SpecPlanCandidate &c :
          analysis::planSpeculation(orig, out)) {
         out.specPlan.push_back(c.toEntry());
     }
+}
+
+DistilledProgram
+distill(const Program &orig, const ProfileData &profile,
+        const DistillerOptions &opts)
+{
+    Cfg cfg = Cfg::build(orig, orig.entry());
+    DistillIr ir = DistillIr::build(cfg, &profile);
+
+    DistillReport report;
+    report.origStaticInsts = cfg.numInsts();
+
+    runDistillPasses(ir, profile, opts, orig, report);
+
+    std::vector<uint32_t> sites = opts.explicitForkSites;
+    std::vector<uint32_t> intervals;
+    if (sites.empty()) {
+        ForkSelection sel =
+            selectForkSites(cfg, profile, opts.forkSelect);
+        sites = sel.sites;
+        intervals = sel.intervals;
+    }
+    passMarkForkSites(ir, sites, intervals, report);
+
+    DistilledProgram out = layout(ir, report);
+    finalizeDistilled(out, orig, cfg);
     return out;
 }
 

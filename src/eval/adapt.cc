@@ -1,0 +1,85 @@
+#include "eval/adapt.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "mssp/machine.hh"
+
+namespace mssp
+{
+
+AdaptResult
+adaptSpeculation(const Program &orig, const ProfileData &profile,
+                 const DistillerOptions &dopts,
+                 const AdaptOptions &aopts)
+{
+    AdaptResult out;
+
+    std::vector<uint32_t> dropped = aopts.speculate.despeculated;
+    std::sort(dropped.begin(), dropped.end());
+    dropped.erase(std::unique(dropped.begin(), dropped.end()),
+                  dropped.end());
+
+    unsigned iters = aopts.maxIters ? aopts.maxIters : 1;
+    for (unsigned iter = 0; iter < iters; ++iter) {
+        SpeculateOptions sopts = aopts.speculate;
+        sopts.despeculated = dropped;
+        sopts.generation = iter;
+        DistilledProgram dist =
+            distillSpeculated(orig, profile, dopts, sopts);
+
+        MsspMachine machine(orig, dist, aopts.machine);
+        // A per-iteration injector keeps the fault stream a pure
+        // function of the plans' seeds, independent of iteration
+        // count or prior runs.
+        std::optional<FaultInjector> injector;
+        if (!aopts.faults.empty()) {
+            injector.emplace(aopts.faults.front().seed,
+                             aopts.faults);
+            machine.setFaultInjector(&*injector);
+        }
+        MsspResult r = machine.run(aopts.runMaxCycles);
+
+        AdaptIteration rec;
+        rec.generation = iter;
+        rec.baked = dist.specEdits.size();
+        rec.squashEvents = machine.counters().squashEvents;
+        rec.halted = r.halted;
+
+        // De-speculate every edit policed by an over-threshold site.
+        std::vector<uint32_t> fresh;
+        for (const auto &[site, stat] : r.siteStats) {
+            if (stat.forked < aopts.minEngagements)
+                continue;
+            if (stat.squashRate() <= aopts.squashRateThreshold)
+                continue;
+            for (const SpecEdit &e : dist.specEdits) {
+                if (std::binary_search(e.policedBy.begin(),
+                                       e.policedBy.end(), site)) {
+                    fresh.push_back(e.origPc);
+                }
+            }
+        }
+        std::sort(fresh.begin(), fresh.end());
+        fresh.erase(std::unique(fresh.begin(), fresh.end()),
+                    fresh.end());
+
+        rec.despeculated = fresh;
+        out.iterations.push_back(std::move(rec));
+        out.dist = std::move(dist);
+
+        if (fresh.empty()) {
+            out.converged = true;
+            break;
+        }
+        dropped.insert(dropped.end(), fresh.begin(), fresh.end());
+        std::sort(dropped.begin(), dropped.end());
+        dropped.erase(std::unique(dropped.begin(), dropped.end()),
+                      dropped.end());
+    }
+
+    out.despeculated = std::move(dropped);
+    return out;
+}
+
+} // namespace mssp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Online adaptation: squash feedback -> re-distillation.
+ *
+ * The value-speculating distiller (distill/speculate.cc) bakes
+ * statically predicted load values into the master's code;
+ * MsspMachine already recovers from a wrong prediction by squashing
+ * the verify task at the offending fork site. This loop closes the
+ * feedback path the paper sketches: run the speculated image, read
+ * the per-fork-site squash/engage table out of MsspResult, and
+ * *de-speculate* every baked load policed by a site whose squash
+ * rate exceeds the threshold — then distill again with those loads
+ * excluded, until an iteration de-speculates nothing (convergence)
+ * or the iteration bound trips.
+ *
+ * Determinism: the loop is a pure function of its inputs — the
+ * machine is cycle-deterministic, fault injection is seeded, and
+ * every iteration's distillation is byte-deterministic — so two runs
+ * produce identical images, iteration logs and convergence verdicts.
+ * mssp-distill --adapt N and the mssp-suite speculation stage both
+ * drive this API.
+ */
+
+#ifndef MSSP_EVAL_ADAPT_HH
+#define MSSP_EVAL_ADAPT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "distill/distiller.hh"
+#include "fault/fault.hh"
+#include "mssp/config.hh"
+#include "profile/profile_data.hh"
+
+namespace mssp
+{
+
+/** Knobs of the adaptation loop. */
+struct AdaptOptions
+{
+    /** Distill→run→de-speculate iterations before giving up. */
+    unsigned maxIters = 4;
+    /** A site de-speculates its policed edits when its squash
+     *  fraction of verification attempts exceeds this. */
+    double squashRateThreshold = 0.5;
+    /** Sites with fewer forked tasks than this are left alone (too
+     *  little evidence). */
+    uint64_t minEngagements = 4;
+    /** Cycle budget of each feedback run. */
+    uint64_t runMaxCycles = 400000000ull;
+    /** Machine configuration of the feedback runs. */
+    MsspConfig machine;
+    /** Speculation knobs (despeculated seeds the exclusion set). */
+    SpeculateOptions speculate;
+    /** Fault plans armed during feedback runs (empty = none). A
+     *  fresh injector is constructed per iteration, so runs stay
+     *  deterministic. */
+    std::vector<FaultPlan> faults;
+};
+
+/** One distill→run→de-speculate iteration. */
+struct AdaptIteration
+{
+    uint32_t generation = 0;    ///< image generation this iter ran
+    size_t baked = 0;           ///< specedits in that image
+    uint64_t squashEvents = 0;  ///< squashes observed in the run
+    bool halted = false;        ///< run completed
+    /** Loads de-speculated *by* this iteration (ascending). */
+    std::vector<uint32_t> despeculated;
+};
+
+/** What the loop converged (or gave up) on. */
+struct AdaptResult
+{
+    /** The last image distilled (converged: the stable image). */
+    DistilledProgram dist;
+    std::vector<AdaptIteration> iterations;
+    /** True when the final iteration de-speculated nothing. */
+    bool converged = false;
+    /** Cumulative de-speculated load PCs (ascending). */
+    std::vector<uint32_t> despeculated;
+};
+
+/**
+ * Run the adaptation loop: distillSpeculated(), execute on the MSSP
+ * machine, attribute squashes through each edit's policedBy sites,
+ * exclude the edits of over-threshold sites and repeat. Bounded by
+ * @p aopts.maxIters; deterministic for deterministic inputs.
+ */
+AdaptResult adaptSpeculation(const Program &orig,
+                             const ProfileData &profile,
+                             const DistillerOptions &dopts,
+                             const AdaptOptions &aopts);
+
+} // namespace mssp
+
+#endif // MSSP_EVAL_ADAPT_HH

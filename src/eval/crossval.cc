@@ -144,7 +144,80 @@ class PlanPredictionWatcher : public SeqMachine::Observer
     std::map<uint32_t, size_t> index_;
 };
 
+/** Watches a SEQ replay of the *original* program and scores every
+ *  baked specedit's constant against the value its load reads. */
+class SpecEditWatcher : public SeqMachine::Observer
+{
+  public:
+    SpecEditWatcher(SeqMachine &machine,
+                    const std::vector<SpecEdit> &edits)
+        : machine_(machine)
+    {
+        for (const SpecEdit &e : edits)
+            tracked_[e.origPc] = {e.proof, e.value};
+        result.checkedEdits = tracked_.size();
+    }
+
+    void
+    onStep(uint32_t pc, const StepResult &res) override
+    {
+        if (!isLoad(res.inst.op))
+            return;
+        auto it = tracked_.find(pc);
+        if (it == tracked_.end())
+            return;
+        // Post-instruction read, as in the other watchers: rd holds
+        // the value; an r0 load leaves rs1 intact, so the address
+        // reconstructs (baked loads are never MMIO).
+        uint32_t value;
+        if (res.inst.rd != 0) {
+            value = machine_.readReg(res.inst.rd);
+        } else {
+            uint32_t addr =
+                machine_.readReg(res.inst.rs1) + res.inst.imm;
+            value = machine_.state().readMem(addr);
+        }
+        result.observations++;
+        bool hit = value == it->second.second;
+        if (it->second.first == ValueProof::Proven) {
+            if (!hit) {
+                result.provenMismatches++;
+                if (result.firstViolation.empty()) {
+                    result.firstViolation = strfmt(
+                        "baked load at 0x%x read 0x%x, image bakes "
+                        "0x%x",
+                        pc, value, it->second.second);
+                }
+            }
+        } else {
+            result.likelyObservations++;
+            if (hit)
+                result.likelyHits++;
+        }
+    }
+
+    SpecEditDynamicResult result;
+
+  private:
+    SeqMachine &machine_;
+    std::map<uint32_t, std::pair<ValueProof, uint32_t>> tracked_;
+};
+
 } // anonymous namespace
+
+SpecEditDynamicResult
+validateSpecEditsDynamic(const Program &orig,
+                         const DistilledProgram &dist,
+                         uint64_t max_insts)
+{
+    // The *original* program is the ground truth the baked constants
+    // claim to reproduce — replay it, not the merged image.
+    SeqMachine machine(orig);
+    SpecEditWatcher watcher(machine, dist.specEdits);
+    machine.setObserver(&watcher);
+    machine.run(max_insts);
+    return watcher.result;
+}
 
 SpecPlanDynamicResult
 validateSpecPlanDynamic(

@@ -11,6 +11,10 @@
  *   specsafe  load speculation-safety classes + metadata validation
  *   specplan  value-flow plan candidates + SEQ-replay hit rates
  *   run       full MSSP machine vs the sequential baseline
+ *   speculate value-speculating distiller + squash-feedback
+ *             adaptation (eval/adapt.hh): the converged image is
+ *             linted, its baked constants replayed against SEQ, and
+ *             the machine re-run on it vs the same oracle
  *   crossval  static risk vs dynamic divergence-squash consistency,
  *             plus the ProvablyInvariant value-change and Proven
  *             prediction-mismatch gates
@@ -31,7 +35,7 @@
  * the same seam for the CI chaos job.
  *
  * The report is one deterministic JSON document (schema
- * mssp-suite-v4): per-run seeds derive from canonical job indices
+ * mssp-suite-v5): per-run seeds derive from canonical job indices
  * and results merge in canonical order, so `--jobs N` output is
  * byte-identical to `--jobs 1` (wall-clock deadline trips excepted —
  * see JobBudget). CI runs the suite on every push with all 12
@@ -107,6 +111,17 @@ struct SuiteWorkloadResult
     // MSSP run vs baseline
     WorkloadRun run;
 
+    // speculation: adapted value-speculating distillation
+    // (distill/speculate.cc + eval/adapt.hh, .mdo v5)
+    size_t specBaked = 0;          ///< specedits in converged image
+    size_t specBakedProven = 0;    ///< of those, Proven
+    size_t specAdaptIterations = 0;
+    bool specAdaptConverged = false;
+    size_t specDespeculated = 0;   ///< cumulative excluded loads
+    size_t specImageLintErrors = 0; ///< all validators, spec image
+    uint64_t specEditMismatches = 0; ///< baked vs SEQ replay (gate: 0)
+    WorkloadRun specRun;           ///< speculated image vs baseline
+
     // crossval: all-proven workloads must not squash on divergence
     uint64_t divergenceSquashes = 0;
     bool consistent = false;
@@ -117,7 +132,9 @@ struct SuiteWorkloadResult
         return lintErrors == 0 && semanticErrors == 0 &&
                specErrors == 0 && specViolations == 0 &&
                planErrors == 0 && planProvenMismatches == 0 &&
-               run.ok && consistent;
+               run.ok && consistent && specAdaptConverged &&
+               specImageLintErrors == 0 && specEditMismatches == 0 &&
+               specRun.ok;
     }
 };
 
@@ -148,7 +165,7 @@ struct SuiteReport
      *  fired, and nothing was quarantined. */
     bool ok() const;
 
-    /** Deterministic JSON document (schema mssp-suite-v4; embeds the
+    /** Deterministic JSON document (schema mssp-suite-v5; embeds the
      *  campaign's mssp-faultcamp-v2 object under "campaign"). */
     std::string toJson() const;
 

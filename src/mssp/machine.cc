@@ -166,6 +166,23 @@ MsspMachine::squash(TaskOutcome reason)
       default:
         break;
     }
+    // Attribute the squash to the static fork site whose task headed
+    // the window — the table the adaptation loop (eval/adapt.hh)
+    // feeds back into re-distillation.
+    if (!window_.empty()) {
+        ForkSiteStat &s = site_stats_[window_.front()->startPc];
+        switch (reason) {
+          case TaskOutcome::SquashedLiveIn:
+            ++s.squashedLiveIn;
+            break;
+          case TaskOutcome::SquashedWrongPc:
+            ++s.squashedWrongPc;
+            break;
+          default:
+            ++s.squashedOther;
+            break;
+        }
+    }
     if (window_.size() > 1)
         ctrs_.tasksSquashedCascade += window_.size() - 1;
 
@@ -217,6 +234,7 @@ void
 MsspMachine::commitFront()
 {
     Task &t = *window_.front();
+    ++site_stats_[t.startPc].committed;
     if (commit_hook_)
         commit_hook_(t, arch_);
     arch_.apply(t.liveOut);
@@ -507,6 +525,7 @@ MsspMachine::tickMaster()
             Task *raw = task.get();
             window_.push_back(std::move(task));
             ++ctrs_.tasksForked;
+            ++site_stats_[fi.origPc].forked;
             if (injector_ && injector_->dropSpawn()) {
                 // Lost on the interconnect: the task sits in the
                 // window forever undelivered; the watchdog squash
@@ -722,6 +741,7 @@ MsspMachine::run(uint64_t max_cycles)
     result.cycles = now_;
     result.committedInsts = arch_.instret();
     result.outputs = outputs_;
+    result.siteStats = site_stats_;
     return result;
 }
 

@@ -27,6 +27,7 @@
 #define MSSP_MSSP_MACHINE_HH
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -60,6 +61,38 @@ enum class StopReason : uint8_t
 /** "halted" / "faulted" / "timed-out" / "watchdog-exhausted". */
 const char *toString(StopReason r);
 
+/**
+ * Per-fork-site engage/squash attribution. Keyed by the *original*
+ * fork-site PC (the task's startPc); squashes charge the site whose
+ * task headed the window when verification failed. This is the
+ * feedback signal the online adaptation loop (eval/adapt.hh) turns
+ * into de-speculation decisions.
+ */
+struct ForkSiteStat
+{
+    uint64_t forked = 0;          ///< tasks spawned at this site
+    uint64_t committed = 0;       ///< tasks verified and committed
+    uint64_t squashedLiveIn = 0;  ///< live-in mismatches
+    uint64_t squashedWrongPc = 0; ///< start-PC mismatches
+    uint64_t squashedOther = 0;   ///< overrun / spurious / watchdog
+
+    uint64_t
+    squashed() const
+    {
+        return squashedLiveIn + squashedWrongPc + squashedOther;
+    }
+
+    /** Squash fraction of verification attempts (0 when none). */
+    double
+    squashRate() const
+    {
+        uint64_t attempts = committed + squashed();
+        return attempts ? static_cast<double>(squashed()) /
+                              static_cast<double>(attempts)
+                        : 0.0;
+    }
+};
+
 /** Result of an MSSP run. */
 struct MsspResult
 {
@@ -70,6 +103,8 @@ struct MsspResult
     uint64_t cycles = 0;
     uint64_t committedInsts = 0;
     OutputStream outputs;
+    /** Original fork-site PC -> engage/squash attribution. */
+    std::map<uint32_t, ForkSiteStat> siteStats;
 };
 
 /** Aggregated machine statistics (also exposed as a stats::Group). */
@@ -298,6 +333,8 @@ class MsspMachine
 
     OutputStream outputs_;
     MsspCounters ctrs_;
+    /** Per-fork-site engage/squash attribution (MsspResult). */
+    std::map<uint32_t, ForkSiteStat> site_stats_;
     CommitHook commit_hook_;
     SquashHook squash_hook_;
     /** Fault injector (null = no hooks fire; see setFaultInjector). */

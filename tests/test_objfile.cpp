@@ -92,10 +92,12 @@ TEST(ObjFile, StaleFormatVersionIsRejectedWithMessage)
 {
     // Files from older builds must be rejected with a message that
     // names both versions, not silently misparsed (v2 carries no
-    // specload lines, v3 no specplan lines; accepting either would
-    // fail the coverage gates in confusing ways instead).
+    // specload lines, v3 no specplan lines, v4 no specedit lines;
+    // accepting any would fail the coverage gates in confusing ways
+    // instead).
     for (const char *header :
-         {"mssp-distilled v2", "mssp-distilled v3"}) {
+         {"mssp-distilled v2", "mssp-distilled v3",
+          "mssp-distilled v4"}) {
         std::string stale =
             std::string(header) + "\nentry 0x400000\n";
         try {
@@ -108,7 +110,7 @@ TEST(ObjFile, StaleFormatVersionIsRejectedWithMessage)
                       std::string::npos)
                 << e.what();
             EXPECT_NE(
-                std::string(e.what()).find("mssp-distilled v4"),
+                std::string(e.what()).find("mssp-distilled v5"),
                 std::string::npos)
                 << e.what();
         }

@@ -4,15 +4,32 @@
  * binary into an MSSP distilled object.
  *
  *   mssp-distill ref.{s,mo} [--train train.{s,mo}] [-o out.mdo]
+ *                [--workload NAME] [--scale S]
  *                [--theta T] [--no-valuespec] [--no-silentstores]
  *                [--task-size N] [--report] [--verify]
+ *                [--speculate] [--adapt N]
  *                [--timeout-ms N] [--max-insts N]
+ *
+ * --workload NAME distills a registry analogue (workloads/
+ * workloads.hh) instead of an input file; --scale sets its size.
+ *
+ * --speculate runs the value-speculating distiller (distill/
+ * speculate.cc): every Proven speculation-plan candidate is baked
+ * into the master's image as a load-immediate, recorded as a
+ * specedit, and the object is written as .mdo v5. --adapt N
+ * additionally closes the squash-feedback loop (eval/adapt.hh) for
+ * up to N iterations, de-speculating loads policed by
+ * high-squash-rate fork sites; a loop that fails to converge within
+ * the bound writes nothing and exits 1.
  *
  * --verify runs the mssp-lint static checks — the structural
  * contract, the semantic translation validation of the edit log, the
  * speculation-safety classification of every load, and the persisted
  * speculation plan — on the freshly distilled image; on errors
- * nothing is written and the exit status is 1.
+ * nothing is written and the exit status is 1. On a speculated image
+ * this includes the specedit record checks and a SEQ replay of the
+ * original program comparing each baked constant against the values
+ * the load actually reads (eval/crossval.hh).
  *
  * --timeout-ms / --max-insts arm a whole-invocation budget
  * (sim/supervisor.hh; env defaults MSSP_JOB_TIMEOUT_MS /
@@ -32,10 +49,13 @@
 #include "asm/assembler.hh"
 #include "asm/objfile.hh"
 #include "core/pipeline.hh"
+#include "eval/adapt.hh"
+#include "eval/crossval.hh"
 #include "sim/logging.hh"
 #include "sim/supervisor.hh"
 #include "util/file.hh"
 #include "util/string_utils.hh"
+#include "workloads/workloads.hh"
 
 using namespace mssp;
 
@@ -56,10 +76,13 @@ loadAny(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    std::string ref_path, train_path, out_path;
+    std::string ref_path, train_path, out_path, workload_name;
     DistillerOptions opts = DistillerOptions::paperPreset();
     bool show_report = false;
     bool verify = false;
+    bool speculate = false;
+    unsigned adapt_iters = 0;
+    double scale = 1.0;
     JobBudget budget = budgetFromEnv();
 
     for (int i = 1; i < argc; ++i) {
@@ -68,6 +91,16 @@ main(int argc, char **argv)
             train_path = argv[++i];
         } else if (arg == "-o" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--workload" && i + 1 < argc) {
+            workload_name = argv[++i];
+        } else if (arg == "--scale" && i + 1 < argc) {
+            scale = std::atof(argv[++i]);
+        } else if (arg == "--speculate") {
+            speculate = true;
+        } else if (arg == "--adapt" && i + 1 < argc) {
+            speculate = true;
+            adapt_iters =
+                static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--theta" && i + 1 < argc) {
             opts.biasThreshold = std::atof(argv[++i]);
         } else if (arg == "--no-valuespec") {
@@ -92,19 +125,28 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: mssp-distill ref.{s,mo} [--train t] "
-                         "[-o out.mdo] [--theta T] [--no-valuespec] "
+                         "[-o out.mdo] [--workload NAME] [--scale S] "
+                         "[--theta T] [--no-valuespec] "
                          "[--no-silentstores] [--task-size N] "
                          "[--report] [--verify] "
+                         "[--speculate] [--adapt N] "
                          "[--timeout-ms N] [--max-insts N]\n");
             return 2;
         }
     }
-    if (ref_path.empty()) {
+    if (ref_path.empty() && workload_name.empty()) {
         std::fprintf(stderr, "mssp-distill: no input file\n");
         return 2;
     }
+    if (!ref_path.empty() && !workload_name.empty()) {
+        std::fprintf(stderr, "mssp-distill: an input file and "
+                             "--workload are mutually exclusive\n");
+        return 2;
+    }
+    std::string input_name =
+        ref_path.empty() ? workload_name : ref_path;
     if (out_path.empty()) {
-        out_path = ref_path;
+        out_path = input_name;
         size_t dot = out_path.rfind('.');
         if (dot != std::string::npos)
             out_path.resize(dot);
@@ -119,10 +161,44 @@ main(int argc, char **argv)
         if (budget.active())
             scope.emplace(&sup);
 
-        Program ref = loadAny(ref_path);
-        Program train = train_path.empty() ? ref
-                                           : loadAny(train_path);
+        Program ref, train;
+        if (!workload_name.empty()) {
+            Workload wl = workloadByName(workload_name, scale);
+            ref = assemble(wl.refSource);
+            train = assemble(wl.trainSource);
+        } else {
+            ref = loadAny(ref_path);
+            train = train_path.empty() ? ref : loadAny(train_path);
+        }
         PreparedWorkload w = prepare(ref, train, opts);
+
+        if (adapt_iters > 0) {
+            AdaptOptions aopts;
+            aopts.maxIters = adapt_iters;
+            AdaptResult adapted =
+                adaptSpeculation(ref, w.profile, opts, aopts);
+            for (const AdaptIteration &it : adapted.iterations) {
+                std::printf("adapt gen %u: %zu baked, %llu squash "
+                            "events, de-speculated %zu\n",
+                            it.generation, it.baked,
+                            static_cast<unsigned long long>(
+                                it.squashEvents),
+                            it.despeculated.size());
+            }
+            if (!adapted.converged) {
+                std::fprintf(stderr,
+                             "mssp-distill: squash-feedback loop did "
+                             "not converge in %u iteration(s); not "
+                             "writing %s\n",
+                             adapt_iters, out_path.c_str());
+                return 1;
+            }
+            w.dist = std::move(adapted.dist);
+        } else if (speculate) {
+            w.dist = distillSpeculated(ref, w.profile, opts,
+                                       SpeculateOptions{});
+        }
+
         if (verify) {
             analysis::LintReport rep =
                 analysis::verifyDistilled(ref, w.dist);
@@ -150,13 +226,38 @@ main(int argc, char **argv)
                              out_path.c_str());
                 return 1;
             }
+            if (!w.dist.specEdits.empty()) {
+                SpecEditDynamicResult dyn =
+                    validateSpecEditsDynamic(ref, w.dist);
+                if (dyn.provenMismatches) {
+                    std::fprintf(stderr,
+                                 "mssp-distill: %llu baked-value "
+                                 "mismatch(es) against the SEQ "
+                                 "replay (%s); not writing %s\n",
+                                 static_cast<unsigned long long>(
+                                     dyn.provenMismatches),
+                                 dyn.firstViolation.c_str(),
+                                 out_path.c_str());
+                    return 1;
+                }
+            }
         }
         writeFile(out_path, saveDistilled(w.dist));
         std::printf("%s: %zu -> %zu static insts, %zu fork sites "
                     "-> %s\n",
-                    ref_path.c_str(), w.dist.report.origStaticInsts,
+                    input_name.c_str(), w.dist.report.origStaticInsts,
                     w.dist.report.distilledStaticInsts,
                     w.dist.taskMap.size(), out_path.c_str());
+        if (!w.dist.specEdits.empty() || !w.dist.specDropped.empty()) {
+            size_t proven = 0;
+            for (const SpecEdit &e : w.dist.specEdits)
+                proven += e.proof == ValueProof::Proven ? 1 : 0;
+            std::printf("speculation: %zu baked (%zu proven), "
+                        "%zu de-speculated, generation %u\n",
+                        w.dist.specEdits.size(), proven,
+                        w.dist.specDropped.size(),
+                        w.dist.specGeneration);
+        }
         if (show_report)
             std::fputs(w.dist.report.toString().c_str(), stdout);
     } catch (const StatusError &e) {

@@ -113,7 +113,8 @@ usage(bool json, const char *schema)
         "usage: mssp-lint ref.{s,mo} [--image img.mdo] "
         "[--train t.{s,mo}] [--semantic | --specsafe | --plan] "
         "[--json | --report=json]\n"
-        "       mssp-lint --workload NAME [--semantic | --specsafe "
+        "       mssp-lint --workload NAME [--scale X] "
+        "[--image img.mdo] [--semantic | --specsafe "
         "| --plan] [--json | --report=json]\n"
         "       mssp-lint {--specsafe | --plan} --workloads "
         "NAME[,NAME...]|all [--jobs N] [--scale X] "
@@ -352,7 +353,7 @@ main(int argc, char **argv)
 
         Program ref, train;
         if (!workload.empty()) {
-            Workload w = workloadByName(workload);
+            Workload w = workloadByName(workload, scale);
             ref = assemble(w.refSource);
             train = assemble(w.trainSource);
         } else {

@@ -4,12 +4,16 @@
  *
  *   mssp-run prog.{s,mo} [--mssp dist.mdo] [--slaves N]
  *            [--fork-latency N] [--commit-latency N] [--stats]
- *            [--max-cycles N] [--compare] [--backend TIER]
- *            [--timeout-ms N] [--max-insts N]
+ *            [--site-stats] [--max-cycles N] [--compare]
+ *            [--backend TIER] [--timeout-ms N] [--max-insts N]
  *
  * With --mssp, runs the MSSP machine using the given distilled
  * object; --compare additionally runs the sequential oracle and
  * verifies output equivalence (exit status reflects it).
+ * --site-stats prints the per-fork-site squash/engage table
+ * (MsspResult::siteStats) the adaptation loop feeds on — one row per
+ * static fork site with forked/committed/squash counts split by
+ * squash reason and the resulting squash rate.
  *
  * --backend selects the execution tier (ref | threaded | blockjit;
  * see src/exec/backend.hh) and overrides the MSSP_EXEC_BACKEND
@@ -65,7 +69,7 @@ main(int argc, char **argv)
 {
     std::string prog_path, dist_path;
     MsspConfig cfg;
-    bool stats = false, compare = false;
+    bool stats = false, site_stats = false, compare = false;
     uint64_t max_cycles = 1000000000ull;
     JobBudget budget = budgetFromEnv();
 
@@ -102,6 +106,8 @@ main(int argc, char **argv)
             cfg.execBackend = *kind;
         } else if (arg == "--stats") {
             stats = true;
+        } else if (arg == "--site-stats") {
+            site_stats = true;
         } else if (arg == "--compare") {
             compare = true;
         } else if (arg[0] != '-' && prog_path.empty()) {
@@ -111,7 +117,8 @@ main(int argc, char **argv)
                          "usage: mssp-run prog.{s,mo} "
                          "[--mssp dist.mdo] [--slaves N] "
                          "[--fork-latency N] [--commit-latency N] "
-                         "[--max-cycles N] [--stats] [--compare] "
+                         "[--max-cycles N] [--stats] [--site-stats] "
+                         "[--compare] "
                          "[--backend ref|threaded|blockjit] "
                          "[--timeout-ms N] [--max-insts N]\n");
             return 2;
@@ -158,6 +165,27 @@ main(int argc, char **argv)
                         r.committedInsts));
         if (stats)
             machine.dumpStats(std::cout);
+        if (site_stats) {
+            std::printf("fork-site squash/engage table:\n");
+            std::printf("  %-10s %8s %9s %8s %8s %8s %7s\n", "site",
+                        "forked", "committed", "sq-livein",
+                        "sq-pc", "sq-other", "rate");
+            for (const auto &[pc, s] : r.siteStats) {
+                std::printf("  0x%08x %8llu %9llu %8llu %8llu "
+                            "%8llu %6.1f%%\n",
+                            pc,
+                            static_cast<unsigned long long>(s.forked),
+                            static_cast<unsigned long long>(
+                                s.committed),
+                            static_cast<unsigned long long>(
+                                s.squashedLiveIn),
+                            static_cast<unsigned long long>(
+                                s.squashedWrongPc),
+                            static_cast<unsigned long long>(
+                                s.squashedOther),
+                            100.0 * s.squashRate());
+            }
+        }
 
         if (compare) {
             SeqMachine oracle(prog);
